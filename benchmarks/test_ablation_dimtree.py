@@ -1,0 +1,74 @@
+"""Ablation — dimension-tree MTTKRP reuse (Kaya & Uçar, cited as the
+state of the art for cross-MTTKRP compute reuse in the paper's related
+work).
+
+Measures CSTF-DT against CSTF-COO and CSTF-QCOO on a steady-state
+iteration: shuffle rounds (DT saves one round on mode-2 by reusing the
+{0,1} node), records moved (DT wins big when fibers collapse — tensors
+whose (i,j) pairs repeat across the third mode), and how the saving
+scales with tensor order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CstfCOO, CstfDimTree, CstfQCOO
+from repro.engine import Context, RunStats
+from repro.tensor import uniform_sparse, zipf_sparse
+
+from _harness import CONFIG, report
+
+NNZ = max(2000, CONFIG.target_nnz // 4)
+
+
+def _steady(cls, tensor) -> RunStats:
+    def run(iters):
+        with Context(num_nodes=CONFIG.measure_nodes,
+                     default_parallelism=CONFIG.partitions) as ctx:
+            cls(ctx).decompose(tensor, CONFIG.rank, max_iterations=iters,
+                               tol=0.0, compute_fit=False)
+            return RunStats.from_metrics(ctx.metrics)
+    return run(2) - run(1)
+
+
+def test_ablation_dimtree(benchmark):
+    def measure():
+        # collapsing tensor: few (i, j) pairs, many k per pair
+        collapsing = zipf_sparse((30, 30, 3000), NNZ,
+                                 (0.0, 0.0, 1.2), rng=1)
+        # non-collapsing: uniform, fibers mostly singletons
+        flat = uniform_sparse((1000, 800, 600), NNZ, rng=1)
+        rows = []
+        stats = {}
+        for name, tensor in (("collapsing", collapsing), ("flat", flat)):
+            for cls in (CstfCOO, CstfQCOO, CstfDimTree):
+                s = _steady(cls, tensor)
+                stats[(name, cls.name)] = s
+                rows.append([name, cls.name, s.shuffle_rounds,
+                             s.shuffle_records, s.shuffle_total_bytes])
+        return rows, stats
+
+    rows, stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_dimtree", format_table(
+        ["tensor", "algorithm", "rounds/iter", "records/iter",
+         "bytes/iter"],
+        rows, title="Ablation: dimension-tree MTTKRP reuse "
+                    "(steady-state iteration, 3rd order)"))
+
+    # 3rd order: DT's round count equals COO's (mode-1 builds two tree
+    # levels: 4 rounds; mode-2 reuses {0,1}: 2; mode-3: 3) — its gains
+    # are in record volume, not round count, until order >= 4
+    for name in ("collapsing", "flat"):
+        assert stats[(name, "cstf-dimtree")].shuffle_rounds == 9
+        assert stats[(name, "cstf-coo")].shuffle_rounds == 9
+        assert stats[(name, "cstf-qcoo")].shuffle_rounds == 6
+
+    # on collapsing fibers, DT moves fewer records than plain COO
+    assert stats[("collapsing", "cstf-dimtree")].shuffle_records < \
+        stats[("collapsing", "cstf-coo")].shuffle_records
+    # on flat tensors the contracted nodes stay nnz-sized, so DT has no
+    # record advantage over COO
+    assert stats[("flat", "cstf-dimtree")].shuffle_records >= \
+        0.9 * stats[("flat", "cstf-coo")].shuffle_records

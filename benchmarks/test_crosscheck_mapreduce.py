@@ -1,0 +1,70 @@
+"""Cross-check bench — BIGtensor's two formulations agree.
+
+The baseline exists twice: as hadoop-mode RDD dataflow (the primary
+reproduction path, comparable to CSTF's metrics) and as native
+MapReduce jobs (the paper's actual programming model).  This bench runs
+both on the same tensor and reports the structural agreement: identical
+numerics, identical job counts (4 per MTTKRP), comparable shuffle
+volume.  Any divergence here would mean one of the two BIGtensor
+models is wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.baselines import BigtensorCP, BigtensorMapReduce
+from repro.engine import Context, RunStats
+from repro.tensor import random_factors
+
+from _harness import CONFIG, report, tensor_for
+
+DATASET = "synt3d"
+ITERATIONS = 1
+
+
+def _measure():
+    tensor = tensor_for(DATASET)
+    init = random_factors(tensor.shape, CONFIG.rank, 0)
+
+    mr_driver = BigtensorMapReduce(num_reducers=CONFIG.partitions)
+    mr = mr_driver.decompose(tensor, CONFIG.rank,
+                             max_iterations=ITERATIONS, tol=0.0,
+                             initial_factors=init, compute_fit=False)
+
+    with Context(num_nodes=CONFIG.measure_nodes,
+                 default_parallelism=CONFIG.partitions,
+                 execution_mode="hadoop") as ctx:
+        rdd = BigtensorCP(ctx).decompose(
+            tensor, CONFIG.rank, max_iterations=ITERATIONS, tol=0.0,
+            initial_factors=init, compute_fit=False)
+        rdd_stats = RunStats.from_metrics(ctx.metrics)
+        rdd_jobs = ctx.metrics.hadoop.jobs_launched
+
+    return mr, mr_driver, rdd, rdd_stats, rdd_jobs
+
+
+def test_crosscheck_bigtensor_formulations(benchmark):
+    mr, mr_driver, rdd, rdd_stats, rdd_jobs = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+
+    rt = mr_driver.runtime
+    # N1+N2 jobs shuffle tensor+factor records; job 3 shuffles both
+    # intermediates — count shuffled records per formulation
+    report("crosscheck_mapreduce", format_table(
+        ["formulation", "jobs", "shuffled records", "HDFS bytes written"],
+        [["native MapReduce", rt.jobs_run,
+          "n/a (per-job)", rt.hdfs.bytes_written],
+         ["hadoop-mode RDDs", rdd_jobs,
+          rdd_stats.shuffle_records, rdd_stats.hdfs_write_bytes]],
+        title="BIGtensor cross-check: native MapReduce vs hadoop-mode "
+              f"RDDs, {ITERATIONS} iteration on {DATASET}"))
+
+    # identical mathematics
+    assert np.allclose(mr.lambdas, rdd.lambdas)
+    for a, b in zip(mr.factors, rdd.factors):
+        assert np.allclose(a, b, atol=1e-10)
+    # identical job structure: 4 jobs per MTTKRP, 3 modes
+    assert rt.jobs_run == rdd_jobs == ITERATIONS * 12

@@ -1,0 +1,63 @@
+"""Extension — rank sensitivity of the queue strategy.
+
+The paper fixes R=2.  Table 4 implies the trade-off shifts with R: the
+queue's intermediate data is (N-1)·nnz·R against COO's nnz·R, so QCOO's
+byte *overhead* per record grows with R while its round saving is
+R-independent.  This bench sweeps R and measures where the byte ratio
+goes — informing users running high-rank decompositions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CstfCOO, CstfQCOO
+from repro.engine import Context, RunStats
+from repro.tensor import uniform_sparse
+
+from _harness import CONFIG, report
+
+RANKS = (2, 8, 32)
+NNZ = max(2000, CONFIG.target_nnz // 4)
+
+
+def _steady_bytes(cls, tensor, rank) -> RunStats:
+    def run(iters):
+        with Context(num_nodes=CONFIG.measure_nodes,
+                     default_parallelism=CONFIG.partitions) as ctx:
+            cls(ctx).decompose(tensor, rank, max_iterations=iters,
+                               tol=0.0, compute_fit=False)
+            return RunStats.from_metrics(ctx.metrics)
+    return run(2) - run(1)
+
+
+def test_extension_rank_sweep(benchmark):
+    def measure():
+        tensor = uniform_sparse((800, 700, 600), NNZ, rng=3)
+        rows = []
+        ratios = {}
+        for rank in RANKS:
+            coo = _steady_bytes(CstfCOO, tensor, rank)
+            qcoo = _steady_bytes(CstfQCOO, tensor, rank)
+            byte_ratio = qcoo.shuffle_total_bytes / coo.shuffle_total_bytes
+            ratios[rank] = byte_ratio
+            rows.append([rank, coo.shuffle_total_bytes,
+                         qcoo.shuffle_total_bytes, byte_ratio,
+                         1 - qcoo.shuffle_records / coo.shuffle_records])
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("extension_rank_sweep", format_table(
+        ["rank", "COO bytes/iter", "QCOO bytes/iter",
+         "QCOO/COO byte ratio", "record saving"],
+        rows, title="Extension: QCOO byte overhead vs decomposition "
+                    "rank (steady iteration, 3rd order)"))
+
+    # the record saving is rank-independent (~1/3); the byte ratio
+    # climbs with R as the 2R-row queue dominates record payloads
+    assert ratios[32] > ratios[8] > ratios[2]
+    # at R=2 QCOO still moves fewer bytes...
+    assert ratios[2] < 1.0
+    # ...while at R=32 the queue overhead can erase the byte saving
+    assert ratios[32] > 0.85

@@ -1,0 +1,60 @@
+"""Extension — weak scaling of CSTF-COO vs CSTF-QCOO.
+
+The paper studies strong scaling (fixed tensor, 4-32 nodes).  The
+complementary HPC question: grow the tensor *with* the cluster
+(nnz proportional to nodes) and watch per-iteration time.  An ideally
+weak-scaling system stays flat; the shuffle-round synchronisation term
+(which grows with cluster size but not with data) pushes both CSTF
+variants upward, QCOO less steeply because it runs fewer rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series
+from repro.engine import CostModel
+from repro.analysis.experiments import paper_scale
+
+from _harness import CONFIG, per_iteration, report, tensor_for
+
+from repro.datasets import get_spec
+
+NODE_COUNTS = (4, 8, 16, 32)
+DATASET = "nell1"
+#: nnz per node at the paper's scale (140M-class tensor on 16 nodes)
+NNZ_PER_NODE = 9_000_000
+
+
+def test_extension_weak_scaling(benchmark):
+    def measure():
+        model = CostModel(CONFIG.profile)
+        tensor = tensor_for(DATASET)
+        series = {}
+        for alg in ("cstf-coo", "cstf-qcoo"):
+            base = per_iteration(alg, DATASET)
+            secs = []
+            for nodes in NODE_COUNTS:
+                target_nnz = NNZ_PER_NODE * nodes
+                stats = base.scaled(target_nnz / tensor.nnz)
+                secs.append(model.estimate(stats, nodes, "spark").total_s)
+            series[alg] = secs
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("extension_weak_scaling", format_series(
+        f"Extension: weak scaling on {DATASET}-like data "
+        f"({NNZ_PER_NODE:,} nnz per node)",
+        "nodes", list(NODE_COUNTS), series))
+
+    coo, qcoo = series["cstf-coo"], series["cstf-qcoo"]
+    # weak scaling is imperfect: per-iteration time grows with cluster
+    # size because synchronisation rounds get more expensive
+    assert coo[-1] > coo[0]
+    assert qcoo[-1] > qcoo[0]
+    # QCOO degrades more slowly (fewer rounds to synchronise)
+    coo_growth = coo[-1] / coo[0]
+    qcoo_growth = qcoo[-1] / qcoo[0]
+    assert qcoo_growth < coo_growth
+    # and wins outright at the largest scale
+    assert qcoo[-1] < coo[-1]

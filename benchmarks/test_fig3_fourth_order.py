@@ -1,0 +1,80 @@
+"""Figure 3 — CP-ALS runtime of CSTF-COO vs CSTF-QCOO on the 4th-order
+tensors (delicious4d, flickr), 4-32 nodes.  BIGtensor cannot appear: it
+only supports 3rd-order tensors (Section 6.3), which this bench also
+verifies against the implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (NODE_COUNTS, format_series,
+                            format_speedups, line_chart)
+from repro.baselines import BigtensorCP
+from repro.engine import Context
+
+from _harness import report, runtime_sweep, tensor_for
+
+ALGS = ("cstf-coo", "cstf-qcoo")
+
+#: published QCOO-over-COO speedup bands (Section 6.4)
+PAPER_BANDS = {
+    "delicious4d": (1.06, 1.67),
+    "flickr": (0.98, 1.27),
+}
+
+
+def _panel(dataset: str):
+    return {alg: runtime_sweep(alg, dataset) for alg in ALGS}
+
+
+def _check(dataset: str, series: dict, panel: str) -> None:
+    nodes = list(NODE_COUNTS)
+    text = format_series(
+        f"Figure 3({panel}): 4th-order CP-ALS per-iteration runtime on "
+        f"{dataset} (modelled seconds at paper scale)",
+        "nodes", nodes, series)
+    text += "\n\n" + format_speedups(
+        f"CSTF-COO/CSTF-QCOO speedup (paper: "
+        f"{PAPER_BANDS[dataset][0]}x-{PAPER_BANDS[dataset][1]}x)",
+        nodes, series["cstf-coo"], series["cstf-qcoo"],
+        "cstf-coo", "cstf-qcoo")
+    text += "\n\n" + line_chart(
+        f"Figure 3({panel}) rendering", nodes, series,
+        y_label="seconds per CP-ALS iteration")
+    report(f"fig3{panel}_{dataset}", text)
+
+    coo, qcoo = series["cstf-coo"], series["cstf-qcoo"]
+    for alg in ALGS:
+        assert series[alg][-1] < series[alg][0]
+    ratios = [c / q for c, q in zip(coo, qcoo)]
+    # 4th order: 2 vs 4 shuffles per MTTKRP — QCOO's advantage is larger
+    # than in 3rd order and grows with cluster size
+    assert ratios[-1] > ratios[0]
+    assert 0.9 < ratios[0] < 1.8
+    assert 1.0 < ratios[-1] < 2.2
+
+
+def test_fig3a_delicious4d(benchmark):
+    series = benchmark.pedantic(_panel, args=("delicious4d",),
+                                rounds=1, iterations=1)
+    _check("delicious4d", series, "a")
+
+
+def test_fig3b_flickr(benchmark):
+    series = benchmark.pedantic(_panel, args=("flickr",),
+                                rounds=1, iterations=1)
+    _check("flickr", series, "b")
+
+
+def test_bigtensor_cannot_run_fourth_order(benchmark):
+    """Section 6.3: "CSTF-COO is chosen as the baseline ... because
+    BIGtensor only supports 3rd-order tensors"."""
+    def attempt():
+        with Context(num_nodes=2, default_parallelism=4,
+                     execution_mode="hadoop") as ctx:
+            with pytest.raises(ValueError, match="3rd-order"):
+                BigtensorCP(ctx).decompose(tensor_for("flickr"), 2,
+                                           max_iterations=1)
+        return True
+    assert benchmark.pedantic(attempt, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Figure 5 — MTTKRP runtime per mode for CSTF-COO, CSTF-QCOO and
+BIGtensor on 4 nodes (nell1, delicious3d), first CP-ALS iteration.
+
+Paper claims reproduced:
+
+* CSTF is faster than BIGtensor on *every* mode (4.0x-6.1x COO,
+  4.3x-9.5x QCOO), roughly uniformly — CSTF partitions nonzeros, so an
+  "oddly" shaped tensor does not produce an odd mode;
+* QCOO's mode-1 MTTKRP is slower than COO's mode-1 (30-35% in the
+  paper) because it carries the one-time queue initialisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart, format_table
+from repro.analysis.experiments import phase_stats, execution_mode
+from repro.engine import CostModel
+
+from _harness import CONFIG, measured_run, report, tensor_for
+from repro.datasets import get_spec
+
+NODES = 4
+ALGS = ("cstf-coo", "cstf-qcoo", "bigtensor")
+
+
+def _mode_seconds(dataset: str) -> dict[str, list[float]]:
+    tensor = tensor_for(dataset)
+    scale = get_spec(dataset).nnz / tensor.nnz
+    model = CostModel(CONFIG.profile)
+    out: dict[str, list[float]] = {}
+    for alg in ALGS:
+        _, metrics = measured_run(alg, dataset, 1)
+        mode = execution_mode(alg)
+        secs = []
+        for m in range(1, tensor.order + 1):
+            stats = phase_stats(metrics, f"MTTKRP-{m}",
+                                hadoop_mode=(mode == "hadoop"))
+            flops = (5.0 if alg == "bigtensor" else 3.0) * \
+                tensor.nnz * CONFIG.rank
+            from dataclasses import replace
+            stats = replace(stats, flops=flops).scaled(scale)
+            secs.append(model.estimate(stats, NODES, mode).total_s)
+        out[alg] = secs
+    return out
+
+
+def _check(dataset: str, panel: str, seconds: dict) -> None:
+    rows = []
+    for m in range(3):
+        rows.append([f"mode {m + 1}"] + [seconds[alg][m] for alg in ALGS])
+    text = format_table(
+        ["mode"] + list(ALGS), rows,
+        title=f"Figure 5({panel}): per-mode MTTKRP runtime on {dataset}, "
+              f"{NODES} nodes (modelled seconds at paper scale; "
+              "iteration 1, QCOO mode-1 includes queue build)")
+    coo, qcoo, big = (seconds[a] for a in ALGS)
+    speedups = [[f"mode {m + 1}", big[m] / coo[m], big[m] / qcoo[m],
+                 qcoo[m] / coo[m]] for m in range(3)]
+    text += "\n\n" + format_table(
+        ["mode", "BIG/COO (paper 4.0-6.3x)", "BIG/QCOO (paper 4.3-9.5x)",
+         "QCOO/COO mode cost (mode-1 paper ~1.3x)"],
+        speedups)
+    text += "\n\n" + bar_chart(
+        f"Figure 5({panel}) rendering",
+        {f"mode {m + 1}": {alg: seconds[alg][m] for alg in ALGS}
+         for m in range(3)}, unit="s")
+    report(f"fig5{panel}_{dataset}", text)
+
+    for m in range(3):
+        # CSTF faster than BIGtensor on every mode, in a generous band
+        assert 1.5 < big[m] / coo[m] < 12.0
+        assert 1.5 < big[m] / qcoo[m] < 12.0
+    # QCOO mode-1 carries queue initialisation: slower than COO mode-1
+    # and than QCOO's own later modes
+    assert qcoo[0] > coo[0]
+    assert qcoo[0] > qcoo[1]
+    assert qcoo[0] > qcoo[2]
+    # CSTF's per-mode behaviour is roughly uniform (max/min bounded)
+    assert max(coo) / min(coo) < 2.0
+
+
+def test_fig5a_nell1(benchmark):
+    seconds = benchmark.pedantic(_mode_seconds, args=("nell1",),
+                                 rounds=1, iterations=1)
+    _check("nell1", "a", seconds)
+
+
+def test_fig5b_delicious3d(benchmark):
+    seconds = benchmark.pedantic(_mode_seconds, args=("delicious3d",),
+                                 rounds=1, iterations=1)
+    _check("delicious3d", "b", seconds)

@@ -1,0 +1,43 @@
+"""Table 5 — summary of datasets: published characteristics next to the
+synthetic analogue each benchmark actually runs on."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.datasets import DATASETS, get_spec, scaled_shape
+
+from _harness import CONFIG, report, tensor_for
+
+
+def regenerate_table5():
+    rows = []
+    for name, spec in DATASETS.items():
+        tensor = tensor_for(name)
+        rows.append([name, spec.order, spec.max_mode_size, spec.nnz,
+                     spec.density, tensor.max_mode_size, tensor.nnz,
+                     tensor.density])
+    return rows
+
+
+def test_table5(benchmark):
+    rows = benchmark.pedantic(regenerate_table5, rounds=1, iterations=1)
+    report("table5", format_table(
+        ["dataset", "order", "max mode (paper)", "nnz (paper)",
+         "density (paper)", "max mode (analogue)", "nnz (analogue)",
+         "density (analogue)"],
+        rows, title="Table 5: summary of datasets"))
+    by_name = {r[0]: r for r in rows}
+    # membership and order as published
+    assert set(by_name) == {"delicious3d", "nell1", "synt3d", "flickr",
+                            "delicious4d"}
+    for name, row in by_name.items():
+        spec = get_spec(name)
+        assert row[1] == spec.order
+        # analogue's largest mode is the paper's largest mode (the
+        # "oddly shaped" character of delicious/flickr is preserved)
+        analogue = scaled_shape(spec, CONFIG.target_nnz)
+        assert analogue.index(max(analogue)) == \
+            spec.shape.index(max(spec.shape))
+        # analogue nnz near the configured budget
+        assert row[6] <= CONFIG.target_nnz
+        assert row[6] >= 0.5 * CONFIG.target_nnz

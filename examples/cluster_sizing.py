@@ -1,0 +1,65 @@
+"""Cluster sizing: pick an algorithm and node count for a huge tensor.
+
+A downstream use of the measurement + cost-model pipeline behind
+Figures 2/3: given a tensor too large to run locally, measure the
+dataflow of each algorithm on a scaled analogue, rescale the statistics
+to the full size, and price a node sweep — including the time
+breakdown, which shows *why* the queue strategy wins at scale (fewer
+synchronisation rounds) and loses on small clusters (fatter records).
+
+Run:  python examples/cluster_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (MeasurementConfig, format_table,
+                            per_iteration_stats)
+from repro.analysis.experiments import execution_mode, paper_scale
+from repro.datasets import get_spec, make_dataset
+from repro.engine import CostModel
+
+DATASET = "delicious4d"      # 140M nonzeros, 4th order
+NODE_COUNTS = (4, 8, 16, 32, 64)
+ALGORITHMS = ("cstf-coo", "cstf-qcoo")
+
+
+def main() -> None:
+    spec = get_spec(DATASET)
+    config = MeasurementConfig(target_nnz=6000)
+    tensor = make_dataset(DATASET, config.target_nnz, config.seed)
+    print(f"target tensor : {DATASET}, order {spec.order}, "
+          f"{spec.nnz:,} nonzeros")
+    print(f"measured on   : analogue with {tensor.nnz:,} nonzeros, "
+          f"{config.measure_nodes}-node simulated cluster\n")
+
+    model = CostModel(config.profile)
+    rows = []
+    breakdowns = {}
+    for alg in ALGORITHMS:
+        stats = paper_scale(
+            per_iteration_stats(alg, tensor, config), tensor, DATASET)
+        for nodes in NODE_COUNTS:
+            t = model.estimate(stats, nodes, execution_mode(alg))
+            rows.append([alg, nodes, t.total_s, t.compute_s, t.network_s,
+                         t.round_latency_s])
+            breakdowns[(alg, nodes)] = t
+
+    print(format_table(
+        ["algorithm", "nodes", "total s/iter", "compute", "network",
+         "sync rounds"],
+        rows, title=f"modelled per-iteration runtime for {DATASET} "
+                    "at full published scale"))
+
+    best = min(breakdowns, key=lambda k: breakdowns[k].total_s)
+    print(f"\nfastest configuration: {best[0]} on {best[1]} nodes "
+          f"({breakdowns[best].total_s:.0f} s/iteration)")
+    for nodes in NODE_COUNTS:
+        coo = breakdowns[("cstf-coo", nodes)].total_s
+        qcoo = breakdowns[("cstf-qcoo", nodes)].total_s
+        winner = "QCOO" if qcoo < coo else "COO"
+        print(f"  {nodes:3d} nodes: COO/QCOO = {coo / qcoo:.2f}x "
+              f"-> {winner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Tensor compression with distributed Tucker.
+
+The paper's introduction motivates tensor decompositions for "analyzing
+and compressing big datasets"; Tucker is the compression workhorse
+(HATEN2, the predecessor of the paper's baseline, ships it alongside
+PARAFAC).  This example compresses a sparse sensor-style tensor
+(measurement grid x time) with the distributed HOOI and reports
+accuracy vs. compression across multilinear ranks.
+
+Run:  python examples/tucker_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Context
+from repro.core import DistributedTucker
+from repro.baselines import random_orthonormal
+from repro.tensor import COOTensor, tucker_reconstruct
+
+
+def make_measurement_tensor(shape=(40, 30, 50), ranks=(4, 3, 5),
+                            noise=0.02, seed=11) -> COOTensor:
+    """A measurement-grid tensor: smooth low-multilinear-rank signal
+    plus noise, thresholded to sparse storage."""
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal(ranks) * 10
+    factors = [random_orthonormal(s, r, rng)
+               for s, r in zip(shape, ranks)]
+    dense = tucker_reconstruct(core, factors)
+    dense += noise * rng.standard_normal(shape)
+    dense[np.abs(dense) < np.quantile(np.abs(dense), 0.25)] = 0.0
+    return COOTensor.from_dense(dense)
+
+
+def main() -> None:
+    tensor = make_measurement_tensor()
+    print(f"input: {tensor}")
+    print(f"{'ranks':>12} | {'fit':>8} | {'compression':>11} | iters")
+    print("-" * 48)
+
+    for ranks in [(2, 2, 2), (4, 3, 5), (8, 6, 10)]:
+        with Context(num_nodes=8, default_parallelism=32) as ctx:
+            model = DistributedTucker(ctx).decompose(
+                tensor, ranks, max_iterations=10, tol=1e-5, seed=0)
+        print(f"{str(ranks):>12} | {model.final_fit:8.4f} | "
+              f"{model.compression_ratio():10.1f}x | "
+              f"{len(model.iterations)}")
+
+    # the middle setting matches the planted structure: high fit at
+    # substantial compression
+    with Context(num_nodes=8, default_parallelism=32) as ctx:
+        model = DistributedTucker(ctx).decompose(
+            tensor, (4, 3, 5), max_iterations=10, tol=1e-5, seed=0)
+    if model.final_fit < 0.85:
+        raise SystemExit("expected fit > 0.85 at the planted ranks")
+    print(f"\nat the planted ranks (4,3,5): fit {model.final_fit:.4f} "
+          f"with {model.compression_ratio():.0f}x fewer stored values")
+    approx = tucker_reconstruct(model.core, model.factors)
+    dense = tensor.to_dense()
+    err = np.linalg.norm(approx - dense) / np.linalg.norm(dense)
+    print(f"dense reconstruction relative error: {err:.4f}")
+
+
+if __name__ == "__main__":
+    main()

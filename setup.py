@@ -1,0 +1,8 @@
+"""Legacy setup shim: the execution environment has setuptools but no
+`wheel`, so PEP 517 editable installs fail; `python setup.py develop` /
+`pip install -e .` via the legacy path works.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""CSTF reproduction: large-scale sparse tensor factorizations on
+(simulated) distributed platforms.
+
+Reproduces Blanco, Liu & Mehri Dehnavi, *CSTF: Large-Scale Sparse Tensor
+Factorizations on Distributed Platforms* (ICPP 2018): the CSTF-COO and
+CSTF-QCOO distributed CP-ALS algorithms, the BIGtensor baseline they are
+evaluated against, a Spark-semantics dataflow engine to run them on, and
+the full experiment harness for the paper's tables and figures.
+
+Top-level convenience exports cover the common path::
+
+    from repro import Context, CstfQCOO, make_dataset
+
+    tensor = make_dataset("nell1", target_nnz=5000)
+    with Context(num_nodes=8) as ctx:
+        result = CstfQCOO(ctx).decompose(tensor, rank=2)
+    print(result.final_fit)
+"""
+
+from .engine import Context, HashPartitioner, StorageLevel
+from .core import CPDecomposition, CstfCOO, CstfQCOO
+from .baselines import BigtensorCP, local_cp_als
+from .tensor import (COOTensor, cp_fit, khatri_rao, low_rank_sparse, mttkrp,
+                     read_tns, uniform_sparse, write_tns, zipf_sparse)
+from .datasets import DATASETS, make_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BigtensorCP",
+    "COOTensor",
+    "Context",
+    "CPDecomposition",
+    "CstfCOO",
+    "CstfQCOO",
+    "DATASETS",
+    "HashPartitioner",
+    "StorageLevel",
+    "cp_fit",
+    "khatri_rao",
+    "local_cp_als",
+    "low_rank_sparse",
+    "make_dataset",
+    "mttkrp",
+    "read_tns",
+    "uniform_sparse",
+    "write_tns",
+    "zipf_sparse",
+    "__version__",
+]

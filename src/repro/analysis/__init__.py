@@ -1,0 +1,56 @@
+"""``repro.analysis`` — experiment harnesses regenerating the paper's
+tables and figures: Table 4 closed forms and validation, Figure 4
+communication measurements, Figure 2/3/5 runtime series and plain-text
+reporting."""
+
+from .communication import (CommunicationReport, PhaseCommunication,
+                            SavingsSummary, measure_communication,
+                            qcoo_savings)
+from .charts import bar_chart, line_chart
+from .diagnostics import corcondia, rank_sweep, suggest_rank
+from .complexity import (ALGORITHMS, MTTKRPCost, measured_mttkrp_rounds,
+                         measured_shuffle_rounds, qcoo_join_saving,
+                         shuffles_per_iteration, theoretical_cost)
+from .experiments import (DRIVERS, NODE_COUNTS, MeasurementConfig,
+                          ModeSeries, RuntimeSeries, mode_runtime_series,
+                          per_iteration_stats, phase_stats, run_and_measure,
+                          runtime_series)
+from .report import generate_report
+from .reporting import (format_breakdown, format_series,
+                        format_speedups, format_table, format_value)
+
+__all__ = [
+    "ALGORITHMS",
+    "bar_chart",
+    "line_chart",
+    "CommunicationReport",
+    "DRIVERS",
+    "MTTKRPCost",
+    "MeasurementConfig",
+    "ModeSeries",
+    "NODE_COUNTS",
+    "PhaseCommunication",
+    "RuntimeSeries",
+    "SavingsSummary",
+    "corcondia",
+    "format_breakdown",
+    "format_series",
+    "generate_report",
+    "format_speedups",
+    "format_table",
+    "format_value",
+    "measure_communication",
+    "measured_mttkrp_rounds",
+    "measured_shuffle_rounds",
+    "mode_runtime_series",
+    "per_iteration_stats",
+    "phase_stats",
+    "qcoo_join_saving",
+    "qcoo_savings",
+    "rank_sweep",
+    "suggest_rank",
+    "run_and_measure",
+    "runtime_series",
+    "shuffles_per_iteration",
+    "theoretical_cost",
+]

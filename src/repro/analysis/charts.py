@@ -1,0 +1,105 @@
+"""Plain-text charts: the benches regenerate the paper's *figures*, so
+their reports should look like figures, not just tables.
+
+Two renderers, both dependency-free and deterministic:
+
+* :func:`line_chart` — multi-series line plot on a character grid
+  (Figure 2/3 style: runtime vs nodes);
+* :func:`bar_chart` — grouped horizontal bars (Figure 4/5 style:
+  per-mode or per-algorithm quantities).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: marker characters assigned to series in order
+MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(frac * (cells - 1))))
+
+
+def line_chart(title: str, xs: Sequence[float],
+               series: Mapping[str, Sequence[float]],
+               width: int = 60, height: int = 16,
+               y_label: str = "") -> str:
+    """Render series over a shared x axis.
+
+    X positions are spread by index (the paper's node counts are
+    log-spaced; index spacing matches its visual layout).
+    """
+    if not series:
+        raise ValueError("no series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs")
+    all_vals = [v for ys in series.values() for v in ys]
+    lo, hi = 0.0, max(all_vals) * 1.05 or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[si % len(MARKERS)]
+        prev = None
+        for i, y in enumerate(ys):
+            col = _scale(i, 0, max(len(xs) - 1, 1), width)
+            row = height - 1 - _scale(y, lo, hi, height)
+            if prev is not None:
+                # linear interpolation between consecutive points
+                pc, pr = prev
+                steps = max(abs(col - pc), 1)
+                for s in range(1, steps):
+                    ic = pc + (col - pc) * s // steps
+                    ir = pr + (row - pr) * s // steps
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[row][col] = marker
+            prev = (col, row)
+
+    lines = [title]
+    top_label = f"{hi:,.0f}"
+    for r, row in enumerate(grid):
+        prefix = top_label.rjust(8) if r == 0 else (
+            f"{0:,.0f}".rjust(8) if r == height - 1 else " " * 8)
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * 8 + " +" + "-" * width)
+    tick_line = [" "] * (width + 8)  # room for the last tick label
+    for i, x in enumerate(xs):
+        col = _scale(i, 0, max(len(xs) - 1, 1), width)
+        label = str(x)
+        for j, ch in enumerate(label):
+            if col + j < len(tick_line):
+                tick_line[col + j] = ch
+    lines.append(" " * 10 + "".join(tick_line))
+    legend = "   ".join(f"{MARKERS[i % len(MARKERS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def bar_chart(title: str, groups: Mapping[str, Mapping[str, float]],
+              width: int = 48, unit: str = "") -> str:
+    """Grouped horizontal bars: ``groups[group_label][series] = value``."""
+    if not groups:
+        raise ValueError("no groups")
+    peak = max((v for g in groups.values() for v in g.values()),
+               default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    name_w = max((len(s) for g in groups.values() for s in g), default=4)
+    lines = [title]
+    for group, entries in groups.items():
+        lines.append(f"{group}:")
+        for name, value in entries.items():
+            bar = "#" * max(1 if value > 0 else 0,
+                            round(value / peak * width))
+            lines.append(f"  {name.ljust(name_w)} |{bar} "
+                         f"{value:,.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Communication-cost experiments (Section 6.5, Figure 4).
+
+The paper instruments one CP-ALS iteration on an 8-node cluster with
+Spark's metrics service and reports, per MTTKRP and for the residual
+"Other" work, the shuffle bytes read from *remote* processors
+(Figure 4a) and from *local* partitions (Figure 4b).  QCOO reduces
+remote bytes by 35% on delicious3d (3rd order) and 31% on flickr
+(4th order), and local bytes by ~36%/35%.
+
+This module re-runs that experiment on the engine.  Byte totals depend
+on the record encoding (the paper's Spark 1.5 used compressed Java
+serialization where, at R=2, bytes track record *counts*); we therefore
+report both bytes and record counts — the record-count reduction is the
+encoding-independent quantity and lands on the paper's ~1/3 for
+3rd-order tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.synthetic import DEFAULT_NNZ, make_dataset
+from ..engine.metrics import MetricsCollector, ShuffleReadMetrics
+from .experiments import (MeasurementConfig, make_context, make_driver)
+
+
+@dataclass
+class PhaseCommunication:
+    """Shuffle-read volume of one metrics phase."""
+
+    phase: str
+    remote_bytes: int
+    local_bytes: int
+    remote_records: int
+    local_records: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.remote_bytes + self.local_bytes
+
+    @property
+    def total_records(self) -> int:
+        return self.remote_records + self.local_records
+
+
+@dataclass
+class CommunicationReport:
+    """Figure-4 style measurement of one algorithm on one dataset."""
+
+    dataset: str
+    algorithm: str
+    num_nodes: int
+    phases: list[PhaseCommunication]
+
+    def totals(self) -> PhaseCommunication:
+        """Sum over all phases."""
+        return PhaseCommunication(
+            phase="total",
+            remote_bytes=sum(p.remote_bytes for p in self.phases),
+            local_bytes=sum(p.local_bytes for p in self.phases),
+            remote_records=sum(p.remote_records for p in self.phases),
+            local_records=sum(p.local_records for p in self.phases))
+
+    def phase_map(self) -> dict[str, PhaseCommunication]:
+        """Phases keyed by label."""
+        return {p.phase: p for p in self.phases}
+
+
+def phases_of(metrics: MetricsCollector) -> list[PhaseCommunication]:
+    """Per-phase shuffle-read volumes from a metrics collector."""
+    by_phase = metrics.shuffle_read_by_phase()
+    out = []
+    for phase, read in by_phase.items():
+        out.append(PhaseCommunication(
+            phase=phase,
+            remote_bytes=read.remote_bytes,
+            local_bytes=read.local_bytes,
+            remote_records=read.remote_records,
+            local_records=read.local_records))
+    return out
+
+
+def _run_phases(dataset: str, algorithm: str, config: MeasurementConfig,
+                iterations: int) -> list[PhaseCommunication]:
+    tensor = make_dataset(dataset, config.target_nnz, config.seed)
+    ctx = make_context(algorithm, config)
+    driver = make_driver(algorithm, ctx, config)
+    driver.decompose(tensor, config.rank, max_iterations=iterations,
+                     tol=0.0, seed=config.seed, compute_fit=False)
+    return phases_of(ctx.metrics)
+
+
+def measure_communication(dataset: str, algorithm: str,
+                          config: MeasurementConfig | None = None,
+                          steady_state: bool = True) -> CommunicationReport:
+    """Report the shuffle reads of one CP-ALS iteration per phase.
+
+    With ``steady_state=True`` (the paper's setting — the reported
+    iteration reuses QCOO's queue rather than building it), the
+    measurement is the difference between a 2-iteration and a
+    1-iteration run; with ``steady_state=False`` it is the first
+    iteration, queue construction included."""
+    config = config or MeasurementConfig()
+    if steady_state:
+        one = {p.phase: p for p in _run_phases(dataset, algorithm,
+                                               config, 1)}
+        two = _run_phases(dataset, algorithm, config, 2)
+        phases = []
+        for p in two:
+            base = one.get(p.phase)
+            if base is None:
+                phases.append(p)
+                continue
+            phases.append(PhaseCommunication(
+                phase=p.phase,
+                remote_bytes=max(0, p.remote_bytes - base.remote_bytes),
+                local_bytes=max(0, p.local_bytes - base.local_bytes),
+                remote_records=max(0, p.remote_records - base.remote_records),
+                local_records=max(0, p.local_records - base.local_records)))
+    else:
+        phases = _run_phases(dataset, algorithm, config, 1)
+    return CommunicationReport(
+        dataset=dataset, algorithm=algorithm,
+        num_nodes=config.measure_nodes, phases=phases)
+
+
+@dataclass
+class SavingsSummary:
+    """QCOO-vs-COO communication reduction (the Section 6.5 headline)."""
+
+    dataset: str
+    remote_bytes_reduction: float
+    local_bytes_reduction: float
+    remote_records_reduction: float
+    local_records_reduction: float
+
+
+def qcoo_savings(dataset: str,
+                 config: MeasurementConfig | None = None,
+                 steady_state: bool = True) -> tuple[SavingsSummary,
+                                                     CommunicationReport,
+                                                     CommunicationReport]:
+    """Measure COO and QCOO and summarise QCOO's reduction:
+    ``1 - qcoo / coo`` per metric."""
+    coo = measure_communication(dataset, "cstf-coo", config, steady_state)
+    qcoo = measure_communication(dataset, "cstf-qcoo", config, steady_state)
+    ct, qt = coo.totals(), qcoo.totals()
+
+    def reduction(c: float, q: float) -> float:
+        return 1.0 - (q / c) if c else 0.0
+
+    return (SavingsSummary(
+        dataset=dataset,
+        remote_bytes_reduction=reduction(ct.remote_bytes, qt.remote_bytes),
+        local_bytes_reduction=reduction(ct.local_bytes, qt.local_bytes),
+        remote_records_reduction=reduction(ct.remote_records,
+                                           qt.remote_records),
+        local_records_reduction=reduction(ct.local_records,
+                                          qt.local_records),
+    ), coo, qcoo)

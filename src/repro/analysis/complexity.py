@@ -1,0 +1,100 @@
+"""Closed-form cost model of Table 4 and its validation hooks.
+
+Table 4 of the paper states, for one mode-1 MTTKRP on a 3rd-order
+tensor:
+
+=============  ==========  ====================== ========
+algorithm      flops       intermediate data      shuffles
+=============  ==========  ====================== ========
+BIGtensor      5 nnz R     max(J + nnz, K + nnz)  4
+CSTF-COO       3 nnz R     nnz R                  3
+CSTF-QCOO      3 nnz R     2 nnz R                2
+=============  ==========  ====================== ========
+
+Section 5 generalises: CSTF-COO needs N shuffles per MTTKRP (N² per
+CP-ALS iteration) with intermediate data ``nnz x R``; CSTF-QCOO needs 2
+with intermediate data ``(N-1) x nnz x R``, giving per-iteration join
+communication ``N(N-1) nnz R`` and a saving of 33%/25%/20% for orders
+3/4/5.  :func:`measured_shuffle_rounds` extracts the per-MTTKRP round
+counts from engine metrics so benchmarks can assert measurement ==
+theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.metrics import MetricsCollector
+
+ALGORITHMS = ("bigtensor", "cstf-coo", "cstf-qcoo")
+
+
+@dataclass(frozen=True)
+class MTTKRPCost:
+    """Cost of one MTTKRP operation (one row of Table 4)."""
+
+    algorithm: str
+    flops: float
+    intermediate_data: float
+    shuffles: int
+
+
+def theoretical_cost(algorithm: str, order: int, nnz: int, rank: int,
+                     shape: tuple[int, ...] | None = None,
+                     mode: int = 0) -> MTTKRPCost:
+    """Table 4 extended to order-N tensors (Section 5).
+
+    ``shape`` is only needed for BIGtensor's intermediate-data entry
+    (which references the two non-update mode sizes).
+    """
+    if order < 2:
+        raise ValueError(f"order must be >= 2, got {order}")
+    if algorithm == "bigtensor":
+        if order != 3:
+            raise ValueError("BIGtensor supports 3rd-order tensors only")
+        inter = float(nnz)
+        if shape is not None:
+            others = [shape[m] for m in range(3) if m != mode]
+            inter = float(max(others[0] + nnz, others[1] + nnz))
+        return MTTKRPCost("bigtensor", 5.0 * nnz * rank, inter, 4)
+    if algorithm == "cstf-coo":
+        return MTTKRPCost("cstf-coo", float(order) * nnz * rank,
+                          float(nnz) * rank, order)
+    if algorithm == "cstf-qcoo":
+        return MTTKRPCost("cstf-qcoo", float(order) * nnz * rank,
+                          float(order - 1) * nnz * rank, 2)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+
+
+def shuffles_per_iteration(algorithm: str, order: int) -> int:
+    """Shuffle rounds of one full CP-ALS iteration (N MTTKRPs)."""
+    return theoretical_cost(algorithm, order, 1, 1).shuffles * order
+
+
+def qcoo_join_saving(order: int) -> float:
+    """Section 5's predicted join-communication saving of QCOO over COO:
+    ``1 - (N-1)/N`` — 33%, 25%, 20% for orders 3, 4, 5."""
+    if order < 2:
+        raise ValueError(f"order must be >= 2, got {order}")
+    return 1.0 - (order - 1) / order
+
+
+def measured_shuffle_rounds(metrics: MetricsCollector,
+                            ) -> dict[str, int]:
+    """Shuffle rounds per metrics phase (e.g. ``MTTKRP-1``)."""
+    out: dict[str, int] = {}
+    for job in metrics.jobs:
+        out[job.phase] = out.get(job.phase, 0) + job.shuffle_rounds
+    return out
+
+
+def measured_mttkrp_rounds(metrics: MetricsCollector, order: int,
+                           iterations: int) -> dict[int, float]:
+    """Average shuffle rounds per single MTTKRP, by mode (1-based),
+    assuming ``iterations`` CP-ALS iterations were recorded."""
+    per_phase = measured_shuffle_rounds(metrics)
+    return {
+        mode: per_phase.get(f"MTTKRP-{mode}", 0) / iterations
+        for mode in range(1, order + 1)
+    }

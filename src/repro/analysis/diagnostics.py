@@ -1,0 +1,85 @@
+"""Model-selection diagnostics for CP decompositions.
+
+The paper fixes R=2 for its performance study, but a usable tensor
+library needs rank selection.  Two standard instruments:
+
+* :func:`rank_sweep` / :func:`suggest_rank` — fit-vs-rank elbow: fit a
+  range of ranks and pick the smallest rank whose marginal fit gain
+  drops below a threshold;
+* :func:`corcondia` — the core consistency diagnostic (Bro & Kiers,
+  J. Chemometrics 2003): compute the least-squares Tucker core of the
+  tensor under the CP factor matrices; for a valid CP model it is the
+  superdiagonal identity, and the diagnostic is the percentage match.
+  Values near 100 support the CP structure at that rank; values near or
+  below 0 indicate over-factoring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.local_als import local_cp_als
+from ..core.result import CPDecomposition
+from ..tensor.coo import COOTensor
+from ..tensor.ops import sparse_tucker_core
+
+
+def rank_sweep(tensor: COOTensor, ranks: Sequence[int],
+               max_iterations: int = 15, tol: float = 1e-5,
+               seed: int = 0,
+               decompose: Callable[..., CPDecomposition] | None = None,
+               ) -> list[tuple[int, float, CPDecomposition]]:
+    """Fit every rank in ``ranks``; returns ``(rank, fit, model)`` rows.
+
+    ``decompose`` defaults to the local CP-ALS oracle; pass e.g.
+    ``lambda t, r, **kw: CstfQCOO(ctx).decompose(t, r, **kw)`` to sweep
+    with a distributed algorithm.
+    """
+    if not ranks:
+        raise ValueError("ranks must be non-empty")
+    runner = decompose or local_cp_als
+    out = []
+    for rank in ranks:
+        model = runner(tensor, int(rank), max_iterations=max_iterations,
+                       tol=tol, seed=seed)
+        fit = model.final_fit
+        if fit is None:
+            fit = model.fit(tensor)
+        out.append((int(rank), float(fit), model))
+    return out
+
+
+def suggest_rank(sweep: Sequence[tuple[int, float, CPDecomposition]],
+                 min_gain: float = 0.01) -> int:
+    """Smallest rank whose *next* rank improves fit by less than
+    ``min_gain`` (the elbow); the largest swept rank if fit keeps
+    improving."""
+    if not sweep:
+        raise ValueError("empty sweep")
+    ordered = sorted(sweep, key=lambda row: row[0])
+    for (rank, fit, _), (_r2, fit2, _m2) in zip(ordered, ordered[1:]):
+        if fit2 - fit < min_gain:
+            return rank
+    return ordered[-1][0]
+
+
+def corcondia(tensor: COOTensor, model: CPDecomposition) -> float:
+    """Core consistency diagnostic of ``model`` against ``tensor``.
+
+    ``100 * (1 - ||G - I_super||^2 / R)`` where ``G`` is the
+    least-squares Tucker core under the CP factors (lambda absorbed into
+    the last factor).  100 = perfect CP structure.
+    """
+    rank = model.rank
+    factors = [f.copy() for f in model.factors]
+    factors[-1] = factors[-1] * model.lambdas  # absorb weights
+    # G = X x_n pinv(A_n): contract with U_n = pinv(A_n)^T
+    projectors = [np.linalg.pinv(f).T for f in factors]
+    core = sparse_tucker_core(tensor, projectors)
+    ideal = np.zeros_like(core)
+    for r in range(rank):
+        ideal[(r,) * tensor.order] = 1.0
+    dev = float(((core - ideal) ** 2).sum())
+    return 100.0 * (1.0 - dev / rank)

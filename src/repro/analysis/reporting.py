@@ -1,0 +1,82 @@
+"""Plain-text rendering of tables and series for benches and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and legible in
+pytest's captured output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Human-oriented rendering of one table cell."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence[Any],
+                  series: Mapping[str, Sequence[float]],
+                  unit: str = "s") -> str:
+    """Render figure-style series (one column per line in the figure)."""
+    headers = [x_label] + [f"{name} ({unit})" for name in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_breakdown(title: str,
+                     breakdowns: Mapping[Any, "object"]) -> str:
+    """Render :class:`~repro.engine.costmodel.TimeBreakdown` rows —
+    one line per key, decomposed by resource term."""
+    headers = ["config", "total s", "compute", "network", "sync",
+               "jobs", "disk", "startup"]
+    rows = []
+    for key, t in breakdowns.items():
+        rows.append([key, t.total_s, t.compute_s, t.network_s,
+                     t.round_latency_s, t.job_latency_s, t.disk_s,
+                     t.startup_s])
+    return format_table(headers, rows, title=title)
+
+
+def format_speedups(title: str, xs: Sequence[Any],
+                    base: Sequence[float], other: Sequence[float],
+                    base_name: str, other_name: str) -> str:
+    """Render the '<base>/<other> speedup' rows the paper quotes."""
+    headers = ["nodes", base_name, other_name,
+               f"{base_name}/{other_name}"]
+    rows = [[x, b, o, b / o if o else float("inf")]
+            for x, b, o in zip(xs, base, other)]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,97 @@
+"""Single-node Tucker/HOOI — the correctness oracle for the distributed
+Tucker implementation.
+
+HATEN2 (the paper's Related Work; the predecessor of BIGtensor from the
+same group) supports "two commonly used tensor factorization algorithms
+... PARAFAC and Tucker"; the reproduction mirrors that scope.  This
+module runs the standard HOOI (higher-order orthogonal iteration) on a
+densified copy of the tensor — small inputs only; the distributed
+version (:mod:`repro.core.tucker`) contracts the sparse tensor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..tensor.coo import COOTensor
+from ..tensor.ops import ttm
+from ..core.result import IterationStats
+from ..core.tucker_result import TuckerDecomposition
+
+
+def random_orthonormal(rows: int, cols: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """A random column-orthonormal matrix (QR of a Gaussian)."""
+    if cols > rows:
+        raise ValueError(
+            f"cannot build {rows}x{cols} orthonormal columns")
+    q, _ = np.linalg.qr(rng.standard_normal((rows, cols)))
+    return q[:, :cols]
+
+
+def _validate(tensor: COOTensor, ranks: Sequence[int]) -> tuple[int, ...]:
+    ranks = tuple(int(r) for r in ranks)
+    if len(ranks) != tensor.order:
+        raise ValueError(
+            f"need {tensor.order} ranks, got {len(ranks)}")
+    for mode, (r, size) in enumerate(zip(ranks, tensor.shape)):
+        if not 1 <= r <= size:
+            raise ValueError(
+                f"rank {r} of mode {mode} out of range [1, {size}]")
+    return ranks
+
+
+def local_hooi(tensor: COOTensor, ranks: Sequence[int],
+               max_iterations: int = 10, tol: float = 1e-6,
+               seed: int | None = 0,
+               initial_factors: Sequence[np.ndarray] | None = None,
+               ) -> TuckerDecomposition:
+    """Dense HOOI: alternately set ``U_n`` to the leading left singular
+    vectors of ``(X x_{m != n} U_m^T)(n)``."""
+    ranks = _validate(tensor, ranks)
+    dense = tensor.to_dense()
+    norm_x = float(np.linalg.norm(dense))
+    order = tensor.order
+
+    rng = np.random.default_rng(seed)
+    if initial_factors is not None:
+        factors = [np.array(f, copy=True) for f in initial_factors]
+    else:
+        factors = [random_orthonormal(tensor.shape[m], ranks[m], rng)
+                   for m in range(order)]
+
+    fit_history: list[float] = []
+    iterations: list[IterationStats] = []
+    converged = False
+    for it in range(max_iterations):
+        t0 = time.perf_counter()
+        for mode in range(order):
+            y = dense
+            for m in range(order):
+                if m != mode:
+                    y = ttm(y, factors[m].T, m)
+            y_n = np.moveaxis(y, mode, 0).reshape(tensor.shape[mode], -1)
+            u, _s, _vt = np.linalg.svd(y_n, full_matrices=False)
+            factors[mode] = u[:, :ranks[mode]]
+
+        core = dense
+        for m in range(order):
+            core = ttm(core, factors[m].T, m)
+        fit = 1.0 - np.sqrt(
+            max(norm_x ** 2 - float((core * core).sum()), 0.0)) / norm_x \
+            if norm_x else 1.0
+        fit_history.append(fit)
+        iterations.append(IterationStats(
+            iteration=it, fit=fit, seconds=time.perf_counter() - t0))
+        if len(fit_history) >= 2 and \
+                abs(fit_history[-1] - fit_history[-2]) < tol:
+            converged = True
+            break
+
+    return TuckerDecomposition(
+        core=core, factors=factors, fit_history=fit_history,
+        iterations=iterations, algorithm="local-hooi",
+        converged=converged)

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's main entry points without writing
+code:
+
+``datasets``
+    Print the Table 5 registry (published characteristics).
+``decompose``
+    Factorize a dataset analogue or a FROSTT ``.tns`` file with a chosen
+    algorithm and print fit/communication statistics.
+``communication``
+    The Figure 4 experiment: per-phase remote/local shuffle volume of
+    COO vs QCOO on one dataset.
+``sweep``
+    The Figure 2/3 experiment: measured dataflow priced across a node
+    sweep for one dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (MeasurementConfig, format_series, format_table,
+                       qcoo_savings)
+from .analysis.experiments import (NODE_COUNTS, execution_mode,
+                                   make_context, make_driver, paper_scale,
+                                   per_iteration_stats)
+from .datasets import DATASETS, get_spec, make_dataset
+from .engine import CostModel
+from .tensor import read_tns
+
+ALGORITHMS = ("cstf-coo", "cstf-qcoo", "bigtensor")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CSTF reproduction (ICPP 2018) command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table 5 dataset registry")
+
+    dec = sub.add_parser("decompose", help="run a CP decomposition")
+    dec.add_argument("--dataset", choices=sorted(DATASETS),
+                     default="nell1")
+    dec.add_argument("--tns", metavar="FILE",
+                     help="FROSTT .tns file (overrides --dataset)")
+    dec.add_argument("--algorithm", choices=ALGORITHMS,
+                     default="cstf-qcoo")
+    dec.add_argument("--rank", type=int, default=2)
+    dec.add_argument("--iterations", type=int, default=10)
+    dec.add_argument("--nnz", type=int, default=5000,
+                     help="analogue size when using --dataset")
+    dec.add_argument("--nodes", type=int, default=8)
+    dec.add_argument("--partitions", type=int, default=None)
+    dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument("--regularization", type=float, default=0.0)
+    dec.add_argument("--nonnegative", action="store_true")
+
+    comm = sub.add_parser("communication",
+                          help="Figure 4: COO vs QCOO shuffle volume")
+    comm.add_argument("--dataset", choices=sorted(DATASETS),
+                      default="delicious3d")
+    comm.add_argument("--nnz", type=int, default=8000)
+    comm.add_argument("--nodes", type=int, default=8)
+
+    sweep = sub.add_parser("sweep",
+                           help="Figure 2/3: runtime vs cluster size")
+    sweep.add_argument("--dataset", choices=sorted(DATASETS),
+                       default="nell1")
+    sweep.add_argument("--algorithms", nargs="+", choices=ALGORITHMS,
+                       default=["cstf-coo", "cstf-qcoo"])
+    sweep.add_argument("--nnz", type=int, default=8000)
+    sweep.add_argument("--node-counts", nargs="+", type=int,
+                       default=list(NODE_COUNTS))
+
+    tucker = sub.add_parser("tucker",
+                            help="distributed Tucker/HOOI decomposition")
+    tucker.add_argument("--dataset", choices=sorted(DATASETS),
+                        default="nell1")
+    tucker.add_argument("--tns", metavar="FILE",
+                        help="FROSTT .tns file (overrides --dataset)")
+    tucker.add_argument("--ranks", nargs="+", type=int, required=True)
+    tucker.add_argument("--iterations", type=int, default=8)
+    tucker.add_argument("--nnz", type=int, default=5000)
+    tucker.add_argument("--nodes", type=int, default=8)
+    tucker.add_argument("--seed", type=int, default=0)
+    tucker.add_argument("--save", metavar="NPZ",
+                        help="write the model to a .npz archive")
+
+    rs = sub.add_parser("ranksweep",
+                        help="fit-vs-rank elbow + CORCONDIA")
+    rs.add_argument("--dataset", choices=sorted(DATASETS),
+                    default="nell1")
+    rs.add_argument("--tns", metavar="FILE")
+    rs.add_argument("--ranks", nargs="+", type=int,
+                    default=[1, 2, 3, 4, 5])
+    rs.add_argument("--iterations", type=int, default=15)
+    rs.add_argument("--nnz", type=int, default=3000)
+    rs.add_argument("--seed", type=int, default=0)
+
+    adv = sub.add_parser("advise",
+                         help="suggest a CSTF variant for a tensor")
+    adv.add_argument("--dataset", choices=sorted(DATASETS),
+                     default="nell1")
+    adv.add_argument("--tns", metavar="FILE")
+    adv.add_argument("--nnz", type=int, default=5000)
+    adv.add_argument("--nodes", type=int, default=8)
+    adv.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("report",
+                         help="run the full evaluation, emit markdown")
+    rep.add_argument("--nnz", type=int, default=6000)
+    rep.add_argument("--out", metavar="FILE",
+                     help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_datasets() -> int:
+    rows = [[s.name, s.order, s.max_mode_size, s.nnz, s.density,
+             s.description[:48]] for s in DATASETS.values()]
+    print(format_table(
+        ["dataset", "order", "max mode", "nnz", "density", "description"],
+        rows, title="Table 5: evaluation datasets (published values)"))
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    if args.tns:
+        tensor = read_tns(args.tns).deduplicate()
+        source = args.tns
+    else:
+        tensor = make_dataset(args.dataset, args.nnz, args.seed)
+        source = f"{args.dataset} analogue"
+    print(f"tensor    : {tensor}  ({source})")
+
+    config = MeasurementConfig(
+        rank=args.rank, measure_nodes=args.nodes,
+        partitions=args.partitions or 4 * args.nodes, seed=args.seed)
+    ctx = make_context(args.algorithm, config)
+    driver = make_driver(args.algorithm, ctx, config)
+    driver.regularization = args.regularization
+    driver.nonnegative = args.nonnegative
+    result = driver.decompose(
+        tensor, args.rank, max_iterations=args.iterations,
+        seed=args.seed)
+
+    print(f"algorithm : {result.algorithm}")
+    print(f"fit       : {result.final_fit:.6f} "
+          f"({'converged' if result.converged else 'max iterations'} "
+          f"after {len(result.iterations)} iterations)")
+    read = ctx.metrics.total_shuffle_read()
+    print(f"shuffles  : {ctx.metrics.total_shuffle_rounds()} rounds, "
+          f"{read.remote_bytes:,} remote B, {read.local_bytes:,} local B")
+    if ctx.hadoop_mode:
+        print(f"hadoop    : {ctx.metrics.hadoop.jobs_launched} jobs, "
+              f"{ctx.metrics.hadoop.hdfs_bytes_written:,} HDFS B written")
+    ctx.stop()
+    return 0
+
+
+def _cmd_communication(args: argparse.Namespace) -> int:
+    config = MeasurementConfig(target_nnz=args.nnz,
+                               measure_nodes=args.nodes,
+                               partitions=4 * args.nodes)
+    summary, coo, qcoo = qcoo_savings(args.dataset, config)
+    order = get_spec(args.dataset).order
+    phases = [f"MTTKRP-{m}" for m in range(1, order + 1)] + ["Other"]
+    coo_map, qcoo_map = coo.phase_map(), qcoo.phase_map()
+    rows = []
+    for p in phases:
+        c, q = coo_map.get(p), qcoo_map.get(p)
+        rows.append([p, c.remote_bytes if c else 0,
+                     q.remote_bytes if q else 0,
+                     c.local_bytes if c else 0,
+                     q.local_bytes if q else 0])
+    print(format_table(
+        ["phase", "COO remote", "QCOO remote", "COO local", "QCOO local"],
+        rows, title=f"Figure 4: shuffle bytes per phase on {args.dataset} "
+                    f"({args.nodes} nodes, one steady iteration)"))
+    print(f"\nQCOO reduction: remote bytes "
+          f"{summary.remote_bytes_reduction:.1%}, local bytes "
+          f"{summary.local_bytes_reduction:.1%}, remote records "
+          f"{summary.remote_records_reduction:.1%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = MeasurementConfig(target_nnz=args.nnz)
+    tensor = make_dataset(args.dataset, config.target_nnz, config.seed)
+    model = CostModel(config.profile)
+    series = {}
+    for alg in args.algorithms:
+        if alg == "bigtensor" and tensor.order != 3:
+            print(f"skipping bigtensor: supports 3rd-order only "
+                  f"(dataset is order {tensor.order})", file=sys.stderr)
+            continue
+        stats = paper_scale(per_iteration_stats(alg, tensor, config),
+                            tensor, args.dataset)
+        series[alg] = [model.estimate(stats, n, execution_mode(alg)).total_s
+                       for n in args.node_counts]
+    print(format_series(
+        f"per-iteration runtime on {args.dataset} at published scale "
+        "(modelled)", "nodes", args.node_counts, series))
+    return 0
+
+
+def _load_tensor(args: argparse.Namespace):
+    if getattr(args, "tns", None):
+        return read_tns(args.tns).deduplicate(), args.tns
+    tensor = make_dataset(args.dataset, args.nnz, args.seed)
+    return tensor, f"{args.dataset} analogue"
+
+
+def _cmd_tucker(args: argparse.Namespace) -> int:
+    from .core.tucker import DistributedTucker
+    from .engine import Context
+    tensor, source = _load_tensor(args)
+    print(f"tensor : {tensor}  ({source})")
+    with Context(num_nodes=args.nodes,
+                 default_parallelism=4 * args.nodes) as ctx:
+        model = DistributedTucker(ctx).decompose(
+            tensor, args.ranks, max_iterations=args.iterations,
+            seed=args.seed)
+        rounds = ctx.metrics.total_shuffle_rounds()
+    print(f"ranks  : {model.ranks}")
+    print(f"fit    : {model.final_fit:.6f} "
+          f"({'converged' if model.converged else 'max iterations'})")
+    print(f"compression: {model.compression_ratio():.1f}x, "
+          f"shuffle rounds: {rounds}")
+    if args.save:
+        model.save(args.save)
+        print(f"saved  : {args.save}")
+    return 0
+
+
+def _cmd_ranksweep(args: argparse.Namespace) -> int:
+    from .analysis.diagnostics import corcondia, rank_sweep, suggest_rank
+    tensor, source = _load_tensor(args)
+    print(f"tensor : {tensor}  ({source})")
+    sweep = rank_sweep(tensor, args.ranks,
+                       max_iterations=args.iterations, seed=args.seed)
+    rows = [[rank, fit, corcondia(tensor, model)]
+            for rank, fit, model in sweep]
+    print(format_table(["rank", "fit", "corcondia"], rows,
+                       title="rank sweep (local CP-ALS)"))
+    print(f"\nsuggested rank (fit elbow): {suggest_rank(sweep)}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .tensor.stats import profile_tensor, recommend_algorithm
+    tensor, source = _load_tensor(args)
+    prof = profile_tensor(tensor)
+    print(f"tensor : {tensor}  ({source})")
+    print(f"skew (gini) per mode     : "
+          + ", ".join(f"{g:.2f}" for g in prof.skew))
+    print(f"fiber collapse per mode  : "
+          + ", ".join(f"{c:.2f}" for c in prof.collapse))
+    rec = recommend_algorithm(tensor, cluster_nodes=args.nodes)
+    print(f"\nrecommended variant on {args.nodes} nodes: {rec.algorithm}")
+    for reason in rec.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    if args.command == "communication":
+        return _cmd_communication(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "tucker":
+        return _cmd_tucker(args)
+    if args.command == "ranksweep":
+        return _cmd_ranksweep(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "report":
+        from .analysis.report import generate_report
+        text = generate_report(MeasurementConfig(target_nnz=args.nnz))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

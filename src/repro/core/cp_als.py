@@ -1,0 +1,313 @@
+"""Shared CP-ALS driver for the distributed algorithms.
+
+Both CSTF variants (and the BIGtensor baseline) perform the same outer
+loop — Algorithm 1 generalised to N modes:
+
+    repeat
+        for n = 1..N:
+            M_n  <- MTTKRP(X, factors, n)          # algorithm-specific
+            A_n  <- M_n @ pinv(*_{m!=n} A_m^T A_m)
+            normalise columns of A_n, store norms as lambda
+            refresh gram(A_n)
+        evaluate fit; stop on |fit - fit_prev| < tol
+    until convergence or max_iterations
+
+What differs per algorithm is only how ``M_n`` is produced (the dataflow
+of Table 2) and how per-iteration state is carried (QCOO's queue RDD).
+Subclasses implement :meth:`CPALSDriver._setup` and
+:meth:`CPALSDriver._mttkrp`; everything else — factor distribution,
+normalisation, gram reuse, fit evaluation, metric bookkeeping, shuffle
+garbage collection — is shared here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..engine.context import Context
+from ..engine.partitioner import HashPartitioner
+from ..engine.rdd import RDD
+from ..tensor.coo import COOTensor
+from ..tensor.dense import random_factors
+from .gram import GramCache
+from .result import CPDecomposition, IterationStats
+
+
+class CPALSDriver:
+    """Template-method base class for distributed CP-ALS.
+
+    Parameters
+    ----------
+    ctx:
+        Engine context to run on.
+    num_partitions:
+        Partition count for the tensor and factor RDDs; defaults to the
+        context's default parallelism.
+    recompute_grams_per_mttkrp:
+        Ablation switch — when True, *all* gram matrices are recomputed
+        before every MTTKRP instead of once per factor update
+        (Section 4.2 argues this wastes reduce operations).
+    regularization:
+        Optional L2 (ridge) regularisation: each update solves against
+        ``V + reg * I`` instead of ``V``.  Stabilises ill-conditioned
+        factorizations; 0.0 reproduces the paper's plain ALS.
+    nonnegative:
+        When True, negative entries of every updated factor row are
+        clipped to zero (projected ALS — the standard cheap heuristic
+        for nonnegative CP; not a full NN-CP solver).
+    tensor_partitioning:
+        How the tensor's nonzeros are placed across partitions:
+        ``"input"`` (contiguous input-order slices), ``"hash"``
+        (CSTF's choice — hash each nonzero's coordinates, balancing
+        skewed tensors, Section 6.6) or ``"range:<mode>"`` (contiguous
+        index ranges of one mode — the imbalanced alternative measured
+        by the partitioning ablation).
+    """
+
+    #: subclass tag used in results and reports
+    name = "cp-als"
+
+    def __init__(self, ctx: Context, num_partitions: int | None = None,
+                 recompute_grams_per_mttkrp: bool = False,
+                 regularization: float = 0.0,
+                 nonnegative: bool = False,
+                 tensor_partitioning: str = "hash"):
+        if regularization < 0:
+            raise ValueError(
+                f"regularization must be >= 0, got {regularization}")
+        if tensor_partitioning != "input" \
+                and tensor_partitioning != "hash" \
+                and not tensor_partitioning.startswith("range:"):
+            raise ValueError(
+                "tensor_partitioning must be 'input', 'hash' or "
+                f"'range:<mode>', got {tensor_partitioning!r}")
+        self.ctx = ctx
+        self.num_partitions = num_partitions or ctx.default_parallelism
+        self.partitioner = HashPartitioner(self.num_partitions)
+        self.recompute_grams = recompute_grams_per_mttkrp
+        self.regularization = regularization
+        self.nonnegative = nonnegative
+        self.tensor_partitioning = tensor_partitioning
+
+    # ------------------------------------------------------------------
+    # subclass interface
+    # ------------------------------------------------------------------
+    def _setup(self, tensor_rdd: RDD, tensor: COOTensor,
+               factor_rdds: list[RDD], rank: int) -> None:
+        """Prepare per-run state (e.g. QCOO's queue RDD)."""
+
+    def _mttkrp(self, mode: int, tensor_rdd: RDD,
+                factor_rdds: list[RDD], rank: int) -> RDD:
+        """Return ``RDD[(index, row)]`` of the mode-``mode`` MTTKRP."""
+        raise NotImplementedError
+
+    def _teardown(self) -> None:
+        """Release per-run state."""
+
+    def flops_per_iteration(self, tensor: COOTensor, rank: int) -> float:
+        """Analytic flop count of one CP-ALS iteration (Table 4 row,
+        times N modes).  Subclasses override the per-MTTKRP constant."""
+        n = tensor.order
+        return float(n) * n * tensor.nnz * rank
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def decompose(self, tensor: COOTensor, rank: int,
+                  max_iterations: int = 20, tol: float = 1e-5,
+                  seed: int | None = 0,
+                  initial_factors: Sequence[np.ndarray] | None = None,
+                  init: str = "random",
+                  compute_fit: bool = True,
+                  gc_shuffles: bool = True) -> CPDecomposition:
+        """Run CP-ALS and return the decomposition.
+
+        ``tensor`` must have unique coordinates (call
+        :meth:`COOTensor.deduplicate` first if unsure); duplicates would
+        silently change the objective.  ``init`` selects the
+        initialisation strategy (``"random"`` or the HOSVD-style
+        ``"nvecs"``) when ``initial_factors`` is not given.
+        """
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        if max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {max_iterations}")
+        if tensor.has_duplicates():
+            raise ValueError(
+                "tensor has duplicate coordinates; call deduplicate()")
+        order = tensor.order
+        norm_x = tensor.norm()
+
+        with self.ctx.metrics.phase("setup"):
+            tensor_rdd = self._distribute_tensor(tensor)
+
+            if initial_factors is not None:
+                init_mats = [np.asarray(f, dtype=np.float64)
+                             for f in initial_factors]
+                if len(init_mats) != order:
+                    raise ValueError(
+                        f"need {order} initial factors, got "
+                        f"{len(init_mats)}")
+                for m, f in enumerate(init_mats):
+                    if f.shape != (tensor.shape[m], rank):
+                        raise ValueError(
+                            f"initial factor {m} has shape {f.shape}, "
+                            f"expected {(tensor.shape[m], rank)}")
+            else:
+                from ..tensor.init import initial_factors as make_init
+                init_mats = make_init(tensor, rank, init, seed)
+
+            factor_rdds = [self._distribute_factor(f) for f in init_mats]
+            grams = GramCache(factor_rdds, rank)
+            self._setup(tensor_rdd, tensor, factor_rdds, rank)
+
+        lambdas = np.ones(rank)
+        fit_history: list[float] = []
+        iterations: list[IterationStats] = []
+        converged = False
+
+        for it in range(max_iterations):
+            t0 = time.perf_counter()
+            last_m_rdd: RDD | None = None
+            for mode in range(order):
+                with self.ctx.metrics.phase(f"MTTKRP-{mode + 1}"):
+                    if self.recompute_grams:
+                        grams.refresh_all(factor_rdds)
+                    m_rdd = self._mttkrp(mode, tensor_rdd, factor_rdds, rank)
+                    v = grams.v_except(mode)
+                    if self.regularization:
+                        v = v + self.regularization * np.eye(rank)
+                    pinv_v = np.linalg.pinv(v, rcond=1e-12)
+                    new_factor, lambdas = self._solve_and_normalize(
+                        m_rdd, pinv_v, rank)
+                    if not self.ctx.caching_enabled:
+                        # MapReduce materializes every job's output to
+                        # HDFS; without this, iterative lineage would be
+                        # recomputed (hadoop mode has no cache)
+                        new_factor = self.ctx.checkpoint(new_factor)
+                    grams.refresh(mode, new_factor)  # materializes it too
+                    factor_rdds[mode].unpersist()
+                    factor_rdds[mode] = new_factor
+                    last_m_rdd = m_rdd
+
+            fit: float | None = None
+            if compute_fit:
+                with self.ctx.metrics.phase("fit"):
+                    assert last_m_rdd is not None
+                    fit = self._fit(last_m_rdd, factor_rdds[order - 1],
+                                    lambdas, grams, norm_x)
+                    fit_history.append(fit)
+
+            if gc_shuffles:
+                self.ctx.drop_shuffle_outputs()
+
+            read = self.ctx.metrics.total_shuffle_read()
+            iterations.append(IterationStats(
+                iteration=it, fit=fit,
+                seconds=time.perf_counter() - t0,
+                shuffle_rounds=self.ctx.metrics.total_shuffle_rounds(),
+                shuffle_bytes=read.total_bytes))
+
+            if compute_fit and len(fit_history) >= 2 and \
+                    abs(fit_history[-1] - fit_history[-2]) < tol:
+                converged = True
+                break
+
+        factors = [self._collect_factor(rdd, size, rank)
+                   for rdd, size in zip(factor_rdds, tensor.shape)]
+        self._teardown()
+        for rdd in factor_rdds:
+            rdd.unpersist()
+        tensor_rdd.unpersist()
+
+        return CPDecomposition(
+            lambdas=lambdas, factors=factors, fit_history=fit_history,
+            iterations=iterations, algorithm=self.name, converged=converged)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _distribute_tensor(self, tensor: COOTensor) -> RDD:
+        """Place the nonzero records per ``tensor_partitioning`` and
+        cache the resulting RDD."""
+        records = list(tensor.records())
+        n = self.num_partitions
+        if self.tensor_partitioning == "input":
+            rdd = self.ctx.parallelize(records, n)
+        elif self.tensor_partitioning == "hash":
+            keyed = [(idx, (idx, val)) for idx, val in records]
+            rdd = self.ctx.parallelize(
+                keyed, n, HashPartitioner(n)).values()
+        else:  # range:<mode>
+            mode = int(self.tensor_partitioning.split(":", 1)[1])
+            tensor._check_mode(mode)
+            from ..engine.partitioner import RangePartitioner
+            part = RangePartitioner.for_key_range(tensor.shape[mode], n)
+            keyed = [(idx[mode], (idx, val)) for idx, val in records]
+            rdd = self.ctx.parallelize(keyed, n, part).values()
+        return rdd.set_name("tensor-coo").cache()
+
+    def _distribute_factor(self, factor: np.ndarray) -> RDD:
+        """``RDD[(index, row)]`` hash-partitioned by row index, so that
+        MTTKRP joins consume it without a shuffle."""
+        rows = [(i, factor[i].copy()) for i in range(factor.shape[0])]
+        return self.ctx.parallelize(
+            rows, self.num_partitions, self.partitioner
+        ).set_name("factor").cache()
+
+    def _solve_and_normalize(self, m_rdd: RDD, pinv_v: np.ndarray,
+                             rank: int) -> tuple[RDD, np.ndarray]:
+        """``A = normalize(M @ pinv(V))``; returns the cached factor RDD
+        and the column norms (lambda).  With ``nonnegative``, rows are
+        clipped at zero before normalisation (projected ALS)."""
+        if self.nonnegative:
+            def solve(row):
+                return np.maximum(row @ pinv_v, 0.0)
+        else:
+            def solve(row):
+                return row @ pinv_v
+        raw = m_rdd.map_values(solve).set_name("factor-unnormalized")
+        col_sq = raw.tree_aggregate(
+            np.zeros(rank),
+            lambda acc, kv: acc + kv[1] * kv[1],
+            lambda a, b: a + b)
+        lambdas = np.sqrt(col_sq)
+        safe = np.where(lambdas > 0, lambdas, 1.0)
+        factor = raw.map_values(lambda row: row / safe).set_name(
+            "factor").cache()
+        return factor, np.where(lambdas > 0, lambdas, 1.0)
+
+    def _fit(self, m_rdd: RDD, last_factor: RDD, lambdas: np.ndarray,
+             grams: GramCache, norm_x: float) -> float:
+        """CP fit via the standard MTTKRP trick (used by SPLATT and the
+        Tensor Toolbox): ``<X, X̂> = sum_r lambda_r * sum_i M_N(i,r) *
+        A_N(i,r)`` — M_N and A_N are co-partitioned, so the join is
+        narrow and the fit costs no extra shuffle."""
+        rank = lambdas.shape[0]
+        prods = m_rdd.join(last_factor, self.num_partitions).map_values(
+            lambda pair: pair[0] * pair[1])
+        colsum = prods.tree_aggregate(
+            np.zeros(rank),
+            lambda acc, kv: acc + kv[1],
+            lambda a, b: a + b)
+        inner = float(colsum @ lambdas)
+        from ..tensor.ops import hadamard
+        gram_prod = hadamard(*grams.grams)
+        norm_model_sq = float(lambdas @ gram_prod @ lambdas)
+        residual_sq = max(norm_x ** 2 + norm_model_sq - 2.0 * inner, 0.0)
+        if norm_x == 0.0:
+            return 1.0
+        return 1.0 - float(np.sqrt(residual_sq)) / norm_x
+
+    def _collect_factor(self, factor_rdd: RDD, size: int,
+                        rank: int) -> np.ndarray:
+        """Materialize a distributed factor driver-side.  Indices with no
+        nonzeros never flow through an MTTKRP and are zero rows."""
+        out = np.zeros((size, rank))
+        for idx, row in factor_rdd.collect():
+            out[idx] = row
+        return out

@@ -1,0 +1,132 @@
+"""CSTF-COO: MTTKRP on the raw coordinate format (Section 4.1, middle
+column of Table 2).
+
+The tensor lives as ``RDD[(idx_tuple, value)]``.  A mode-``n`` MTTKRP for
+an N-order tensor runs N shuffle rounds:
+
+* one join per non-``n`` mode — the tensor records are re-keyed by that
+  mode's index and joined with the (co-partitioned, hence not shuffled)
+  factor RDD, multiplying the accumulating Hadamard product by the
+  retrieved row (STAGE 1 and STAGE 2 of Table 2);
+* one final ``reduceByKey`` on the mode-``n`` index summing the scaled
+  rows into the MTTKRP result M (STAGE 3).
+
+Join order follows the paper (mode-1 MTTKRP joins C then B): highest
+remaining mode first.
+"""
+
+from __future__ import annotations
+
+from ..engine.rdd import RDD
+from ..tensor.coo import COOTensor
+from .cp_als import CPALSDriver
+
+
+class CstfCOO(CPALSDriver):
+    """The CSTF-COO CP-ALS algorithm.
+
+    ``factor_strategy`` selects how fixed factor rows reach the
+    nonzeros:
+
+    * ``"join"`` (the paper's dataflow) — one shuffle-join per fixed
+      mode; communication scales with nnz, memory stays partitioned;
+    * ``"broadcast"`` — every fixed factor is collected and replicated
+      to all nodes, and the MTTKRP becomes a single ``reduceByKey``.
+      This is the "complete factor replication" design the paper's
+      related work (DMS, medium-grained SPLATT) explicitly avoids: it
+      wins when factors are small, and its replication traffic and
+      memory grow with mode sizes and cluster size.  Kept as a measured
+      ablation (``benchmarks/test_ablation_broadcast.py``).
+    """
+
+    name = "cstf-coo"
+
+    def __init__(self, ctx, num_partitions: int | None = None,
+                 factor_strategy: str = "join", **kwargs):
+        if factor_strategy not in ("join", "broadcast"):
+            raise ValueError(
+                f"factor_strategy must be 'join' or 'broadcast', "
+                f"got {factor_strategy!r}")
+        super().__init__(ctx, num_partitions, **kwargs)
+        self.factor_strategy = factor_strategy
+
+    def join_order(self, order: int, mode: int) -> list[int]:
+        """Modes joined for a mode-``mode`` MTTKRP, in order."""
+        return [m for m in range(order - 1, -1, -1) if m != mode]
+
+    def _mttkrp(self, mode: int, tensor_rdd: RDD,
+                factor_rdds: list[RDD], rank: int) -> RDD:
+        if self.factor_strategy == "broadcast":
+            return self._mttkrp_broadcast(mode, tensor_rdd, factor_rdds,
+                                          rank)
+        modes = self.join_order(len(factor_rdds), mode)
+        first = modes[0]
+
+        # STAGE 1: key the tensor by the first join mode;  (k, (idx, val))
+        keyed = tensor_rdd.map(
+            lambda rec, _m=first: (rec[0][_m], rec)
+        ).set_name(f"coo-key-mode{first}")
+
+        # join with the first factor and fold the tensor value into the
+        # accumulator:  (k, ((idx, val), C_row)) -> (next_key, (idx, acc))
+        current = keyed.join(factor_rdds[first], self.num_partitions)
+        for pos, join_mode in enumerate(modes):
+            next_mode = modes[pos + 1] if pos + 1 < len(modes) else mode
+            if pos == 0:
+                def rekey(kv, _next=next_mode):
+                    (idx, val), row = kv[1]
+                    return (idx[_next], (idx, val * row))
+            else:
+                def rekey(kv, _next=next_mode):
+                    (idx, acc), row = kv[1]
+                    return (idx[_next], (idx, acc * row))
+            current = current.map(rekey).set_name(
+                f"coo-acc-mode{join_mode}")
+            if next_mode != mode:
+                current = current.join(
+                    factor_rdds[next_mode], self.num_partitions)
+
+        # STAGE 3: drop the index tuple and sum rows per output index
+        partials = current.map_values(lambda pair: pair[1]).set_name(
+            "coo-partials")
+        return partials.reduce_by_key(
+            lambda a, b: a + b, self.num_partitions
+        ).set_name(f"mttkrp-{mode}")
+
+    def _mttkrp_broadcast(self, mode: int, tensor_rdd: RDD,
+                          factor_rdds: list[RDD], rank: int) -> RDD:
+        """Replicate the fixed factors to every node and reduce locally:
+        one shuffle round total, at the cost of full factor replication."""
+        order = len(factor_rdds)
+        broadcasts = {
+            m: self.ctx.broadcast(dict(factor_rdds[m].collect()))
+            for m in range(order) if m != mode
+        }
+
+        def contribute(rec, _mode=mode, _bc=broadcasts):
+            idx, val = rec
+            acc = None
+            for m, bc in _bc.items():
+                row = bc.value[idx[m]]
+                acc = row * val if acc is None else acc * row
+            return (idx[_mode], acc)
+
+        m_rdd = (tensor_rdd.map(contribute)
+                 .reduce_by_key(lambda a, b: a + b, self.num_partitions)
+                 .set_name(f"mttkrp-{mode}-broadcast"))
+        # materialisation happens in the driver's next action; defer the
+        # broadcast destruction to then by piggybacking on the RDD — the
+        # engine is in-process, so simply keep them alive via closure.
+        return m_rdd
+
+    def shuffles_per_mttkrp(self, order: int) -> int:
+        """Table 4: N shuffle rounds per MTTKRP (N-1 joins + 1 reduce);
+        the broadcast ablation needs only the reduce."""
+        if getattr(self, "factor_strategy", "join") == "broadcast":
+            return 1
+        return order
+
+    def flops_per_iteration(self, tensor: COOTensor, rank: int) -> float:
+        """Table 4: ``N * nnz * R`` flops per MTTKRP, N MTTKRPs."""
+        n = tensor.order
+        return float(n) * n * tensor.nnz * rank

@@ -1,0 +1,90 @@
+"""Decomposition result types shared by all CP-ALS implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor.ops import cp_fit
+from ..tensor.coo import COOTensor
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration measurements recorded by the drivers."""
+
+    iteration: int
+    fit: float | None
+    #: wall-clock seconds of this iteration (in-process execution time)
+    seconds: float
+    #: cumulative shuffle rounds at the end of the iteration
+    shuffle_rounds: int = 0
+    #: cumulative shuffle bytes read at the end of the iteration
+    shuffle_bytes: int = 0
+
+
+@dataclass
+class CPDecomposition:
+    """A rank-``R`` CP (Kruskal) model ``[lambda; A_1, ..., A_N]``.
+
+    ``factors[n]`` has shape ``(I_n, R)`` with unit-norm columns;
+    ``lambdas`` carries the column weights absorbed during normalisation
+    (Algorithm 1, "store the norms as lambda").
+    """
+
+    lambdas: np.ndarray
+    factors: list[np.ndarray]
+    fit_history: list[float] = field(default_factory=list)
+    iterations: list[IterationStats] = field(default_factory=list)
+    algorithm: str = ""
+    converged: bool = False
+
+    @property
+    def rank(self) -> int:
+        return int(self.lambdas.shape[0])
+
+    @property
+    def order(self) -> int:
+        return len(self.factors)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(f.shape[0] for f in self.factors)
+
+    @property
+    def final_fit(self) -> float | None:
+        return self.fit_history[-1] if self.fit_history else None
+
+    def fit(self, tensor: COOTensor) -> float:
+        """Fit of this model against ``tensor``."""
+        return cp_fit(tensor, self.lambdas, self.factors)
+
+    def save(self, path) -> None:
+        """Persist the model as a compressed ``.npz`` archive."""
+        arrays = {f"factor_{n}": f for n, f in enumerate(self.factors)}
+        np.savez_compressed(
+            path, lambdas=self.lambdas,
+            fit_history=np.asarray(self.fit_history, dtype=np.float64),
+            algorithm=np.asarray(self.algorithm),
+            converged=np.asarray(self.converged),
+            order=np.asarray(len(self.factors)), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "CPDecomposition":
+        """Inverse of :meth:`save` (iteration stats are not persisted)."""
+        with np.load(path, allow_pickle=False) as data:
+            order = int(data["order"])
+            return cls(
+                lambdas=data["lambdas"],
+                factors=[data[f"factor_{n}"] for n in range(order)],
+                fit_history=list(data["fit_history"]),
+                algorithm=str(data["algorithm"]),
+                converged=bool(data["converged"]))
+
+    def __repr__(self) -> str:
+        fit = (f"{self.final_fit:.4f}" if self.final_fit is not None
+               else "n/a")
+        return (f"CPDecomposition(algorithm={self.algorithm!r}, "
+                f"shape={self.shape}, rank={self.rank}, fit={fit}, "
+                f"iters={len(self.iterations)})")

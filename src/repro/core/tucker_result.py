@@ -1,0 +1,85 @@
+"""Tucker decomposition result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tensor.coo import COOTensor
+from ..tensor.ops import tucker_fit
+from .result import IterationStats
+
+
+@dataclass
+class TuckerDecomposition:
+    """A Tucker model ``[G; U_1, ..., U_N]`` with orthonormal factors.
+
+    ``core`` has shape ``ranks``; ``factors[n]`` has shape
+    ``(I_n, ranks[n])`` with orthonormal columns.
+    """
+
+    core: np.ndarray
+    factors: list[np.ndarray]
+    fit_history: list[float] = field(default_factory=list)
+    iterations: list[IterationStats] = field(default_factory=list)
+    algorithm: str = ""
+    converged: bool = False
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return tuple(self.core.shape)
+
+    @property
+    def order(self) -> int:
+        return len(self.factors)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(f.shape[0] for f in self.factors)
+
+    @property
+    def final_fit(self) -> float | None:
+        return self.fit_history[-1] if self.fit_history else None
+
+    def fit(self, tensor: COOTensor) -> float:
+        """Fit of this model against ``tensor``."""
+        return tucker_fit(tensor, self.core, self.factors)
+
+    def compression_ratio(self) -> float:
+        """Stored-value count of the original dense tensor over the
+        Tucker model's (core + factors) — the compression use case the
+        paper's introduction motivates."""
+        dense = 1.0
+        for s in self.shape:
+            dense *= s
+        model = float(self.core.size) + sum(f.size for f in self.factors)
+        return dense / model
+
+    def save(self, path) -> None:
+        """Persist the model as a compressed ``.npz`` archive."""
+        arrays = {f"factor_{n}": f for n, f in enumerate(self.factors)}
+        np.savez_compressed(
+            path, core=self.core,
+            fit_history=np.asarray(self.fit_history, dtype=np.float64),
+            algorithm=np.asarray(self.algorithm),
+            converged=np.asarray(self.converged),
+            order=np.asarray(len(self.factors)), **arrays)
+
+    @classmethod
+    def load(cls, path) -> "TuckerDecomposition":
+        """Inverse of :meth:`save` (iteration stats are not persisted)."""
+        with np.load(path, allow_pickle=False) as data:
+            order = int(data["order"])
+            return cls(
+                core=data["core"],
+                factors=[data[f"factor_{n}"] for n in range(order)],
+                fit_history=list(data["fit_history"]),
+                algorithm=str(data["algorithm"]),
+                converged=bool(data["converged"]))
+
+    def __repr__(self) -> str:
+        fit = (f"{self.final_fit:.4f}" if self.final_fit is not None
+               else "n/a")
+        return (f"TuckerDecomposition(algorithm={self.algorithm!r}, "
+                f"shape={self.shape}, ranks={self.ranks}, fit={fit})")

@@ -1,0 +1,24 @@
+"""``repro.datasets`` — the paper's evaluation datasets: published
+characteristics (Table 5) and scaled synthetic analogues."""
+
+from .registry import (DATASETS, FOURTH_ORDER, THIRD_ORDER, DatasetSpec,
+                       get_spec)
+from .cache import cache_path, cached_dataset, clear_cache
+from .synthetic import (DEFAULT_NNZ, make_all, make_dataset, scaled_shape,
+                        table5)
+
+__all__ = [
+    "DATASETS",
+    "cache_path",
+    "cached_dataset",
+    "clear_cache",
+    "DEFAULT_NNZ",
+    "DatasetSpec",
+    "FOURTH_ORDER",
+    "THIRD_ORDER",
+    "get_spec",
+    "make_all",
+    "make_dataset",
+    "scaled_shape",
+    "table5",
+]

@@ -1,0 +1,58 @@
+"""Disk cache for dataset analogues.
+
+Generating a Zipf-skewed analogue is cheap but not free; benchmark
+sweeps regenerate the same five tensors repeatedly.  ``cached_dataset``
+memoises them as FROSTT ``.tns`` files keyed by (name, nnz, seed), so a
+cache directory doubles as a browsable copy of exactly what every bench
+ran on — and as a template for dropping in the real FROSTT downloads.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from ..tensor.coo import COOTensor
+from ..tensor.io import read_tns, write_tns
+from .registry import get_spec
+from .synthetic import DEFAULT_NNZ, make_dataset, scaled_shape
+
+
+def cache_path(cache_dir: str | os.PathLike, name: str, target_nnz: int,
+               seed: int) -> pathlib.Path:
+    """Cache file location for one (name, nnz, seed) combination."""
+    return pathlib.Path(cache_dir) / f"{name}-nnz{target_nnz}-s{seed}.tns"
+
+
+def cached_dataset(name: str, target_nnz: int = DEFAULT_NNZ,
+                   seed: int = 0,
+                   cache_dir: str | os.PathLike = ".repro-datasets",
+                   ) -> COOTensor:
+    """Return the analogue, generating and persisting it on first use.
+
+    The cached file round-trips through the FROSTT text format, so the
+    returned tensor is identical whether it was generated or re-read.
+    """
+    spec = get_spec(name)  # validates the name before touching disk
+    path = cache_path(cache_dir, name, target_nnz, seed)
+    if path.exists():
+        shape = scaled_shape(spec, target_nnz)
+        return read_tns(path, shape=shape)
+    tensor = make_dataset(name, target_nnz, seed)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    write_tns(tensor, tmp)
+    tmp.replace(path)  # atomic publish: concurrent runs never see halves
+    return tensor
+
+
+def clear_cache(cache_dir: str | os.PathLike = ".repro-datasets") -> int:
+    """Delete all cached analogues; returns the number removed."""
+    directory = pathlib.Path(cache_dir)
+    if not directory.exists():
+        return 0
+    removed = 0
+    for path in directory.glob("*.tns"):
+        path.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,100 @@
+"""Dataset registry — Table 5 of the paper.
+
+The paper evaluates on four FROSTT tensors plus one synthetic tensor.
+We record the published characteristics here (order, shape, nnz,
+density) together with the skew model used by the synthetic analogues.
+The real tensors are 112-200M nonzeros; the analogues reproduce their
+*shape ratios* and per-mode index skew at a configurable nnz (see
+:mod:`repro.datasets.synthetic`), which preserves everything the
+evaluation measures relative between algorithms: records per shuffle,
+per-mode balance, combiner effectiveness and queue sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published characteristics of one evaluation dataset."""
+
+    name: str
+    order: int
+    #: mode sizes of the real tensor (FROSTT metadata)
+    shape: tuple[int, ...]
+    #: nonzero count of the real tensor
+    nnz: int
+    #: density as printed in Table 5
+    density: float
+    #: Zipf exponent per mode for the synthetic analogue (0 = uniform);
+    #: web-crawl modes (users/tags) are heavy-tailed, date modes nearly
+    #: uniform, NELL entity/relation modes moderately skewed
+    zipf_exponents: tuple[float, ...]
+    description: str = ""
+
+    @property
+    def max_mode_size(self) -> int:
+        return max(self.shape)
+
+    def table5_row(self) -> tuple:
+        """(dataset, order, max mode size, nnz, density) as in Table 5."""
+        return (self.name, self.order, self.max_mode_size, self.nnz,
+                self.density)
+
+
+#: the five evaluation datasets (Section 6.2, Table 5)
+DATASETS: dict[str, DatasetSpec] = {
+    "delicious3d": DatasetSpec(
+        name="delicious3d", order=3,
+        shape=(532_924, 17_262_471, 2_480_308),
+        nnz=140_126_181, density=6.5e-12,
+        zipf_exponents=(1.1, 0.9, 1.2),
+        description="user-item-tag triples crawled from the Delicious "
+                    "tagging system (delicious4d with dates removed); "
+                    "'oddly' shaped — one mode 30x larger than another"),
+    "nell1": DatasetSpec(
+        name="nell1", order=3,
+        shape=(2_902_330, 2_143_368, 25_495_389),
+        nnz=143_599_552, density=9.3e-13,
+        zipf_exponents=(0.9, 0.9, 0.8),
+        description="noun-verb-noun triples from the Never Ending "
+                    "Language Learning project"),
+    "synt3d": DatasetSpec(
+        name="synt3d", order=3,
+        shape=(15_000_000, 2_500_000, 1_000_000),
+        nnz=200_000_000, density=5.3e-12,
+        zipf_exponents=(0.0, 0.0, 0.0),
+        description="synthetically generated random 3rd-order tensor "
+                    "(uniform coordinates); shape chosen to match the "
+                    "published max mode size and density"),
+    "flickr": DatasetSpec(
+        name="flickr", order=4,
+        shape=(319_686, 28_153_045, 1_607_191, 731),
+        nnz=112_890_310, density=1.1e-14,
+        zipf_exponents=(1.1, 0.9, 1.2, 0.2),
+        description="user-item-tag-date quadruples crawled from Flickr; "
+                    "date at day granularity"),
+    "delicious4d": DatasetSpec(
+        name="delicious4d", order=4,
+        shape=(532_924, 17_262_471, 2_480_308, 1_443),
+        nnz=140_126_181, density=4.3e-15,
+        zipf_exponents=(1.1, 0.9, 1.2, 0.2),
+        description="user-item-tag-date quadruples crawled from the "
+                    "Delicious tagging system"),
+}
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset by name (KeyError lists the known names)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+
+
+#: datasets used for the 3rd-order comparison (Figure 2)
+THIRD_ORDER = ("delicious3d", "nell1", "synt3d")
+#: datasets used for the 4th-order comparison (Figure 3)
+FOURTH_ORDER = ("delicious4d", "flickr")

@@ -1,0 +1,77 @@
+"""``repro.engine`` — an in-process dataflow engine with Spark semantics.
+
+The substrate beneath the CSTF reproduction: lazy RDD lineage, hash
+partitioning, stage-splitting DAG scheduler, shuffle manager with
+local/remote byte accounting, raw/serialized caching, accumulators, a
+Hadoop execution mode and an analytic cost model for cluster-size sweeps.
+
+Quick example::
+
+    from repro.engine import Context
+
+    with Context(num_nodes=4) as ctx:
+        rdd = ctx.parallelize(range(1000)).map(lambda x: (x % 10, x))
+        totals = rdd.reduce_by_key(lambda a, b: a + b).collect_as_map()
+"""
+
+from .accumulator import Accumulator
+from .broadcast import Broadcast
+from .calibration import (CalibratedCostModel, CalibrationPoint,
+                          TermMultipliers, calibrate)
+from .cluster import Cluster, Node
+from .context import Context, EngineConf
+from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
+from .errors import (CacheEvictedError, ContextStoppedError, EngineError,
+                     JobExecutionError, TaskFailedError)
+from .mapreduce import (HadoopRuntime, HDFSFile, JobResult,
+                        MapReduceJob, SimulatedHDFS)
+from .metrics import (HadoopMetrics, JobMetrics, MetricsCollector,
+                      ShuffleReadMetrics, ShuffleWriteMetrics, StageMetrics)
+from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
+                          stable_hash)
+from .rdd import RDD
+from .serialization import estimate_record_size, estimate_size
+from .storage import CacheManager, StorageLevel
+
+__all__ = [
+    "Accumulator",
+    "Broadcast",
+    "CalibratedCostModel",
+    "CalibrationPoint",
+    "CacheEvictedError",
+    "CacheManager",
+    "Cluster",
+    "COMET",
+    "Context",
+    "ContextStoppedError",
+    "CostModel",
+    "EngineConf",
+    "EngineError",
+    "HadoopMetrics",
+    "HadoopRuntime",
+    "HDFSFile",
+    "JobResult",
+    "MapReduceJob",
+    "SimulatedHDFS",
+    "HardwareProfile",
+    "HashPartitioner",
+    "JobExecutionError",
+    "JobMetrics",
+    "MetricsCollector",
+    "Node",
+    "Partitioner",
+    "RangePartitioner",
+    "RDD",
+    "RunStats",
+    "ShuffleReadMetrics",
+    "ShuffleWriteMetrics",
+    "StageMetrics",
+    "StorageLevel",
+    "TaskFailedError",
+    "TermMultipliers",
+    "TimeBreakdown",
+    "calibrate",
+    "estimate_record_size",
+    "estimate_size",
+    "stable_hash",
+]

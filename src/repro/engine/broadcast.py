@@ -1,0 +1,51 @@
+"""Broadcast variables.
+
+Spark ships a read-only value to every executor once per job instead of
+per task; GigaTensor-era systems (and Spark MLlib's ALS) use broadcasts
+to replicate *small* factor matrices instead of shuffling a join.  The
+reproduction exposes the same primitive so the broadcast-vs-join
+trade-off can be measured (``benchmarks/test_ablation_broadcast.py``):
+a broadcast MTTKRP costs one shuffle (the reduce) but ``(nodes-1) x
+size`` of one-shot network traffic and full replication memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar, TYPE_CHECKING
+
+from .serialization import estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value replicated to every node of the cluster."""
+
+    def __init__(self, ctx: "Context", value: T, broadcast_id: int):
+        self._value = value
+        self.broadcast_id = broadcast_id
+        self.size_bytes = estimate_size(value)
+        self._destroyed = False
+        # record the payload size once; the cost model applies the
+        # torrent fan-out ((nodes-1) copies) for the target cluster size
+        ctx.metrics.broadcast_bytes += self.size_bytes
+        ctx.metrics.broadcast_count += 1
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(
+                f"broadcast {self.broadcast_id} was destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the replicated value on all nodes."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{self.size_bytes}B"
+        return f"Broadcast(id={self.broadcast_id}, {state})"

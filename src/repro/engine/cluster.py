@@ -1,0 +1,78 @@
+"""Simulated cluster topology.
+
+The paper runs on 4-32 worker nodes of the XSEDE Comet cluster.  We model
+the topology explicitly so that every shuffle record can be classified as
+*local* (map task and reduce task placed on the same node) or *remote*
+(crossing the network), exactly the distinction Spark's metrics service
+draws in Section 6.5 of the paper.
+
+Placement policy: partition ``p`` of every RDD is pinned to node
+``p % num_nodes``.  This mirrors Spark's default round-robin executor
+assignment closely enough for communication accounting: two RDDs with the
+same partitioner place equal partitions on the same node, which is what
+makes co-partitioned joins communication-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """One worker node of the simulated cluster."""
+
+    node_id: int
+    cores: int = 24          # Comet: Intel Xeon E5-2680v3, 24 cores
+    memory_gb: float = 128.0  # Comet: 128 GB RAM
+
+    @property
+    def name(self) -> str:
+        return f"node-{self.node_id}"
+
+
+@dataclass
+class Cluster:
+    """A set of worker nodes with deterministic partition placement.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of worker nodes (the paper sweeps 4, 8, 16, 32).
+    cores_per_node:
+        Cores per node; used by the cost model to bound per-node task
+        parallelism.
+    memory_gb_per_node:
+        Per-node memory budget; the cache manager can enforce it for
+        eviction experiments.
+    """
+
+    num_nodes: int = 4
+    cores_per_node: int = 24
+    memory_gb_per_node: float = 128.0
+    nodes: list[Node] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(
+                f"cores_per_node must be >= 1, got {self.cores_per_node}")
+        self.nodes = [
+            Node(i, self.cores_per_node, self.memory_gb_per_node)
+            for i in range(self.num_nodes)
+        ]
+
+    def node_of_partition(self, partition: int) -> int:
+        """Node id hosting ``partition`` (round-robin placement)."""
+        return partition % self.num_nodes
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    def default_parallelism(self) -> int:
+        """Default number of partitions for new RDDs (2 tasks per core is a
+        common Spark rule of thumb; we use one wave of cores, capped so tiny
+        test clusters stay cheap)."""
+        return self.total_cores

@@ -1,0 +1,219 @@
+"""The engine entry point: :class:`Context` (the ``SparkContext`` analogue).
+
+A context owns a simulated :class:`~repro.engine.cluster.Cluster`, the
+shuffle manager, the cache and the metrics collector.  Algorithms create
+RDDs through :meth:`Context.parallelize` and drive them with actions.
+
+Two execution modes:
+
+* ``"spark"`` (default) — caching honoured, shuffle outputs reused
+  across jobs, stage-oriented accounting;
+* ``"hadoop"`` — models MapReduce for the BIGtensor baseline: caching is
+  suppressed and every shuffle round is a separate job materialized
+  through simulated HDFS (see :mod:`repro.engine.hadoop`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .accumulator import Accumulator
+from .broadcast import Broadcast
+from .cluster import Cluster
+from .errors import ContextStoppedError
+from .metrics import MetricsCollector
+from .partitioner import HashPartitioner, Partitioner
+from .rdd import RDD, ParallelCollectionRDD
+from .scheduler import DAGScheduler
+from .shuffle import ShuffleManager
+from .storage import CacheManager
+
+
+@dataclass
+class EngineConf:
+    """Tunable engine behaviour.
+
+    ``map_side_combine``
+        Whether ``reduceByKey`` pre-merges values inside map tasks (Spark
+        default).  The paper's Table 4 upper bounds assume no combining;
+        both settings are measurable.
+    ``task_max_failures``
+        Retry budget per task (Spark's ``spark.task.maxFailures``).
+    ``cache_capacity_bytes``
+        Optional cluster-wide cache budget with LRU eviction; ``None``
+        means unbounded.
+    """
+
+    map_side_combine: bool = True
+    task_max_failures: int = 4
+    cache_capacity_bytes: int | None = None
+
+
+class Context:
+    """Driver-side handle to the simulated cluster.
+
+    Parameters
+    ----------
+    num_nodes, cores_per_node:
+        Cluster topology (the paper sweeps 4-32 nodes of 24 cores).
+    default_parallelism:
+        Partition count for new RDDs; defaults to 8 partitions per node,
+        a practical rule of thumb that keeps partition skew low while
+        keeping the in-process simulation cheap.
+    execution_mode:
+        ``"spark"`` or ``"hadoop"`` (see module docstring).
+    conf:
+        An :class:`EngineConf`; a default one is created if omitted.
+    """
+
+    def __init__(self, num_nodes: int = 4, cores_per_node: int = 24,
+                 default_parallelism: int | None = None,
+                 execution_mode: str = "spark",
+                 conf: EngineConf | None = None,
+                 cluster: Cluster | None = None):
+        if execution_mode not in ("spark", "hadoop"):
+            raise ValueError(
+                f"execution_mode must be 'spark' or 'hadoop', "
+                f"got {execution_mode!r}")
+        self.cluster = cluster or Cluster(num_nodes=num_nodes,
+                                          cores_per_node=cores_per_node)
+        self.conf = conf or EngineConf()
+        self.execution_mode = execution_mode
+        self.default_parallelism = (
+            default_parallelism if default_parallelism is not None
+            else 8 * self.cluster.num_nodes)
+        self.metrics = MetricsCollector()
+        self._cache = CacheManager(self.conf.cache_capacity_bytes,
+                                   metrics=self.metrics)
+        self._shuffle_manager = ShuffleManager(self.cluster)
+        self._scheduler = DAGScheduler(self)
+        self._rdd_counter = 0
+        self._accumulators: list[Accumulator] = []
+        self._broadcast_counter = 0
+        self._stopped = False
+        #: optional fault hook ``(stage_id, partition, attempt) -> None``
+        #: that may raise to simulate task failures
+        self.fault_injector: Callable[[int, int, int], None] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def hadoop_mode(self) -> bool:
+        return self.execution_mode == "hadoop"
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Hadoop mode has no cross-job in-memory caching."""
+        return not self.hadoop_mode
+
+    def _next_rdd_id(self) -> int:
+        if self._stopped:
+            raise ContextStoppedError("context has been stopped")
+        rid = self._rdd_counter
+        self._rdd_counter += 1
+        return rid
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+    def parallelize(self, data: list, num_partitions: int | None = None,
+                    partitioner: Partitioner | None = None) -> RDD:
+        """Distribute a driver-side list into an RDD.
+
+        With a ``partitioner``, records must be key-value pairs and are
+        placed by key (producing a partitioned RDD that joins narrowly
+        against equally-partitioned RDDs).
+        """
+        if self._stopped:
+            raise ContextStoppedError("context has been stopped")
+        if num_partitions is None:
+            num_partitions = (partitioner.num_partitions if partitioner
+                              else self.default_parallelism)
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        if partitioner is not None and \
+                partitioner.num_partitions != num_partitions:
+            raise ValueError(
+                "partitioner.num_partitions disagrees with num_partitions")
+        return ParallelCollectionRDD(self, list(data), num_partitions,
+                                     partitioner)
+
+    def parallelize_pairs(self, pairs: list,
+                          num_partitions: int | None = None) -> RDD:
+        """Distribute key-value pairs pre-partitioned by key hash."""
+        n = num_partitions or self.default_parallelism
+        return self.parallelize(pairs, n, HashPartitioner(n))
+
+    def empty_rdd(self, num_partitions: int = 1) -> RDD:
+        """An RDD with no records."""
+        return self.parallelize([], num_partitions)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, rdd: RDD, num_partitions: int | None = None,
+                   partitioner: Partitioner | None = None) -> RDD:
+        """Materialize ``rdd`` and return a lineage-free copy.
+
+        In hadoop mode this models writing a job's output to HDFS and
+        reading it back (MapReduce materializes every job boundary):
+        the data volume is charged to the HDFS metrics.  In spark mode
+        it is the analogue of ``RDD.checkpoint()``.
+        """
+        records = rdd.collect()
+        if self.hadoop_mode:
+            from .serialization import estimate_record_size
+            size = sum(estimate_record_size(r) for r in records)
+            self.metrics.hadoop.hdfs_bytes_written += size
+            self.metrics.hadoop.hdfs_bytes_read += size
+            self.metrics.hadoop.hdfs_records_written += len(records)
+        return self.parallelize(
+            records, num_partitions or rdd.num_partitions, partitioner)
+
+    def accumulator(self, zero: Any = 0, name: str = "") -> Accumulator:
+        """Create a task-writable additive counter."""
+        acc = Accumulator(zero, name)
+        self._accumulators.append(acc)
+        return acc
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Replicate a read-only value to every node (charged to the
+        broadcast network metrics)."""
+        if self._stopped:
+            raise ContextStoppedError("context has been stopped")
+        bid = self._broadcast_counter
+        self._broadcast_counter += 1
+        return Broadcast(self, value, bid)
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def drop_shuffle_outputs(self) -> None:
+        """Discard all retained shuffle map outputs.
+
+        Safe at any point: the scheduler recomputes dropped shuffles from
+        lineage on demand.  Iterative drivers call this once per
+        iteration, after caching everything still live, to bound memory —
+        the analogue of Spark's ``ContextCleaner`` collecting shuffles
+        whose RDDs went out of scope.
+        """
+        self._shuffle_manager.clear()
+
+    def clear_cache(self) -> None:
+        """Drop every cached partition (RDDs recompute from lineage)."""
+        self._cache.clear()
+
+    def reset_metrics(self) -> None:
+        """Forget all recorded metrics."""
+        self.metrics.reset()
+
+    def stop(self) -> None:
+        """Release all engine state; the context is unusable afterwards."""
+        self._stopped = True
+        self._shuffle_manager.clear()
+        self._cache.clear()
+
+    def __enter__(self) -> "Context":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

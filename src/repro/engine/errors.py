@@ -1,0 +1,39 @@
+"""Exception types raised by the dataflow engine."""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all engine-level failures."""
+
+
+class JobExecutionError(EngineError):
+    """A job failed while executing one of its stages.
+
+    Carries the failing stage id and partition so that test harnesses can
+    assert on *where* a failure-injection fault surfaced.
+    """
+
+    def __init__(self, message: str, stage_id: int | None = None,
+                 partition: int | None = None):
+        super().__init__(message)
+        self.stage_id = stage_id
+        self.partition = partition
+
+
+class TaskFailedError(EngineError):
+    """A single task exhausted its retry budget."""
+
+    def __init__(self, message: str, partition: int, attempts: int):
+        super().__init__(message)
+        self.partition = partition
+        self.attempts = attempts
+
+
+class CacheEvictedError(EngineError):
+    """A cached partition was requested after eviction and the RDD's
+    lineage had been truncated, making recomputation impossible."""
+
+
+class ContextStoppedError(EngineError):
+    """An operation was attempted on a stopped :class:`~repro.engine.Context`."""

@@ -1,0 +1,44 @@
+"""Hadoop-mode execution semantics.
+
+BIGtensor (the paper's baseline, Section 4.3) runs on Hadoop MapReduce
+rather than Spark.  The engine reuses the same RDD dataflow machinery for
+the baseline but executes it under *hadoop mode*
+(``Context(execution_mode="hadoop")``), which models the three mechanisms
+that separate MapReduce from Spark in the paper's evaluation:
+
+1. **No in-memory caching.**  ``persist()`` becomes a no-op; every job
+   reads its input back from (simulated) HDFS, so the tensor is re-read
+   every MTTKRP of every CP-ALS iteration.
+2. **Job-at-a-time materialization.**  Every shuffle round corresponds to
+   one MapReduce job; its map input is charged as an HDFS read and its
+   output as an HDFS write (``MetricsCollector.hadoop``).
+3. **Per-job startup overhead.**  Counted via
+   ``HadoopMetrics.jobs_launched`` and priced by the cost model
+   (:class:`~repro.engine.costmodel.HardwareProfile.hadoop_job_startup_s`);
+   historically 5-20 s per job on YARN clusters.
+
+This module holds the constants and helpers for that mode; the actual
+hooks live in :mod:`repro.engine.scheduler` (HDFS charging) and
+:mod:`repro.engine.context` (cache suppression).
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsCollector
+
+#: HDFS default replication factor; writes are replicated, so the disk
+#: traffic of a write is ``replication x bytes``.  Used by the cost model.
+HDFS_REPLICATION = 3
+
+
+def hadoop_jobs_launched(metrics: MetricsCollector) -> int:
+    """Number of MapReduce jobs the workload launched (one per shuffle
+    round in hadoop mode)."""
+    return metrics.hadoop.jobs_launched
+
+
+def hdfs_traffic_bytes(metrics: MetricsCollector,
+                       replication: int = HDFS_REPLICATION) -> int:
+    """Total simulated disk traffic: replicated writes plus reads."""
+    h = metrics.hadoop
+    return h.hdfs_bytes_written * replication + h.hdfs_bytes_read

@@ -1,0 +1,266 @@
+"""Metrics collection — the engine's analogue of Spark's metrics service.
+
+Section 6.5 of the paper uses "Spark's built-in metrics collection
+service" to measure *remote* and *local* shuffle bytes read.  This module
+reproduces that service: every stage records shuffle read/write byte and
+record counts (split local/remote by node placement), task input/output
+records, and per-node record distribution (used by the cost model to
+account for load imbalance on skewed tensors).
+
+Phases
+------
+Figure 4 breaks communication down per MTTKRP (``MTTKRP-1`` ...
+``MTTKRP-4`` plus ``Other``).  Callers tag work with
+:meth:`MetricsCollector.phase`; every stage executed inside the scope is
+attributed to that label.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class ShuffleReadMetrics:
+    """Bytes/records fetched by reduce tasks, split local vs remote."""
+
+    remote_bytes: int = 0
+    local_bytes: int = 0
+    remote_records: int = 0
+    local_records: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.remote_bytes + self.local_bytes
+
+    @property
+    def total_records(self) -> int:
+        return self.remote_records + self.local_records
+
+    def merge(self, other: "ShuffleReadMetrics") -> None:
+        """Accumulate another stage's read counters into this one."""
+        self.remote_bytes += other.remote_bytes
+        self.local_bytes += other.local_bytes
+        self.remote_records += other.remote_records
+        self.local_records += other.local_records
+
+
+@dataclass
+class ShuffleWriteMetrics:
+    """Bytes/records emitted by map tasks into shuffle buckets."""
+
+    bytes_written: int = 0
+    records_written: int = 0
+
+    def merge(self, other: "ShuffleWriteMetrics") -> None:
+        """Accumulate another stage's write counters into this one."""
+        self.bytes_written += other.bytes_written
+        self.records_written += other.records_written
+
+
+@dataclass
+class StageMetrics:
+    """Metrics for one executed stage."""
+
+    stage_id: int
+    job_id: int
+    phase: str
+    is_shuffle_map: bool
+    name: str = ""
+    num_tasks: int = 0
+    input_records: int = 0
+    output_records: int = 0
+    shuffle_read: ShuffleReadMetrics = field(default_factory=ShuffleReadMetrics)
+    shuffle_write: ShuffleWriteMetrics = field(default_factory=ShuffleWriteMetrics)
+    #: records processed per node, for load-balance analysis
+    records_per_node: dict[int, int] = field(default_factory=dict)
+    #: cache interaction
+    cache_hit_partitions: int = 0
+    cache_miss_partitions: int = 0
+    #: wall-clock seconds the in-process engine spent executing the stage
+    duration_s: float = 0.0
+
+    def add_node_records(self, node: int, n: int) -> None:
+        """Attribute ``n`` processed records to ``node``."""
+        self.records_per_node[node] = self.records_per_node.get(node, 0) + n
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for one job (one action)."""
+
+    job_id: int
+    phase: str
+    description: str
+    stages: list[StageMetrics] = field(default_factory=list)
+    #: number of wide (shuffle) boundaries this job newly executed.  A
+    #: cogroup of two shuffled parents counts once: its map stages feed a
+    #: single shuffle round, matching how the paper counts "shuffles".
+    shuffle_rounds: int = 0
+
+    @property
+    def shuffle_read(self) -> ShuffleReadMetrics:
+        total = ShuffleReadMetrics()
+        for st in self.stages:
+            total.merge(st.shuffle_read)
+        return total
+
+    @property
+    def shuffle_write(self) -> ShuffleWriteMetrics:
+        total = ShuffleWriteMetrics()
+        for st in self.stages:
+            total.merge(st.shuffle_write)
+        return total
+
+
+@dataclass
+class HadoopMetrics:
+    """Extra accounting for Hadoop-mode execution (BIGtensor baseline)."""
+
+    jobs_launched: int = 0
+    hdfs_bytes_written: int = 0
+    hdfs_bytes_read: int = 0
+    hdfs_records_written: int = 0
+
+
+class MetricsCollector:
+    """Accumulates job/stage metrics for one :class:`~repro.engine.Context`.
+
+    The collector is append-only; analysis code slices it by phase label
+    (:mod:`repro.analysis.communication`).
+    """
+
+    def __init__(self) -> None:
+        self.jobs: list[JobMetrics] = []
+        self.hadoop = HadoopMetrics()
+        self._phase_stack: list[str] = ["Other"]
+        #: bytes deserialized out of MEMORY_SER cache (ablation metric)
+        self.cache_deserialized_bytes: int = 0
+        #: bytes stored into caches, by storage level name
+        self.cache_stored_bytes: dict[str, int] = {}
+        #: bytes read back from DISK-level cached partitions
+        self.cache_disk_read_bytes: int = 0
+        #: one-shot network traffic of broadcast variables
+        self.broadcast_bytes: int = 0
+        self.broadcast_count: int = 0
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1]
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute all jobs run inside the scope to ``label``."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # recording (called by the scheduler)
+    # ------------------------------------------------------------------
+    def start_job(self, job_id: int, description: str) -> JobMetrics:
+        """Open a job record attributed to the current phase."""
+        job = JobMetrics(job_id=job_id, phase=self.current_phase,
+                         description=description)
+        self.jobs.append(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # aggregation helpers
+    # ------------------------------------------------------------------
+    def jobs_in_phase(self, label: str) -> list[JobMetrics]:
+        """All jobs attributed to phase ``label``."""
+        return [j for j in self.jobs if j.phase == label]
+
+    def phases(self) -> list[str]:
+        """Phase labels in first-seen order."""
+        seen: dict[str, None] = {}
+        for j in self.jobs:
+            seen.setdefault(j.phase, None)
+        return list(seen)
+
+    def shuffle_read_by_phase(self) -> dict[str, ShuffleReadMetrics]:
+        """Aggregate shuffle reads per phase (Figure 4's breakdown)."""
+        out: dict[str, ShuffleReadMetrics] = {}
+        for job in self.jobs:
+            out.setdefault(job.phase, ShuffleReadMetrics()).merge(
+                job.shuffle_read)
+        return out
+
+    def total_shuffle_read(self) -> ShuffleReadMetrics:
+        """Shuffle reads summed over every recorded job."""
+        total = ShuffleReadMetrics()
+        for job in self.jobs:
+            total.merge(job.shuffle_read)
+        return total
+
+    def total_shuffle_write(self) -> ShuffleWriteMetrics:
+        """Shuffle writes summed over every recorded job."""
+        total = ShuffleWriteMetrics()
+        for job in self.jobs:
+            total.merge(job.shuffle_write)
+        return total
+
+    def total_shuffle_rounds(self) -> int:
+        """Paper-style shuffle rounds summed over every job."""
+        return sum(job.shuffle_rounds for job in self.jobs)
+
+    def records_per_node(self) -> dict[int, int]:
+        """Total records processed per node (load-balance view)."""
+        out: dict[int, int] = {}
+        for job in self.jobs:
+            for st in job.stages:
+                for node, n in st.records_per_node.items():
+                    out[node] = out.get(node, 0) + n
+        return out
+
+    def summary(self) -> str:
+        """Human-readable one-screen digest of everything recorded —
+        the text analogue of Spark's web UI front page."""
+        read = self.total_shuffle_read()
+        write = self.total_shuffle_write()
+        lines = [
+            f"jobs run            : {len(self.jobs)}",
+            f"shuffle rounds      : {self.total_shuffle_rounds()}",
+            f"shuffle write       : {write.records_written:,} records, "
+            f"{write.bytes_written:,} B",
+            f"shuffle read remote : {read.remote_records:,} records, "
+            f"{read.remote_bytes:,} B",
+            f"shuffle read local  : {read.local_records:,} records, "
+            f"{read.local_bytes:,} B",
+        ]
+        if self.cache_stored_bytes:
+            stored = ", ".join(f"{lvl}={b:,}B"
+                               for lvl, b in self.cache_stored_bytes.items())
+            lines.append(f"cache stored        : {stored}")
+        if self.broadcast_count:
+            lines.append(f"broadcasts          : {self.broadcast_count} "
+                         f"({self.broadcast_bytes:,} B payload)")
+        if self.hadoop.jobs_launched:
+            lines.append(
+                f"hadoop jobs         : {self.hadoop.jobs_launched}, HDFS "
+                f"write {self.hadoop.hdfs_bytes_written:,} B / read "
+                f"{self.hadoop.hdfs_bytes_read:,} B")
+        by_phase = self.shuffle_read_by_phase()
+        if len(by_phase) > 1:
+            lines.append("per phase (remote B):")
+            for phase, m in by_phase.items():
+                lines.append(f"  {phase:12s} {m.remote_bytes:,}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (phase stack is preserved)."""
+        self.jobs.clear()
+        self.hadoop = HadoopMetrics()
+        self.cache_deserialized_bytes = 0
+        self.cache_stored_bytes.clear()
+        self.cache_disk_read_bytes = 0
+        self.broadcast_bytes = 0
+        self.broadcast_count = 0

@@ -1,0 +1,139 @@
+"""Partitioners: decide which partition a key-value record belongs to.
+
+Mirrors Spark's ``Partitioner`` contract, including equality semantics:
+two RDDs co-partitioned with *equal* partitioners can be joined with a
+narrow dependency (no shuffle).  That property is what lets CSTF keep the
+factor-matrix side of every join local (Section 4.2: "the i-th row of A
+... remains in the same partition without introducing more
+communication").
+
+Hashing must be deterministic across processes (Python randomizes string
+hashes per interpreter), so we use a portable stable hash.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+import numpy as np
+
+_MASK = (1 << 63) - 1
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic, process-independent hash for partitioning keys.
+
+    Supports the key types the library uses (ints, floats, strings,
+    bytes, None and tuples thereof).  Integers hash to themselves so that
+    mode indices spread uniformly, matching Spark's
+    ``HashPartitioner`` behaviour on ``Int`` keys.
+    """
+    if isinstance(key, (bool, np.bool_)):
+        return int(key)
+    if isinstance(key, (int, np.integer)):
+        return int(key) & _MASK
+    if isinstance(key, (float, np.floating)):
+        f = float(key)
+        if f.is_integer():
+            return int(f) & _MASK
+        return zlib.crc32(repr(f).encode()) & _MASK
+    if isinstance(key, str):
+        return zlib.crc32(key.encode()) & _MASK
+    if isinstance(key, bytes):
+        return zlib.crc32(key) & _MASK
+    if key is None:
+        return 0
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ stable_hash(item)
+            h &= _MASK
+        return h
+    raise TypeError(f"unhashable partition key type: {type(key).__name__}")
+
+
+class Partitioner:
+    """Base class; subclasses must implement :meth:`get_partition`."""
+
+    num_partitions: int
+
+    def get_partition(self, key: Any) -> int:
+        """Partition index in ``[0, num_partitions)`` for ``key``."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Partition by ``stable_hash(key) % num_partitions`` (Spark default)."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def get_partition(self, key: Any) -> int:
+        """``stable_hash(key) mod num_partitions``."""
+        return stable_hash(key) % self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, HashPartitioner)
+                and other.num_partitions == self.num_partitions)
+
+    def __hash__(self) -> int:
+        return hash(("hash", self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner({self.num_partitions})"
+
+
+class RangePartitioner(Partitioner):
+    """Partition ordered keys into contiguous ranges.
+
+    Keys in ``[bounds[i-1], bounds[i])`` go to partition ``i``.  Bounds
+    may be any mutually comparable values (ints for the mode-major
+    tensor ablation, strings for ``sortByKey`` on text keys).
+    """
+
+    def __init__(self, bounds: Iterable):
+        self.bounds = sorted(bounds)
+        self.num_partitions = len(self.bounds) + 1
+
+    @classmethod
+    def for_key_range(cls, max_key: int, num_partitions: int) -> "RangePartitioner":
+        """Evenly split ``[0, max_key)`` into ``num_partitions`` ranges."""
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        if num_partitions == 1:
+            return cls([])
+        step = max(1, max_key // num_partitions)
+        return cls([step * i for i in range(1, num_partitions)])
+
+    def get_partition(self, key: Any) -> int:
+        """Index of the range containing ``key``."""
+        # binary search over the (small) bounds list
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key < self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RangePartitioner)
+                and other.bounds == self.bounds)
+
+    def __hash__(self) -> int:
+        return hash(("range", tuple(self.bounds)))
+
+    def __repr__(self) -> str:
+        return f"RangePartitioner({self.num_partitions} ranges)"

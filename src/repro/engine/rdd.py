@@ -1,0 +1,1009 @@
+"""Resilient Distributed Datasets: lazy, partitioned, lineage-tracked
+collections with Spark transformation/action semantics.
+
+This is the abstraction the CSTF paper programs against (Section 2.4).
+The subset implemented here is everything the paper's workflows need and
+the usual supporting cast:
+
+* narrow transformations — ``map``, ``flatMap``, ``filter``,
+  ``mapValues``, ``flatMapValues``, ``mapPartitions``, ``keyBy``,
+  ``keys``, ``values``, ``union``, ``zip_with_index``;
+* wide transformations — ``partitionBy``, ``reduceByKey``,
+  ``combineByKey``, ``aggregateByKey``, ``groupByKey``, ``distinct``,
+  ``join``, ``leftOuterJoin``, ``cogroup``;
+* actions — ``collect``, ``count``, ``take``, ``first``, ``reduce``,
+  ``fold``, ``aggregate``, ``treeAggregate``, ``sum``, ``countByKey``,
+  ``foreach``, ``foreachPartition``;
+* persistence — ``persist``/``cache``/``unpersist`` with the storage
+  levels of :mod:`repro.engine.storage`.
+
+Co-partitioning semantics match Spark: joining two RDDs that share an
+equal partitioner is a narrow operation for the already-partitioned side,
+which is the property CSTF exploits to keep factor matrices from
+re-shuffling (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
+
+from .errors import EngineError
+from .partitioner import HashPartitioner, Partitioner
+from .shuffle import Aggregator
+from .storage import StorageLevel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+    from .scheduler import TaskContext
+
+
+# ----------------------------------------------------------------------
+# dependencies
+# ----------------------------------------------------------------------
+class Dependency:
+    """Edge in the lineage graph, pointing at a parent RDD."""
+
+    def __init__(self, rdd: "RDD"):
+        self.rdd = rdd
+
+
+class NarrowDependency(Dependency):
+    """Each child partition depends on a bounded set of parent partitions."""
+
+    def parent_partitions(self, partition: int) -> list[int]:
+        """Parent partitions feeding child partition ``partition``."""
+        raise NotImplementedError
+
+
+class OneToOneDependency(NarrowDependency):
+    def parent_partitions(self, partition: int) -> list[int]:
+        """1:1 mapping: the same-numbered parent partition."""
+        return [partition]
+
+
+class RangeDependency(NarrowDependency):
+    """Used by union: child partitions map 1:1 onto a contiguous range of
+    parent partitions, shifted by ``out_start``."""
+
+    def __init__(self, rdd: "RDD", in_start: int, out_start: int, length: int):
+        super().__init__(rdd)
+        self.in_start = in_start
+        self.out_start = out_start
+        self.length = length
+
+    def parent_partitions(self, partition: int) -> list[int]:
+        """The shifted parent partition, or none outside the range."""
+        if self.out_start <= partition < self.out_start + self.length:
+            return [partition - self.out_start + self.in_start]
+        return []
+
+
+class ShuffleDependency(Dependency):
+    """Wide dependency: the parent's output must be re-bucketed by key."""
+
+    def __init__(self, rdd: "RDD", partitioner: Partitioner,
+                 aggregator: Aggregator | None = None,
+                 map_side_combine: bool = False):
+        super().__init__(rdd)
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.map_side_combine = map_side_combine and aggregator is not None
+        self.shuffle_id = rdd.ctx._shuffle_manager.new_shuffle_id()
+        #: id of the wide RDD consuming this shuffle; set by the consumer.
+        #: Lets the scheduler count paper-style "shuffle rounds" (a
+        #: cogroup of two shuffled parents is one round).
+        self.consumer_rdd_id: int | None = None
+
+
+# ----------------------------------------------------------------------
+# RDD base
+# ----------------------------------------------------------------------
+class RDD:
+    """A lazy, immutable, partitioned collection.
+
+    Subclasses override :meth:`compute` to produce the records of one
+    partition; everything else (caching, shuffles, scheduling) is shared
+    machinery.
+    """
+
+    def __init__(self, ctx: "Context", dependencies: list[Dependency],
+                 num_partitions: int,
+                 partitioner: Partitioner | None = None):
+        self.ctx = ctx
+        self.rdd_id = ctx._next_rdd_id()
+        self.dependencies = dependencies
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner
+        self.storage_level: StorageLevel | None = None
+        self.name = type(self).__name__
+
+    # -- subclass interface -------------------------------------------
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Produce the records of partition ``split`` (subclass hook;
+        wide RDDs read their shuffle here, narrow ones pipeline)."""
+        raise NotImplementedError
+
+    # -- evaluation ----------------------------------------------------
+    def iterator(self, split: int, task: "TaskContext") -> Iterable:
+        """Records of partition ``split``, honouring the cache."""
+        if self.storage_level is not None:
+            cached = self.ctx._cache.get(self.rdd_id, split)
+            if cached is not None:
+                task.stage_metrics.cache_hit_partitions += 1
+                return cached
+            task.stage_metrics.cache_miss_partitions += 1
+            records = list(self.compute(split, task))
+            if self.ctx.caching_enabled:
+                self.ctx._cache.put(self.rdd_id, split, records,
+                                    self.storage_level)
+            return records
+        return self.compute(split, task)
+
+    # -- persistence ----------------------------------------------------
+    def persist(self, level: StorageLevel = StorageLevel.MEMORY_RAW) -> "RDD":
+        """Mark this RDD for caching at ``level`` (lazy; materialized the
+        first time a job computes its partitions)."""
+        self.storage_level = level
+        return self
+
+    def cache(self) -> "RDD":
+        """Alias for ``persist(StorageLevel.MEMORY_RAW)``."""
+        return self.persist(StorageLevel.MEMORY_RAW)
+
+    def unpersist(self) -> "RDD":
+        """Drop cached partitions of this RDD."""
+        self.storage_level = None
+        self.ctx._cache.unpersist(self.rdd_id)
+        return self
+
+    def is_fully_cached(self) -> bool:
+        """True iff every partition is materialised in the cache (the
+        scheduler then prunes lineage walks at this RDD)."""
+        return (self.storage_level is not None
+                and self.ctx._cache.has_all_partitions(
+                    self.rdd_id, self.num_partitions))
+
+    def set_name(self, name: str) -> "RDD":
+        """Label the RDD for lineage rendering and stage names."""
+        self.name = name
+        return self
+
+    def to_debug_string(self) -> str:
+        """Render the lineage tree (Spark's ``toDebugString``): one line
+        per RDD, indentation increasing at every shuffle boundary."""
+        lines: list[str] = []
+
+        def walk(rdd: "RDD", depth: int, seen: set[int]) -> None:
+            marker = "*" if rdd.is_fully_cached() else " "
+            lines.append(f"{'  ' * depth}({rdd.num_partitions}){marker} "
+                         f"{rdd.name} [{rdd.rdd_id}]")
+            if rdd.rdd_id in seen:
+                return
+            seen.add(rdd.rdd_id)
+            for dep in rdd.dependencies:
+                from_shuffle = isinstance(dep, ShuffleDependency)
+                walk(dep.rdd, depth + 1 if from_shuffle else depth, seen)
+
+        walk(self, 0, set())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} id={self.rdd_id} "
+                f"partitions={self.num_partitions} name={self.name!r}>")
+
+    # ------------------------------------------------------------------
+    # narrow transformations
+    # ------------------------------------------------------------------
+    def map(self, f: Callable[[Any], Any],
+            preserves_partitioning: bool = False) -> "RDD":
+        """Apply ``f`` to every record."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: map(f, it),
+            preserves_partitioning=preserves_partitioning,
+        ).set_name("map")
+
+    def flat_map(self, f: Callable[[Any], Iterable]) -> "RDD":
+        """Apply ``f`` and flatten the resulting iterables."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: itertools.chain.from_iterable(map(f, it)),
+        ).set_name("flatMap")
+
+    def filter(self, pred: Callable[[Any], bool]) -> "RDD":
+        """Keep records satisfying ``pred`` (keeps the partitioner)."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: filter(pred, it),
+            preserves_partitioning=True,
+        ).set_name("filter")
+
+    def map_partitions(self, f: Callable[[Iterable], Iterable],
+                       preserves_partitioning: bool = False) -> "RDD":
+        """Apply ``f`` to each whole partition iterator."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: f(it),
+            preserves_partitioning=preserves_partitioning,
+        ).set_name("mapPartitions")
+
+    def map_partitions_with_index(
+            self, f: Callable[[int, Iterable], Iterable],
+            preserves_partitioning: bool = False) -> "RDD":
+        """Like :meth:`map_partitions`, with the partition index as the
+        first argument of ``f``."""
+        return MapPartitionsRDD(
+            self, f, preserves_partitioning=preserves_partitioning,
+        ).set_name("mapPartitionsWithIndex")
+
+    def map_values(self, f: Callable[[Any], Any]) -> "RDD":
+        """Apply ``f`` to the value of each key-value record; the key —
+        and therefore the partitioner — is preserved."""
+        def apply(_split: int, it: Iterable) -> Iterator:
+            for k, v in it:
+                yield (k, f(v))
+        return MapPartitionsRDD(self, apply,
+                                preserves_partitioning=True
+                                ).set_name("mapValues")
+
+    def flat_map_values(self, f: Callable[[Any], Iterable]) -> "RDD":
+        """Expand each value into zero or more values under the same
+        key; preserves the partitioner."""
+        def apply(_split: int, it: Iterable) -> Iterator:
+            for k, v in it:
+                for out in f(v):
+                    yield (k, out)
+        return MapPartitionsRDD(self, apply,
+                                preserves_partitioning=True
+                                ).set_name("flatMapValues")
+
+    def key_by(self, f: Callable[[Any], Any]) -> "RDD":
+        """Turn each record ``x`` into ``(f(x), x)``."""
+        return self.map(lambda x: (f(x), x)).set_name("keyBy")
+
+    def keys(self) -> "RDD":
+        """First element of each key-value record."""
+        return self.map(lambda kv: kv[0]).set_name("keys")
+
+    def values(self) -> "RDD":
+        """Second element of each key-value record."""
+        return self.map(lambda kv: kv[1]).set_name("values")
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs (partitions of both, no dedup)."""
+        return UnionRDD(self.ctx, [self, other])
+
+    def glom(self) -> "RDD":
+        """Coalesce each partition into a single list record."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: iter([list(it)])).set_name("glom")
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli sample of the records (deterministic per seed and
+        partition, as in Spark)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+        def sample_partition(split: int, it: Iterable) -> Iterator:
+            import random
+            rng = random.Random(seed * 1_000_003 + split)
+            return (x for x in it if rng.random() < fraction)
+        return MapPartitionsRDD(self, sample_partition,
+                                preserves_partitioning=True
+                                ).set_name("sample")
+
+    def coalesce(self, num_partitions: int) -> "RDD":
+        """Reduce the partition count without a shuffle by merging
+        neighbouring partitions."""
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedRDD(self, num_partitions)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Change the partition count via a full shuffle (records are
+        keyed round-robin then re-bucketed, as in Spark)."""
+        def key_round_robin(split: int, it: Iterable) -> Iterator:
+            for i, x in enumerate(it):
+                yield ((split + i), x)
+        keyed = MapPartitionsRDD(self, key_round_robin)
+        return (ShuffledRDD(keyed, HashPartitioner(num_partitions))
+                .map(lambda kv: kv[1]).set_name("repartition"))
+
+    def zip(self, other: "RDD") -> "RDD":
+        """Pair records positionally: ``(self[i], other[i])``.  Both
+        RDDs must have identical partition counts and per-partition
+        sizes (Spark's contract)."""
+        if other.num_partitions != self.num_partitions:
+            raise EngineError(
+                f"zip requires equal partition counts "
+                f"({self.num_partitions} vs {other.num_partitions})")
+        return ZippedRDD(self, other)
+
+    def fold_by_key(self, zero: Any, f: Callable[[Any, Any], Any],
+                    num_partitions: int | None = None) -> "RDD":
+        """Per-key fold with a zero value (deep-copied per key)."""
+        import copy
+        return self.combine_by_key(
+            lambda v: f(copy.deepcopy(zero), v), f, f,
+            num_partitions).set_name("foldByKey")
+
+    def is_empty(self) -> bool:
+        """True iff the RDD has no records (runs a count job)."""
+        return self.count() == 0
+
+    def cartesian(self, other: "RDD") -> "RDD":
+        """All pairs ``(a, b)``.  The other RDD is evaluated through the
+        driver (as a broadcast), which is fine at the scales the library
+        targets for this operator (small RHS)."""
+        other_data = other.collect()
+        return self.flat_map(
+            lambda a: [(a, b) for b in other_data]).set_name("cartesian")
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each record with its global index.  Triggers one job to
+        count partition sizes (as in Spark)."""
+        counts = self.ctx._scheduler.run_job(
+            self, lambda _p, it: sum(1 for _ in it), "zipWithIndex-count")
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def index(split: int, it: Iterable) -> Iterator:
+            base = offsets[split]
+            for i, x in enumerate(it):
+                yield (x, base + i)
+        return MapPartitionsRDD(self, index).set_name("zipWithIndex")
+
+    # ------------------------------------------------------------------
+    # wide transformations
+    # ------------------------------------------------------------------
+    def _default_partitioner(self, num_partitions: int | None) -> Partitioner:
+        if num_partitions is None:
+            if self.partitioner is not None:
+                return self.partitioner
+            num_partitions = self.num_partitions
+        return HashPartitioner(num_partitions)
+
+    def partition_by(self, partitioner: Partitioner) -> "RDD":
+        """Re-bucket key-value records by ``partitioner``.  A no-op (self)
+        when already partitioned identically, as in Spark."""
+        if self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(self, partitioner)
+
+    def combine_by_key(self, create_combiner: Callable, merge_value: Callable,
+                       merge_combiners: Callable,
+                       num_partitions: int | None = None,
+                       map_side_combine: bool = True) -> "RDD":
+        """General per-key aggregation (the primitive under
+        ``reduceByKey``/``aggregateByKey``/``groupByKey``)."""
+        partitioner = self._default_partitioner(num_partitions)
+        aggregator = Aggregator(create_combiner, merge_value, merge_combiners)
+        if self.partitioner == partitioner:
+            # already partitioned: combine within partitions, no shuffle
+            def combine_locally(_split: int, it: Iterable) -> Iterator:
+                acc: dict = {}
+                for k, v in it:
+                    if k in acc:
+                        acc[k] = merge_value(acc[k], v)
+                    else:
+                        acc[k] = create_combiner(v)
+                return iter(acc.items())
+            return MapPartitionsRDD(self, combine_locally,
+                                    preserves_partitioning=True
+                                    ).set_name("combineByKey(local)")
+        return ShuffledRDD(self, partitioner, aggregator=aggregator,
+                           map_side_combine=map_side_combine
+                           ).set_name("combineByKey")
+
+    def reduce_by_key(self, f: Callable[[Any, Any], Any],
+                      num_partitions: int | None = None,
+                      map_side_combine: bool | None = None) -> "RDD":
+        """Merge values per key with ``f``.  Map-side combining follows the
+        context configuration unless overridden."""
+        if map_side_combine is None:
+            map_side_combine = self.ctx.conf.map_side_combine
+        return self.combine_by_key(
+            lambda v: v, f, f, num_partitions,
+            map_side_combine=map_side_combine).set_name("reduceByKey")
+
+    def aggregate_by_key(self, zero: Any, seq_op: Callable, comb_op: Callable,
+                         num_partitions: int | None = None) -> "RDD":
+        """Per-key aggregation with distinct within-partition and
+        cross-partition operators; ``zero`` deep-copied per key."""
+        import copy
+        return self.combine_by_key(
+            lambda v: seq_op(copy.deepcopy(zero), v), seq_op, comb_op,
+            num_partitions).set_name("aggregateByKey")
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Group values per key into lists (no map-side combine, as in
+        Spark: grouping gains nothing from pre-merging)."""
+        return self.combine_by_key(
+            lambda v: [v],
+            lambda acc, v: acc + [v],
+            lambda a, b: a + b,
+            num_partitions, map_side_combine=False).set_name("groupByKey")
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Unique records (one shuffle round)."""
+        return (self.map(lambda x: (x, None))
+                .reduce_by_key(lambda a, _b: a, num_partitions)
+                .keys().set_name("distinct"))
+
+    def cogroup(self, other: "RDD",
+                num_partitions: int | None = None) -> "RDD":
+        """Group both RDDs by key: ``(key, (list_self, list_other))``."""
+        partitioner = self._default_partitioner(num_partitions)
+        return CoGroupedRDD(self.ctx, [self, other], partitioner)
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join by key: ``(key, (v_self, v_other))``.
+
+        Sides already partitioned by the join partitioner are consumed
+        through a narrow dependency (no shuffle) — CSTF relies on this
+        for the factor-matrix side of every MTTKRP join.
+        """
+        def emit(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            for lv in left:
+                for rv in right:
+                    yield (lv, rv)
+        return (self.cogroup(other, num_partitions)
+                .flat_map_values(emit).set_name("join"))
+
+    def left_outer_join(self, other: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Join keeping unmatched left keys (right value ``None``)."""
+        def emit(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            for lv in left:
+                if right:
+                    for rv in right:
+                        yield (lv, rv)
+                else:
+                    yield (lv, None)
+        return (self.cogroup(other, num_partitions)
+                .flat_map_values(emit).set_name("leftOuterJoin"))
+
+    def right_outer_join(self, other: "RDD",
+                         num_partitions: int | None = None) -> "RDD":
+        """Join keeping unmatched right keys (left value ``None``)."""
+        def emit(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            for rv in right:
+                if left:
+                    for lv in left:
+                        yield (lv, rv)
+                else:
+                    yield (None, rv)
+        return (self.cogroup(other, num_partitions)
+                .flat_map_values(emit).set_name("rightOuterJoin"))
+
+    def full_outer_join(self, other: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Join keeping unmatched keys from both sides."""
+        def emit(groups: tuple[list, list]) -> Iterator:
+            left, right = groups
+            if left and right:
+                for lv in left:
+                    for rv in right:
+                        yield (lv, rv)
+            elif left:
+                for lv in left:
+                    yield (lv, None)
+            else:
+                for rv in right:
+                    yield (None, rv)
+        return (self.cogroup(other, num_partitions)
+                .flat_map_values(emit).set_name("fullOuterJoin"))
+
+    def subtract_by_key(self, other: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Key-value records of ``self`` whose key does not appear in
+        ``other``."""
+        def emit(kv) -> Iterator:
+            key, (left, right) = kv
+            if not right:
+                for lv in left:
+                    yield (key, lv)
+        return (self.cogroup(other, num_partitions)
+                .flat_map(emit).set_name("subtractByKey"))
+
+    def intersection(self, other: "RDD",
+                     num_partitions: int | None = None) -> "RDD":
+        """Distinct records present in both RDDs."""
+        def both_sides(kv) -> Iterator:
+            key, (left, right) = kv
+            if left and right:
+                yield key
+        return (self.map(lambda x: (x, None))
+                .cogroup(other.map(lambda x: (x, None)), num_partitions)
+                .flat_map(both_sides).set_name("intersection"))
+
+    def sample_by_key(self, fractions: dict, seed: int = 0) -> "RDD":
+        """Stratified Bernoulli sample: per-key sampling fractions
+        (keys absent from ``fractions`` are dropped)."""
+        for key, frac in fractions.items():
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(
+                    f"fraction for key {key!r} must be in [0, 1], "
+                    f"got {frac}")
+
+        def sample_partition(split: int, it: Iterable) -> Iterator:
+            import random
+            rng = random.Random(seed * 1_000_003 + split)
+            for k, v in it:
+                frac = fractions.get(k, 0.0)
+                if frac and rng.random() < frac:
+                    yield (k, v)
+        return MapPartitionsRDD(self, sample_partition,
+                                preserves_partitioning=True
+                                ).set_name("sampleByKey")
+
+    def histogram(self, buckets: int) -> tuple[list, list[int]]:
+        """Bucket numeric records into ``buckets`` equal-width bins;
+        returns ``(bin_edges, counts)`` like Spark\'s ``histogram``."""
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets}")
+        stats = self.stats()
+        lo, hi = stats["min"], stats["max"]
+        if lo == hi:
+            return [lo, hi], [stats["count"]]
+        width = (hi - lo) / buckets
+        edges = [lo + i * width for i in range(buckets)] + [hi]
+
+        def count_partition(_p: int, it: Iterable) -> list[int]:
+            counts = [0] * buckets
+            for x in it:
+                idx = min(int((x - lo) / width), buckets - 1)
+                counts[idx] += 1
+            return counts
+        partials = self.ctx._scheduler.run_job(
+            self, count_partition, f"histogram {self.name}")
+        totals = [sum(p[i] for p in partials) for i in range(buckets)]
+        return edges, totals
+
+    def sort_by_key(self, ascending: bool = True,
+                    num_partitions: int | None = None) -> "RDD":
+        """Globally sort key-value records: range-partition by sampled
+        key bounds, then sort within partitions (Spark's approach)."""
+        n = num_partitions or self.num_partitions
+        keys = sorted(k for k, _v in self.collect())
+        if not keys:
+            return self
+        from .partitioner import RangePartitioner
+        if n == 1 or keys[0] == keys[-1]:
+            part = RangePartitioner([])
+        else:
+            step = max(1, len(keys) // n)
+            bounds = sorted({keys[i] for i in
+                             range(step, len(keys), step)})[:n - 1]
+            part = RangePartitioner(bounds)
+        shuffled = ShuffledRDD(self, part)
+
+        def sort_partition(split: int, it: Iterable) -> Iterator:
+            return iter(sorted(it, key=lambda kv: kv[0],
+                               reverse=not ascending))
+        out = MapPartitionsRDD(shuffled, sort_partition,
+                               preserves_partitioning=True)
+        if not ascending:
+            # descending order needs the partition order reversed too
+            return ReversedPartitionsRDD(out)
+        return out.set_name("sortByKey")
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list:
+        """Return all records to the driver."""
+        parts = self.ctx._scheduler.run_job(
+            self, lambda _p, it: list(it), f"collect {self.name}")
+        out: list = []
+        for p in parts:
+            out.extend(p)
+        return out
+
+    def count(self) -> int:
+        """Number of records."""
+        return sum(self.ctx._scheduler.run_job(
+            self, lambda _p, it: sum(1 for _ in it), f"count {self.name}"))
+
+    def take(self, n: int) -> list:
+        """First ``n`` records (computes all partitions; the engine is
+        in-process so there is no reason to run incremental jobs)."""
+        if n <= 0:
+            return []
+        collected = self.collect()
+        return collected[:n]
+
+    def first(self) -> Any:
+        """The first record; raises on an empty RDD."""
+        items = self.take(1)
+        if not items:
+            raise EngineError("first() on an empty RDD")
+        return items[0]
+
+    def reduce(self, f: Callable[[Any, Any], Any]) -> Any:
+        """Combine all records with an associative ``f``."""
+        import functools
+        def reduce_partition(_p: int, it: Iterable) -> list:
+            items = list(it)
+            if not items:
+                return []
+            return [functools.reduce(f, items)]
+        partials = self.ctx._scheduler.run_job(
+            self, reduce_partition, f"reduce {self.name}")
+        flat = [x for part in partials for x in part]
+        if not flat:
+            raise EngineError("reduce() on an empty RDD")
+        return functools.reduce(f, flat)
+
+    def fold(self, zero: Any, f: Callable[[Any, Any], Any]) -> Any:
+        """Like :meth:`reduce` with a zero element applied per
+        partition and at the final merge."""
+        import functools
+        partials = self.ctx._scheduler.run_job(
+            self, lambda _p, it: functools.reduce(f, it, zero),
+            f"fold {self.name}")
+        return functools.reduce(f, partials, zero)
+
+    def aggregate(self, zero: Any, seq_op: Callable, comb_op: Callable) -> Any:
+        """Aggregate with distinct within-partition (``seq_op``) and
+        cross-partition (``comb_op``) operators.  ``zero`` is deep-copied
+        per partition, so mutable accumulators (numpy arrays) are safe."""
+        import copy
+        import functools
+
+        def agg_partition(_p: int, it: Iterable) -> Any:
+            return functools.reduce(seq_op, it, copy.deepcopy(zero))
+        partials = self.ctx._scheduler.run_job(
+            self, agg_partition, f"aggregate {self.name}")
+        return functools.reduce(comb_op, partials, copy.deepcopy(zero))
+
+    def tree_aggregate(self, zero: Any, seq_op: Callable, comb_op: Callable,
+                       depth: int = 2) -> Any:
+        """Like :meth:`aggregate`; Spark merges partials in a tree on the
+        executors — in-process the result is identical, so this is an
+        alias kept for API fidelity (used for gram matrices)."""
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        return self.aggregate(zero, seq_op, comb_op)
+
+    def sum(self) -> Any:
+        """Sum of all records."""
+        return self.fold(0, lambda a, b: a + b)
+
+    def count_by_key(self) -> dict:
+        """Record count per key, as a driver-side dict."""
+        out: dict = {}
+        for k, _v in self.collect():
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def count_by_value(self) -> dict:
+        """Occurrence count per distinct record."""
+        out: dict = {}
+        for x in self.collect():
+            out[x] = out.get(x, 0) + 1
+        return out
+
+    def lookup(self, key: Any) -> list:
+        """All values stored under ``key``.  When the RDD is partitioned
+        by key, only the owning partition is scanned (as in Spark)."""
+        if self.partitioner is not None:
+            target = self.partitioner.get_partition(key)
+            results = self.ctx._scheduler.run_job(
+                self,
+                lambda p, it: ([v for k, v in it if k == key]
+                               if p == target else []),
+                f"lookup {self.name}")
+            return [v for part in results for v in part]
+        return [v for k, v in self.collect() if k == key]
+
+    def top(self, n: int, key: Callable | None = None) -> list:
+        """Largest ``n`` records (descending)."""
+        import heapq
+        def top_partition(_p: int, it: Iterable) -> list:
+            return heapq.nlargest(n, it, key=key)
+        partials = self.ctx._scheduler.run_job(
+            self, top_partition, f"top {self.name}")
+        return heapq.nlargest(n, [x for p in partials for x in p],
+                              key=key)
+
+    def max(self) -> Any:
+        """Largest record."""
+        return self.reduce(lambda a, b: a if a >= b else b)
+
+    def min(self) -> Any:
+        """Smallest record."""
+        return self.reduce(lambda a, b: a if a <= b else b)
+
+    def mean(self) -> float:
+        """Arithmetic mean of numeric records."""
+        total, count = self.aggregate(
+            (0.0, 0),
+            lambda acc, x: (acc[0] + x, acc[1] + 1),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]))
+        if count == 0:
+            raise EngineError("mean() on an empty RDD")
+        return total / count
+
+    def stats(self) -> dict:
+        """count / mean / stdev / min / max in one pass."""
+        import math
+        zero = (0, 0.0, 0.0, float("inf"), float("-inf"))
+
+        def seq(acc, x):
+            n, s, sq, lo, hi = acc
+            return (n + 1, s + x, sq + x * x,
+                    x if x < lo else lo, x if x > hi else hi)
+
+        def comb(a, b):
+            return (a[0] + b[0], a[1] + b[1], a[2] + b[2],
+                    min(a[3], b[3]), max(a[4], b[4]))
+
+        n, s, sq, lo, hi = self.aggregate(zero, seq, comb)
+        if n == 0:
+            raise EngineError("stats() on an empty RDD")
+        mean = s / n
+        var = max(sq / n - mean * mean, 0.0)
+        return {"count": n, "mean": mean, "stdev": math.sqrt(var),
+                "min": lo, "max": hi}
+
+    def collect_as_map(self) -> dict:
+        """Collect key-value records into a driver-side dict (later
+        duplicates win, as in Spark)."""
+        return dict(self.collect())
+
+    def foreach(self, f: Callable[[Any], None]) -> None:
+        """Apply ``f`` to every record for its side effects."""
+        def run(_p: int, it: Iterable) -> None:
+            for x in it:
+                f(x)
+        self.ctx._scheduler.run_job(self, run, f"foreach {self.name}")
+
+    def foreach_partition(self, f: Callable[[Iterable], None]) -> None:
+        """Apply ``f`` once per partition iterator."""
+        self.ctx._scheduler.run_job(
+            self, lambda _p, it: f(it), f"foreachPartition {self.name}")
+
+    # camelCase aliases (Spark spelling), for familiarity ---------------
+    flatMap = flat_map
+    mapValues = map_values
+    flatMapValues = flat_map_values
+    mapPartitions = map_partitions
+    reduceByKey = reduce_by_key
+    groupByKey = group_by_key
+    combineByKey = combine_by_key
+    aggregateByKey = aggregate_by_key
+    partitionBy = partition_by
+    leftOuterJoin = left_outer_join
+    treeAggregate = tree_aggregate
+    countByKey = count_by_key
+    countByValue = count_by_value
+    collectAsMap = collect_as_map
+    keyBy = key_by
+    zipWithIndex = zip_with_index
+    rightOuterJoin = right_outer_join
+    fullOuterJoin = full_outer_join
+    subtractByKey = subtract_by_key
+    sortByKey = sort_by_key
+
+
+# ----------------------------------------------------------------------
+# concrete RDDs
+# ----------------------------------------------------------------------
+class ParallelCollectionRDD(RDD):
+    """An RDD backed by a driver-side list, split into equal slices."""
+
+    def __init__(self, ctx: "Context", data: list, num_partitions: int,
+                 partitioner: Partitioner | None = None):
+        super().__init__(ctx, [], num_partitions, partitioner)
+        self._slices: list[list] = [[] for _ in range(num_partitions)]
+        if partitioner is not None:
+            for record in data:
+                self._slices[partitioner.get_partition(record[0])].append(record)
+        else:
+            n = len(data)
+            step, extra = divmod(n, num_partitions)
+            start = 0
+            for i in range(num_partitions):
+                end = start + step + (1 if i < extra else 0)
+                self._slices[i] = list(data[start:end])
+                start = end
+        self.set_name("parallelize")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Return the pre-sliced driver-side data."""
+        return self._slices[split]
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow transformation applying ``f(split, iterator)``."""
+
+    def __init__(self, parent: RDD, f: Callable[[int, Iterable], Iterable],
+                 preserves_partitioning: bool = False):
+        super().__init__(
+            parent.ctx, [OneToOneDependency(parent)], parent.num_partitions,
+            parent.partitioner if preserves_partitioning else None)
+        self._parent = parent
+        self._f = f
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Apply the stage function to the parent partition."""
+        return self._f(split, self._parent.iterator(split, task))
+
+
+class ShuffledRDD(RDD):
+    """Wide transformation: output of a single shuffle, optionally
+    combined per key on the reduce side."""
+
+    def __init__(self, parent: RDD, partitioner: Partitioner,
+                 aggregator: Aggregator | None = None,
+                 map_side_combine: bool = False):
+        dep = ShuffleDependency(parent, partitioner, aggregator,
+                                map_side_combine)
+        super().__init__(parent.ctx, [dep], partitioner.num_partitions,
+                         partitioner)
+        dep.consumer_rdd_id = self.rdd_id
+        self._dep = dep
+        self.set_name("shuffled")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Fetch this partition's shuffle blocks, merging per key when an aggregator is attached."""
+        records = self.ctx._shuffle_manager.read(
+            self._dep.shuffle_id, split, task.stage_metrics.shuffle_read)
+        agg = self._dep.aggregator
+        if agg is None:
+            return records
+        merged: dict = {}
+        if self._dep.map_side_combine:
+            # map side already produced combiners; merge combiners here
+            for k, c in records:
+                if k in merged:
+                    merged[k] = agg.merge_combiners(merged[k], c)
+                else:
+                    merged[k] = c
+        else:
+            for k, v in records:
+                if k in merged:
+                    merged[k] = agg.merge_value(merged[k], v)
+                else:
+                    merged[k] = agg.create_combiner(v)
+        return iter(merged.items())
+
+
+class CoGroupedRDD(RDD):
+    """Groups several key-value parents by key:
+    ``(key, ([values from parent 0], [values from parent 1], ...))``.
+
+    Parents already partitioned by the target partitioner contribute
+    through a narrow dependency — no data movement, matching Spark.
+    """
+
+    def __init__(self, ctx: "Context", parents: list[RDD],
+                 partitioner: Partitioner):
+        deps: list[Dependency] = []
+        for parent in parents:
+            if parent.partitioner == partitioner:
+                deps.append(OneToOneDependency(parent))
+            else:
+                deps.append(ShuffleDependency(parent, partitioner))
+        super().__init__(ctx, deps, partitioner.num_partitions, partitioner)
+        for dep in deps:
+            if isinstance(dep, ShuffleDependency):
+                dep.consumer_rdd_id = self.rdd_id
+        self._parents = parents
+        self.set_name("cogroup")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Group all parents' records for this partition by key."""
+        n = len(self._parents)
+        groups: dict[Any, tuple[list, ...]] = {}
+        for idx, dep in enumerate(self.dependencies):
+            if isinstance(dep, ShuffleDependency):
+                records = self.ctx._shuffle_manager.read(
+                    dep.shuffle_id, split, task.stage_metrics.shuffle_read)
+            else:
+                records = dep.rdd.iterator(split, task)
+            for k, v in records:
+                bucket = groups.get(k)
+                if bucket is None:
+                    bucket = tuple([] for _ in range(n))
+                    groups[k] = bucket
+                bucket[idx].append(v)
+        return iter(groups.items())
+
+
+class ZippedRDD(RDD):
+    """Positional pairing of two equally-partitioned RDDs."""
+
+    def __init__(self, left: RDD, right: RDD):
+        super().__init__(left.ctx,
+                         [OneToOneDependency(left),
+                          OneToOneDependency(right)],
+                         left.num_partitions, None)
+        self._left = left
+        self._right = right
+        self.set_name("zip")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Pair the two parents' same-numbered partitions."""
+        left = list(self._left.iterator(split, task))
+        right = list(self._right.iterator(split, task))
+        if len(left) != len(right):
+            raise EngineError(
+                f"zip partition {split}: unequal sizes "
+                f"({len(left)} vs {len(right)})")
+        return zip(left, right)
+
+
+class CoalescedRDD(RDD):
+    """Merges neighbouring parent partitions without a shuffle."""
+
+    def __init__(self, parent: RDD, num_partitions: int):
+        self._groups: list[list[int]] = [[] for _ in range(num_partitions)]
+        for p in range(parent.num_partitions):
+            self._groups[p * num_partitions // parent.num_partitions].append(p)
+        dep = _CoalesceDependency(parent, self._groups)
+        super().__init__(parent.ctx, [dep], num_partitions, None)
+        self._parent = parent
+        self.set_name("coalesce")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Chain the merged parent partitions."""
+        return itertools.chain.from_iterable(
+            self._parent.iterator(p, task) for p in self._groups[split])
+
+
+class _CoalesceDependency(NarrowDependency):
+    def __init__(self, rdd: RDD, groups: list[list[int]]):
+        super().__init__(rdd)
+        self._groups = groups
+
+    def parent_partitions(self, partition: int) -> list[int]:
+        return self._groups[partition]
+
+
+class ReversedPartitionsRDD(RDD):
+    """Reads the parent's partitions in reverse order (used by
+    descending ``sortByKey``)."""
+
+    def __init__(self, parent: RDD):
+        super().__init__(parent.ctx, [_ReversedDependency(parent)],
+                         parent.num_partitions, None)
+        self._parent = parent
+        self.set_name("reversedPartitions")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Read the mirrored parent partition."""
+        return self._parent.iterator(self.num_partitions - 1 - split, task)
+
+
+class _ReversedDependency(NarrowDependency):
+    def parent_partitions(self, partition: int) -> list[int]:
+        return [self.rdd.num_partitions - 1 - partition]
+
+
+class UnionRDD(RDD):
+    """Concatenation of several parents' partitions."""
+
+    def __init__(self, ctx: "Context", parents: list[RDD]):
+        deps: list[Dependency] = []
+        out = 0
+        for parent in parents:
+            deps.append(RangeDependency(parent, 0, out, parent.num_partitions))
+            out += parent.num_partitions
+        super().__init__(ctx, deps, out, None)
+        self._parents = parents
+        self.set_name("union")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Delegate to the owning parent's partition."""
+        for dep in self.dependencies:
+            assert isinstance(dep, RangeDependency)
+            parents = dep.parent_partitions(split)
+            if parents:
+                return dep.rdd.iterator(parents[0], task)
+        raise EngineError(f"union partition {split} out of range")

@@ -1,0 +1,248 @@
+"""DAG scheduler: splits lineage into stages at shuffle boundaries and
+executes them, exactly mirroring Spark's two-level (job -> stage -> task)
+execution model.
+
+Key behaviours reproduced from Spark:
+
+* narrow transformations are *pipelined* inside one stage (each task
+  streams through the whole chain of maps/filters);
+* a stage graph is cut at every :class:`ShuffleDependency`;
+* map outputs persist across jobs — a shuffle that was already written is
+  never recomputed (this is what keeps iterative CP-ALS from re-running
+  the whole lineage every action);
+* lineage walks prune at fully-cached RDDs;
+* failed tasks are retried up to ``conf.task_max_failures`` times (used
+  by the failure-injection tests).
+
+"Shuffle rounds" (the unit the paper counts in Table 4: a join is one
+round even when both inputs move, and a ``reduceByKey`` is one round) are
+counted per job by grouping newly-executed shuffle dependencies by their
+consuming wide RDD.
+"""
+
+from __future__ import annotations
+
+import time
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+from .errors import TaskFailedError
+from .metrics import JobMetrics, StageMetrics
+from .rdd import (RDD, Dependency, NarrowDependency, ShuffleDependency)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+
+@dataclass
+class TaskContext:
+    """Handed to every RDD ``compute``: identifies the running task and
+    carries the metrics sink for its stage."""
+
+    partition: int
+    stage_metrics: StageMetrics
+    attempt: int = 0
+
+
+@dataclass
+class Stage:
+    """A set of tasks with only narrow dependencies between them.
+
+    ``shuffle_dep`` is set for shuffle-map stages (the stage writes its
+    output into that dependency's shuffle) and ``None`` for the final
+    result stage of a job.
+    """
+
+    stage_id: int
+    rdd: RDD
+    shuffle_dep: ShuffleDependency | None
+    parents: list["Stage"] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return self.rdd.num_partitions
+
+
+class DAGScheduler:
+    """Builds and runs the stage graph for each action."""
+
+    def __init__(self, ctx: "Context"):
+        self.ctx = ctx
+        self._next_stage_id = 0
+        self._next_job_id = 0
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def run_job(self, rdd: RDD,
+                partition_func: Callable[[int, Iterable], Any],
+                description: str) -> list[Any]:
+        """Execute ``partition_func`` over every partition of ``rdd`` and
+        return the per-partition results in order."""
+        job = self.ctx.metrics.start_job(self._next_job_id, description)
+        self._next_job_id += 1
+
+        final_stage = Stage(self._bump_stage_id(), rdd, None)
+        final_stage.parents = self._parent_stages(rdd, {})
+        executed_deps: list[ShuffleDependency] = []
+        self._run_parents(final_stage, job, executed_deps, set())
+
+        # count paper-style shuffle rounds: group new deps by consumer
+        consumers = {dep.consumer_rdd_id for dep in executed_deps}
+        job.shuffle_rounds = len(consumers)
+        if self.ctx.hadoop_mode:
+            self.ctx.metrics.hadoop.jobs_launched += len(consumers)
+
+        results = self._run_result_stage(final_stage, partition_func, job)
+        return results
+
+    # ------------------------------------------------------------------
+    # stage graph construction
+    # ------------------------------------------------------------------
+    def _bump_stage_id(self) -> int:
+        sid = self._next_stage_id
+        self._next_stage_id += 1
+        return sid
+
+    def _parent_stages(self, rdd: RDD,
+                       shuffle_to_stage: dict[int, Stage]) -> list[Stage]:
+        """Find the shuffle-map stages feeding ``rdd``'s stage, walking
+        the narrow lineage iteratively and pruning at cached RDDs and at
+        shuffles whose map output already exists."""
+        parents: list[Stage] = []
+        visited: set[int] = set()
+        stack: list[RDD] = [rdd]
+        shuffle_mgr = self.ctx._shuffle_manager
+        while stack:
+            current = stack.pop()
+            if current.rdd_id in visited:
+                continue
+            visited.add(current.rdd_id)
+            if current.is_fully_cached():
+                continue  # cache prunes the walk (tasks read the cache)
+            for dep in current.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    if shuffle_mgr.is_written(dep.shuffle_id,
+                                              dep.rdd.num_partitions):
+                        continue  # reuse existing map output
+                    stage = shuffle_to_stage.get(dep.shuffle_id)
+                    if stage is None:
+                        stage = Stage(self._bump_stage_id(), dep.rdd, dep)
+                        shuffle_to_stage[dep.shuffle_id] = stage
+                        stage.parents = self._parent_stages(
+                            dep.rdd, shuffle_to_stage)
+                    parents.append(stage)
+                elif isinstance(dep, NarrowDependency):
+                    stack.append(dep.rdd)
+        return parents
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _run_parents(self, stage: Stage, job: JobMetrics,
+                     executed: list[ShuffleDependency],
+                     done: set[int]) -> None:
+        for parent in stage.parents:
+            if parent.stage_id in done:
+                continue
+            self._run_parents(parent, job, executed, done)
+            # a racing sibling may have written this shuffle meanwhile
+            dep = parent.shuffle_dep
+            assert dep is not None
+            if not self.ctx._shuffle_manager.is_written(
+                    dep.shuffle_id, dep.rdd.num_partitions):
+                self._run_shuffle_map_stage(parent, job)
+                executed.append(dep)
+            done.add(parent.stage_id)
+
+    def _run_shuffle_map_stage(self, stage: Stage, job: JobMetrics) -> None:
+        dep = stage.shuffle_dep
+        assert dep is not None
+        metrics = StageMetrics(
+            stage_id=stage.stage_id, job_id=job.job_id,
+            phase=job.phase, is_shuffle_map=True,
+            name=f"shuffleMap {stage.rdd.name}",
+            num_tasks=stage.num_tasks)
+        job.stages.append(metrics)
+        cluster = self.ctx.cluster
+        aggregator = dep.aggregator if dep.map_side_combine else None
+        stage_start = time.perf_counter()
+        for partition in range(stage.num_tasks):
+            records = self._run_task(stage, partition, metrics)
+            before = metrics.shuffle_write.records_written
+            self.ctx._shuffle_manager.write(
+                dep.shuffle_id, partition, records, dep.partitioner,
+                metrics.shuffle_write, aggregator)
+            written = metrics.shuffle_write.records_written - before
+            metrics.add_node_records(
+                cluster.node_of_partition(partition), written)
+            metrics.output_records += written
+        metrics.duration_s = time.perf_counter() - stage_start
+        if self.ctx.hadoop_mode:
+            # MapReduce materializes job boundaries through HDFS: charge a
+            # read of the map input and a write of the map output.
+            hadoop = self.ctx.metrics.hadoop
+            hadoop.hdfs_bytes_written += metrics.shuffle_write.bytes_written
+            hadoop.hdfs_bytes_read += metrics.shuffle_write.bytes_written
+            hadoop.hdfs_records_written += metrics.shuffle_write.records_written
+
+    def _run_result_stage(self, stage: Stage,
+                          partition_func: Callable[[int, Iterable], Any],
+                          job: JobMetrics) -> list[Any]:
+        metrics = StageMetrics(
+            stage_id=stage.stage_id, job_id=job.job_id,
+            phase=job.phase, is_shuffle_map=False,
+            name=f"result {stage.rdd.name}", num_tasks=stage.num_tasks)
+        job.stages.append(metrics)
+        cluster = self.ctx.cluster
+        results: list[Any] = []
+        stage_start = time.perf_counter()
+        for partition in range(stage.num_tasks):
+            records = self._run_task(stage, partition, metrics)
+            counted = _CountingIterator(records)
+            results.append(partition_func(partition, counted))
+            metrics.add_node_records(
+                cluster.node_of_partition(partition), counted.count)
+            metrics.output_records += counted.count
+        metrics.duration_s = time.perf_counter() - stage_start
+        return results
+
+    def _run_task(self, stage: Stage, partition: int,
+                  metrics: StageMetrics) -> Iterable:
+        """Run one task with retries; returns the partition's records."""
+        max_attempts = self.ctx.conf.task_max_failures
+        last_error: Exception | None = None
+        for attempt in range(max_attempts):
+            task = TaskContext(partition=partition, stage_metrics=metrics,
+                               attempt=attempt)
+            try:
+                if self.ctx.fault_injector is not None:
+                    self.ctx.fault_injector(stage.stage_id, partition, attempt)
+                # materialize inside the try so that faults raised lazily
+                # (mid-iteration) are still retried
+                return list(stage.rdd.iterator(partition, task))
+            except TaskFailedError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - retry any task fault
+                last_error = exc
+        raise TaskFailedError(
+            f"task for partition {partition} of stage {stage.stage_id} "
+            f"failed {max_attempts} times: {last_error}",
+            partition=partition, attempts=max_attempts)
+
+
+class _CountingIterator:
+    """Wraps an iterable, counting consumed records."""
+
+    def __init__(self, it: Iterable):
+        self._it = iter(it)
+        self.count = 0
+
+    def __iter__(self) -> "_CountingIterator":
+        return self
+
+    def __next__(self) -> Any:
+        item = next(self._it)
+        self.count += 1
+        return item

@@ -1,0 +1,176 @@
+"""RDD persistence: storage levels and the cache manager.
+
+Section 4.1 of the paper discusses caching the tensor RDD in either the
+*raw* (deserialized object) format or the *serialized* format, choosing
+raw because iterative algorithms read the cache every iteration and the
+deserialization CPU cost dominates the memory saving.  We implement both
+levels with real (pickle-based) serialization so that the caching
+ablation benchmark measures a genuine trade-off, plus a DISK level used
+by failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .errors import CacheEvictedError
+from .serialization import (deserialize_partition, estimate_size,
+                            serialize_partition)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsCollector
+
+
+class StorageLevel(enum.Enum):
+    """Where and how a persisted partition is stored.
+
+    ``MEMORY_RAW``
+        Deserialized Python objects in memory (Spark's ``MEMORY_ONLY``).
+        Fastest to read; largest footprint.  The paper's choice for the
+        tensor RDD.
+    ``MEMORY_SER``
+        Pickled bytes in memory (Spark's ``MEMORY_ONLY_SER``).  Smaller,
+        but every read pays a deserialization pass.
+    ``DISK``
+        Pickled bytes on (simulated) disk; reads additionally count
+        toward disk I/O in the cost model.
+    """
+
+    MEMORY_RAW = "memory_raw"
+    MEMORY_SER = "memory_ser"
+    DISK = "disk"
+
+
+@dataclass
+class _CacheEntry:
+    records: list | None        # raw storage
+    blob: bytes | None          # serialized storage
+    level: StorageLevel
+    size_bytes: int             # estimated footprint
+    deser_seconds: float = 0.0  # cumulative CPU spent deserializing
+
+
+class CacheManager:
+    """Stores materialized RDD partitions, keyed ``(rdd_id, partition)``.
+
+    Supports an optional per-context capacity with LRU eviction, used by
+    failure-injection tests.  Entries evicted while their RDD's lineage
+    is intact are transparently recomputed by the scheduler; eviction of
+    a partition whose lineage was truncated raises
+    :class:`~repro.engine.errors.CacheEvictedError` at read time.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None,
+                 metrics: "MetricsCollector | None" = None):
+        self._entries: OrderedDict[tuple[int, int], _CacheEntry] = OrderedDict()
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def put(self, rdd_id: int, partition: int, records: list,
+            level: StorageLevel) -> None:
+        """Cache ``records`` for ``(rdd_id, partition)`` at ``level``."""
+        key = (rdd_id, partition)
+        if key in self._entries:
+            self._remove(key)
+        if level is StorageLevel.MEMORY_RAW:
+            size = sum(estimate_size(r) for r in records) or 1
+            entry = _CacheEntry(records=list(records), blob=None,
+                                level=level, size_bytes=size)
+        else:
+            blob = serialize_partition(list(records))
+            entry = _CacheEntry(records=None, blob=blob, level=level,
+                                size_bytes=len(blob))
+        self._entries[key] = entry
+        self.used_bytes += entry.size_bytes
+        if self.metrics is not None:
+            bucket = self.metrics.cache_stored_bytes
+            bucket[level.value] = bucket.get(level.value, 0) + entry.size_bytes
+        self._evict_if_needed(protect=key)
+
+    def get(self, rdd_id: int, partition: int) -> list | None:
+        """Return the cached partition, or ``None`` on a miss.
+
+        MEMORY_SER / DISK entries are deserialized on every read; the
+        time and bytes are accounted so the caching ablation can compare
+        levels.
+        """
+        key = (rdd_id, partition)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        if entry.level is StorageLevel.MEMORY_RAW:
+            return entry.records
+        assert entry.blob is not None
+        t0 = time.perf_counter()
+        records = deserialize_partition(entry.blob)
+        entry.deser_seconds += time.perf_counter() - t0
+        if self.metrics is not None:
+            self.metrics.cache_deserialized_bytes += len(entry.blob)
+            if entry.level is StorageLevel.DISK:
+                self.metrics.cache_disk_read_bytes += len(entry.blob)
+        return records
+
+    def contains(self, rdd_id: int, partition: int) -> bool:
+        """True iff the partition is currently cached."""
+        return (rdd_id, partition) in self._entries
+
+    def has_all_partitions(self, rdd_id: int, num_partitions: int) -> bool:
+        """True iff every partition of ``rdd_id`` is cached — the scheduler
+        then prunes lineage walks at this RDD."""
+        return all((rdd_id, p) in self._entries
+                   for p in range(num_partitions))
+
+    def unpersist(self, rdd_id: int) -> int:
+        """Drop all partitions of ``rdd_id``; returns bytes freed."""
+        freed = 0
+        for key in [k for k in self._entries if k[0] == rdd_id]:
+            freed += self._entries[key].size_bytes
+            self._remove(key)
+        return freed
+
+    def clear(self) -> None:
+        """Drop every cached partition."""
+        self._entries.clear()
+        self.used_bytes = 0
+
+    # ------------------------------------------------------------------
+    def rdd_size_bytes(self, rdd_id: int) -> int:
+        """Total cached footprint of one RDD."""
+        return sum(e.size_bytes for (rid, _), e in self._entries.items()
+                   if rid == rdd_id)
+
+    def deser_seconds(self, rdd_id: int) -> float:
+        """Cumulative CPU seconds spent deserializing one RDD's cache."""
+        return sum(e.deser_seconds for (rid, _), e in self._entries.items()
+                   if rid == rdd_id)
+
+    # ------------------------------------------------------------------
+    def _remove(self, key: tuple[int, int]) -> None:
+        entry = self._entries.pop(key)
+        self.used_bytes -= entry.size_bytes
+
+    def _evict_if_needed(self, protect: tuple[int, int]) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self.used_bytes > self.capacity_bytes and len(self._entries) > 1:
+            oldest = next(iter(self._entries))
+            if oldest == protect:
+                # move the protected entry to the MRU end and retry
+                self._entries.move_to_end(protect)
+                oldest = next(iter(self._entries))
+                if oldest == protect:
+                    break
+            self._remove(oldest)
+            self.evictions += 1

@@ -1,0 +1,77 @@
+"""Dense factor matrices for CP decomposition.
+
+A rank-``R`` CP model of an order-``N`` tensor is ``N`` factor matrices
+``A_n`` of shape ``(I_n, R)`` plus the column weights ``lambda``.  These
+helpers create, normalize and combine factor matrices; the distributed
+algorithms carry them as ``RDD[(row_index, row_vector)]`` but initialise
+and check against this driver-side representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def random_factors(shape: Sequence[int], rank: int,
+                   rng: np.random.Generator | int | None = None
+                   ) -> list[np.ndarray]:
+    """Uniform(0,1) factor matrices, one per mode (the standard CP-ALS
+    initialisation for nonnegative real tensors)."""
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    rng = np.random.default_rng(rng)
+    return [rng.random((int(size), rank)) for size in shape]
+
+
+def normalize_columns(matrix: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Scale each column to unit 2-norm; returns ``(normalized, norms)``.
+
+    Zero columns are left unscaled with a norm of 1, so CP-ALS iterations
+    never divide by zero (matching SPLATT's convention).
+    """
+    norms = np.linalg.norm(matrix, axis=0)
+    safe = np.where(norms > 0, norms, 1.0)
+    return matrix / safe, np.where(norms > 0, norms, 1.0)
+
+
+def gram(matrix: np.ndarray) -> np.ndarray:
+    """``A^T A`` — the R x R gram matrix used in the ALS pseudo-inverse."""
+    return matrix.T @ matrix
+
+
+def factors_allclose(a: list[np.ndarray], b: list[np.ndarray],
+                     atol: float = 1e-8) -> bool:
+    """Element-wise comparison of two factor lists."""
+    return (len(a) == len(b)
+            and all(x.shape == y.shape and np.allclose(x, y, atol=atol)
+                    for x, y in zip(a, b)))
+
+
+def congruence(factors_a: list[np.ndarray], lambdas_a: np.ndarray,
+               factors_b: list[np.ndarray], lambdas_b: np.ndarray) -> float:
+    """Factor-match score between two CP models (greedy column matching
+    of cosine congruences; 1.0 means identical up to permutation/scale).
+
+    Used by integration tests to check that a decomposition recovers
+    planted factors.
+    """
+    if len(factors_a) != len(factors_b):
+        raise ValueError("models have different orders")
+    rank = factors_a[0].shape[1]
+    # congruence product over modes for every column pair
+    pair = np.ones((rank, rank))
+    for fa, fb in zip(factors_a, factors_b):
+        na = fa / np.maximum(np.linalg.norm(fa, axis=0), 1e-300)
+        nb = fb / np.maximum(np.linalg.norm(fb, axis=0), 1e-300)
+        pair *= np.abs(na.T @ nb)
+    # greedy assignment (rank is small; Hungarian is overkill)
+    remaining = set(range(rank))
+    total = 0.0
+    for r in range(rank):
+        best = max(remaining, key=lambda c: pair[r, c])
+        total += pair[r, best]
+        remaining.remove(best)
+    return total / rank

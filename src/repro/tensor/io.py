@@ -1,0 +1,116 @@
+"""FROSTT ``.tns`` text format I/O.
+
+The paper's datasets come from FROSTT (frostt.io).  The format is one
+nonzero per line: ``i_1 i_2 ... i_N value`` with **1-based** indices,
+whitespace-separated; ``#`` starts a comment.  Reading a real FROSTT
+download therefore drops straight into the library in place of the
+synthetic analogues.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import Sequence
+
+import numpy as np
+
+from .coo import COOTensor
+
+
+def _open_text(path, mode: str):
+    """Open a text file, transparently gunzipping ``.gz`` paths (FROSTT
+    distributes its tensors gzipped)."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def read_tns(path: str | os.PathLike | io.TextIOBase,
+             shape: Sequence[int] | None = None) -> COOTensor:
+    """Read a FROSTT ``.tns`` (or ``.tns.gz``) file into a
+    :class:`COOTensor`.
+
+    ``shape`` overrides the inferred mode sizes (FROSTT files do not
+    carry an explicit header).
+    """
+    close = False
+    if isinstance(path, io.TextIOBase):
+        fh = path
+    else:
+        fh = _open_text(path, "r")
+        close = True
+    try:
+        # fast path: numpy's bulk parser handles the common case
+        # (uniform rows, '#' comments); fall back to the line parser
+        # for '%' comments or ragged input diagnostics
+        try:
+            import warnings
+            pos = fh.tell()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", UserWarning)
+                data = np.loadtxt(fh, comments="#", ndmin=2)
+            if data.size == 0:
+                raise ValueError("empty .tns input")
+            if data.shape[1] < 2:
+                raise ValueError(
+                    "need at least one index and a value per line")
+            indices = data[:, :-1].astype(np.int64) - 1
+            if indices.min() < 0:
+                raise ValueError(".tns indices must be >= 1")
+            return COOTensor(indices, data[:, -1], shape)
+        except ValueError as exc:
+            if "empty" in str(exc) or ">= 1" in str(exc) \
+                    or "index and a value" in str(exc):
+                raise
+            fh.seek(pos)  # ragged/odd input: re-parse with diagnostics
+        rows: list[list[float]] = []
+        order: int | None = None
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            fields = line.split()
+            if order is None:
+                order = len(fields) - 1
+                if order < 1:
+                    raise ValueError(
+                        f"line {lineno}: need at least one index and a value")
+            elif len(fields) != order + 1:
+                raise ValueError(
+                    f"line {lineno}: expected {order + 1} fields, "
+                    f"got {len(fields)}")
+            rows.append([float(f) for f in fields])
+        if not rows:
+            raise ValueError("empty .tns input")
+        data = np.asarray(rows, dtype=np.float64)
+        indices = data[:, :-1].astype(np.int64) - 1  # FROSTT is 1-based
+        if indices.min() < 0:
+            raise ValueError(".tns indices must be >= 1")
+        values = data[:, -1]
+        return COOTensor(indices, values, shape)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_tns(tensor: COOTensor,
+              path: str | os.PathLike | io.TextIOBase) -> None:
+    """Write a :class:`COOTensor` in FROSTT ``.tns`` format (1-based);
+    a ``.gz`` suffix gzips the output."""
+    close = False
+    if isinstance(path, io.TextIOBase):
+        fh = path
+    else:
+        fh = _open_text(path, "w")
+        close = True
+    try:
+        idx = tensor.indices + 1
+        vals = tensor.values
+        for z in range(tensor.nnz):
+            coords = " ".join(str(int(i)) for i in idx[z])
+            fh.write(f"{coords} {vals[z]:.17g}\n")
+    finally:
+        if close:
+            fh.close()

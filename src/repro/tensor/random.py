@@ -1,0 +1,121 @@
+"""Synthetic sparse tensor generators.
+
+Three families, used by tests, examples and the dataset analogues:
+
+* :func:`uniform_sparse` — independent uniform coordinates (the paper's
+  ``synt3d`` is "a synthetically generated random 3rd-order tensor");
+* :func:`zipf_sparse` — per-mode Zipf-distributed indices, modelling the
+  heavy skew of web-crawl tensors like delicious and flickr (a few users
+  and tags dominate the nonzeros);
+* :func:`low_rank_sparse` — nonzeros sampled from a planted rank-``R``
+  CP model plus optional noise, so integration tests can check that the
+  decompositions recover known factors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .coo import COOTensor
+from .dense import random_factors
+
+
+def _rng(seed: np.random.Generator | int | None) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) \
+        else np.random.default_rng(seed)
+
+
+def uniform_sparse(shape: Sequence[int], nnz: int,
+                   rng: np.random.Generator | int | None = None,
+                   value_range: tuple[float, float] = (0.0, 1.0),
+                   ) -> COOTensor:
+    """Uniformly random coordinates with uniform values.
+
+    Coordinates are deduplicated (summing collided values), so the
+    returned tensor may have slightly fewer than ``nnz`` entries when
+    density is high.
+    """
+    if nnz < 1:
+        raise ValueError(f"nnz must be >= 1, got {nnz}")
+    rng = _rng(rng)
+    indices = np.column_stack([
+        rng.integers(0, size, size=nnz) for size in shape])
+    lo, hi = value_range
+    values = rng.uniform(lo, hi, size=nnz)
+    return COOTensor(indices, values, shape).deduplicate().drop_zeros()
+
+
+def zipf_mode_indices(size: int, nnz: int, exponent: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """``nnz`` indices in ``[0, size)`` with a Zipf-like rank-frequency
+    profile: index ``k`` is drawn with probability ``~ (k+1)^-exponent``.
+
+    Implemented by inverse-CDF sampling on the normalised harmonic
+    weights; exponent 0 degrades to uniform.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    if exponent == 0.0:
+        return rng.integers(0, size, size=nnz)
+    # weights over ranks; for very large modes, sample in two steps to
+    # bound the weight table (head exact, tail uniform) — keeps memory
+    # O(min(size, 2^20)) while preserving the head skew that matters.
+    head = min(size, 1 << 20)
+    ranks = np.arange(1, head + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    if size > head:
+        tail_mass = (size - head) * float(head + 1) ** -exponent
+        weights = np.append(weights, tail_mass)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    picks = np.searchsorted(cdf, rng.random(nnz), side="right")
+    if size > head:
+        tail = picks == head
+        picks[tail] = rng.integers(head, size, size=int(tail.sum()))
+    return picks
+
+
+def zipf_sparse(shape: Sequence[int], nnz: int,
+                exponents: Sequence[float] | float = 1.0,
+                rng: np.random.Generator | int | None = None) -> COOTensor:
+    """Sparse tensor with Zipf-skewed coordinates per mode."""
+    rng = _rng(rng)
+    if isinstance(exponents, (int, float)):
+        exponents = [float(exponents)] * len(shape)
+    if len(exponents) != len(shape):
+        raise ValueError(
+            f"{len(exponents)} exponents for {len(shape)} modes")
+    indices = np.column_stack([
+        zipf_mode_indices(int(size), nnz, float(exp), rng)
+        for size, exp in zip(shape, exponents)])
+    values = rng.uniform(0.5, 1.5, size=nnz)
+    return COOTensor(indices, values, shape).deduplicate().drop_zeros()
+
+
+def low_rank_sparse(shape: Sequence[int], nnz: int, rank: int,
+                    noise: float = 0.0,
+                    rng: np.random.Generator | int | None = None,
+                    ) -> tuple[COOTensor, list[np.ndarray]]:
+    """Sample ``nnz`` entries of a planted rank-``rank`` CP model.
+
+    Returns ``(tensor, planted_factors)``.  Values are the exact model
+    values at uniformly random coordinates, plus Gaussian noise of
+    relative magnitude ``noise``.
+    """
+    rng = _rng(rng)
+    factors = random_factors(shape, rank, rng)
+    indices = np.column_stack([
+        rng.integers(0, size, size=nnz) for size in shape])
+    parts = np.ones((nnz, rank))
+    for m, factor in enumerate(factors):
+        parts *= factor[indices[:, m]]
+    values = parts.sum(axis=1)
+    if noise > 0.0:
+        scale = np.abs(values).mean() if nnz else 1.0
+        values = values + rng.normal(0.0, noise * scale, size=nnz)
+    tensor = COOTensor(indices, values, shape).deduplicate().drop_zeros(1e-12)
+    return tensor, factors

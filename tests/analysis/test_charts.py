@@ -1,0 +1,71 @@
+"""ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import MARKERS, bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_contains_axes_and_legend(self):
+        out = line_chart("T", [4, 8], {"a": [10.0, 5.0]})
+        assert "T" in out
+        assert "+--" in out
+        assert "* a" in out
+
+    def test_marker_rows_reflect_values(self):
+        out = line_chart("T", [1, 2], {"a": [0.0, 100.0]}, height=10)
+        lines = out.splitlines()
+        # high value near the top row, low value near the bottom
+        top_rows = "\n".join(lines[1:4])
+        bottom_rows = "\n".join(lines[-6:-3])
+        assert "*" in top_rows
+        assert "*" in bottom_rows
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart("T", [1, 2], {"a": [1.0, 2.0],
+                                       "b": [2.0, 1.0]})
+        assert MARKERS[0] in out
+        assert MARKERS[1] in out
+
+    def test_last_tick_not_truncated(self):
+        out = line_chart("T", [4, 8, 16, 32], {"a": [1, 2, 3, 4]})
+        assert "32" in out
+
+    def test_validations(self):
+        with pytest.raises(ValueError, match="series"):
+            line_chart("T", [1], {})
+        with pytest.raises(ValueError, match="points"):
+            line_chart("T", [1, 2], {"a": [1.0]})
+
+    def test_constant_series_ok(self):
+        out = line_chart("T", [1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "*" in out
+
+    def test_y_label(self):
+        assert "(y: seconds)" in line_chart(
+            "T", [1], {"a": [1.0]}, y_label="seconds")
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        out = bar_chart("T", {"g": {"big": 100.0, "small": 25.0}},
+                        width=40)
+        lines = {l.split("|")[0].strip(): l for l in out.splitlines()
+                 if "|" in l}
+        big = lines["big"].count("#")
+        small = lines["small"].count("#")
+        assert big == pytest.approx(4 * small, abs=2)
+
+    def test_zero_value_no_bar(self):
+        out = bar_chart("T", {"g": {"none": 0.0, "some": 1.0}})
+        none_line = [l for l in out.splitlines() if "none" in l][0]
+        assert "#" not in none_line
+
+    def test_unit_suffix(self):
+        assert "B" in bar_chart("T", {"g": {"a": 1.0}}, unit="B")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("T", {})

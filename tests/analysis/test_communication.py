@@ -1,0 +1,74 @@
+"""Figure-4 communication measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import MeasurementConfig, measure_communication, qcoo_savings
+
+CFG = MeasurementConfig(target_nnz=2000, measure_nodes=8, partitions=16)
+
+
+class TestMeasureCommunication:
+    @pytest.fixture(scope="class")
+    def coo_report(self):
+        return measure_communication("nell1", "cstf-coo", CFG)
+
+    def test_phases_include_all_mttkrps(self, coo_report):
+        phases = coo_report.phase_map()
+        for m in (1, 2, 3):
+            assert f"MTTKRP-{m}" in phases
+
+    def test_remote_and_local_both_present(self, coo_report):
+        totals = coo_report.totals()
+        assert totals.remote_bytes > 0
+        assert totals.local_bytes > 0
+        assert totals.total_bytes == totals.remote_bytes + totals.local_bytes
+
+    def test_remote_dominates_on_8_nodes(self, coo_report):
+        """~7/8 of shuffle traffic is remote on 8 nodes."""
+        totals = coo_report.totals()
+        frac = totals.remote_bytes / totals.total_bytes
+        assert 0.7 < frac < 0.95
+
+    def test_steady_state_excludes_setup(self):
+        first = measure_communication("nell1", "cstf-qcoo", CFG,
+                                      steady_state=False)
+        steady = measure_communication("nell1", "cstf-qcoo", CFG,
+                                       steady_state=True)
+        # first iteration carries the queue-init joins in MTTKRP-1
+        f1 = first.phase_map()["MTTKRP-1"].total_records
+        s1 = steady.phase_map()["MTTKRP-1"].total_records
+        assert f1 > s1
+
+
+class TestQcooSavings:
+    @pytest.fixture(scope="class")
+    def savings3d(self):
+        return qcoo_savings("nell1", CFG)
+
+    def test_third_order_record_reduction_near_one_third(self, savings3d):
+        """Section 6.5 headline: ~35% communication reduction for
+        3rd-order tensors (theory: 1/3).  Record counts are the
+        encoding-independent measure."""
+        summary, _, _ = savings3d
+        assert 0.25 <= summary.remote_records_reduction <= 0.45
+        assert 0.25 <= summary.local_records_reduction <= 0.45
+
+    def test_third_order_bytes_reduced(self, savings3d):
+        summary, _, _ = savings3d
+        assert summary.remote_bytes_reduction > 0.05
+        assert summary.local_bytes_reduction > 0.05
+
+    def test_fourth_order_savings(self):
+        """Section 6.5: 31% remote reduction on flickr (4th order)."""
+        summary, _, _ = qcoo_savings("flickr", CFG)
+        assert summary.remote_bytes_reduction > 0.15
+        assert summary.remote_records_reduction > \
+            summary.remote_bytes_reduction  # fat queue records
+
+    def test_reports_attached(self, savings3d):
+        _, coo, qcoo = savings3d
+        assert coo.algorithm == "cstf-coo"
+        assert qcoo.algorithm == "cstf-qcoo"
+        assert coo.totals().remote_bytes > qcoo.totals().remote_bytes

@@ -1,0 +1,68 @@
+"""Table 4 closed forms and measurement validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (qcoo_join_saving, shuffles_per_iteration,
+                            theoretical_cost)
+
+
+class TestTable4:
+    """The exact rows of Table 4 for a 3rd-order mode-1 MTTKRP."""
+
+    def test_bigtensor_row(self):
+        c = theoretical_cost("bigtensor", 3, 1000, 2, shape=(10, 20, 30))
+        assert c.flops == 5 * 1000 * 2
+        assert c.shuffles == 4
+        assert c.intermediate_data == max(20 + 1000, 30 + 1000)
+
+    def test_coo_row(self):
+        c = theoretical_cost("cstf-coo", 3, 1000, 2)
+        assert c.flops == 3 * 1000 * 2
+        assert c.intermediate_data == 1000 * 2
+        assert c.shuffles == 3
+
+    def test_qcoo_row(self):
+        c = theoretical_cost("cstf-qcoo", 3, 1000, 2)
+        assert c.flops == 3 * 1000 * 2
+        assert c.intermediate_data == 2 * 1000 * 2
+        assert c.shuffles == 2
+
+    def test_order_generalisation(self):
+        assert theoretical_cost("cstf-coo", 5, 100, 2).shuffles == 5
+        assert theoretical_cost("cstf-qcoo", 5, 100, 2).shuffles == 2
+        assert theoretical_cost("cstf-qcoo", 5, 100, 2).intermediate_data \
+            == 4 * 100 * 2
+
+    def test_bigtensor_third_order_only(self):
+        with pytest.raises(ValueError, match="3rd-order"):
+            theoretical_cost("bigtensor", 4, 100, 2)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown"):
+            theoretical_cost("splatt", 3, 100, 2)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            theoretical_cost("cstf-coo", 1, 100, 2)
+
+    def test_per_iteration_counts(self):
+        # Section 5: N^2 shuffles per iteration for COO
+        assert shuffles_per_iteration("cstf-coo", 3) == 9
+        assert shuffles_per_iteration("cstf-coo", 4) == 16
+        assert shuffles_per_iteration("cstf-qcoo", 3) == 6
+        assert shuffles_per_iteration("cstf-qcoo", 4) == 8
+        assert shuffles_per_iteration("bigtensor", 3) == 12
+
+
+class TestJoinSaving:
+    def test_published_percentages(self):
+        """Section 5: 33%, 25%, 20% for orders 3, 4, 5."""
+        assert qcoo_join_saving(3) == pytest.approx(1 / 3)
+        assert qcoo_join_saving(4) == pytest.approx(1 / 4)
+        assert qcoo_join_saving(5) == pytest.approx(1 / 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qcoo_join_saving(1)

@@ -1,0 +1,82 @@
+"""Rank selection diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import corcondia, rank_sweep, suggest_rank
+from repro.baselines import local_cp_als
+from repro.tensor import COOTensor, cp_reconstruct, random_factors
+
+
+@pytest.fixture(scope="module")
+def rank3_tensor():
+    planted = random_factors((14, 13, 12), 3, 5)
+    return COOTensor.from_dense(cp_reconstruct(np.ones(3), planted))
+
+
+class TestRankSweep:
+    def test_fit_increases_with_rank(self, rank3_tensor):
+        sweep = rank_sweep(rank3_tensor, [1, 2, 3], max_iterations=20,
+                           seed=1)
+        fits = [fit for _r, fit, _m in sweep]
+        assert fits[0] < fits[1] < fits[2]
+        assert fits[2] > 0.99
+
+    def test_rows_carry_models(self, rank3_tensor):
+        sweep = rank_sweep(rank3_tensor, [2], max_iterations=3)
+        rank, fit, model = sweep[0]
+        assert rank == 2
+        assert model.rank == 2
+
+    def test_custom_decomposer(self, rank3_tensor):
+        calls = []
+
+        def spy(tensor, rank, **kw):
+            calls.append(rank)
+            return local_cp_als(tensor, rank, **kw)
+
+        rank_sweep(rank3_tensor, [1, 2], max_iterations=2,
+                   decompose=spy)
+        assert calls == [1, 2]
+
+    def test_empty_ranks_rejected(self, rank3_tensor):
+        with pytest.raises(ValueError):
+            rank_sweep(rank3_tensor, [])
+
+
+class TestSuggestRank:
+    def test_elbow_at_true_rank(self, rank3_tensor):
+        sweep = rank_sweep(rank3_tensor, [1, 2, 3, 4, 5],
+                           max_iterations=25, seed=1)
+        assert suggest_rank(sweep) == 3
+
+    def test_returns_max_when_still_improving(self):
+        fake = [(1, 0.1, None), (2, 0.4, None), (3, 0.7, None)]
+        assert suggest_rank(fake) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_rank([])
+
+
+class TestCorcondia:
+    def test_near_100_at_true_rank(self, rank3_tensor):
+        model = local_cp_als(rank3_tensor, 3, max_iterations=40,
+                             tol=1e-9, seed=1)
+        assert corcondia(rank3_tensor, model) > 90
+
+    def test_degrades_when_overfactored(self, rank3_tensor):
+        right = local_cp_als(rank3_tensor, 3, max_iterations=40,
+                             tol=1e-9, seed=1)
+        over = local_cp_als(rank3_tensor, 5, max_iterations=40,
+                            tol=1e-9, seed=1)
+        assert corcondia(rank3_tensor, over) < \
+            corcondia(rank3_tensor, right)
+
+    def test_perfect_for_exact_rank1(self):
+        planted = random_factors((8, 8, 8), 1, 2)
+        t = COOTensor.from_dense(cp_reconstruct(np.ones(1), planted))
+        model = local_cp_als(t, 1, max_iterations=30, tol=1e-10, seed=0)
+        assert corcondia(t, model) == pytest.approx(100.0, abs=1.0)

@@ -1,0 +1,124 @@
+"""Experiment harness: measurement, scaling, runtime series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (DRIVERS, MeasurementConfig, mode_runtime_series,
+                            per_iteration_stats, phase_stats,
+                            run_and_measure, runtime_series)
+from repro.analysis.experiments import execution_mode, make_context, paper_scale
+from repro.datasets import make_dataset
+
+CFG = MeasurementConfig(target_nnz=1500, measure_nodes=4, partitions=8)
+
+
+@pytest.fixture(scope="module")
+def tiny_tensor():
+    return make_dataset("nell1", 1500, 0)
+
+
+class TestMeasurement:
+    def test_execution_modes(self):
+        assert execution_mode("bigtensor") == "hadoop"
+        assert execution_mode("cstf-coo") == "spark"
+
+    def test_unknown_algorithm(self):
+        ctx = make_context("cstf-coo", CFG)
+        from repro.analysis.experiments import make_driver
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_driver("splatt", ctx, CFG)
+
+    def test_run_and_measure_stats(self, tiny_tensor):
+        stats, metrics = run_and_measure("cstf-coo", tiny_tensor, 1, CFG)
+        assert stats.shuffle_rounds == 9  # 3 modes x 3 rounds
+        assert stats.flops == 9 * tiny_tensor.nnz * CFG.rank
+        assert stats.shuffle_total_bytes > 0
+        assert metrics.jobs
+
+    def test_two_iterations_roughly_double_steady_cost(self, tiny_tensor):
+        one, _ = run_and_measure("cstf-qcoo", tiny_tensor, 1, CFG)
+        two, _ = run_and_measure("cstf-qcoo", tiny_tensor, 2, CFG)
+        steady = two - one
+        # steady iteration: exactly 6 rounds (no queue init)
+        assert steady.shuffle_rounds == 6
+        assert one.shuffle_rounds == 8  # init adds 2
+
+    def test_per_iteration_amortises_setup(self, tiny_tensor):
+        per_iter = per_iteration_stats("cstf-qcoo", tiny_tensor, CFG)
+        # ~ (2/20 init) + 6 steady rounds, rounded
+        assert 6 <= per_iter.shuffle_rounds <= 7
+
+    def test_paper_scale_multiplies_extensive(self, tiny_tensor):
+        stats, _ = run_and_measure("cstf-coo", tiny_tensor, 1, CFG)
+        scaled = paper_scale(stats, tiny_tensor, "nell1")
+        factor = 143_599_552 / tiny_tensor.nnz
+        assert scaled.shuffle_total_bytes == pytest.approx(
+            stats.shuffle_total_bytes * factor, rel=0.01)
+        assert scaled.shuffle_rounds == stats.shuffle_rounds
+
+
+class TestPhaseStats:
+    def test_per_phase_rounds(self, tiny_tensor):
+        _, metrics = run_and_measure("cstf-coo", tiny_tensor, 1, CFG)
+        s1 = phase_stats(metrics, "MTTKRP-1", hadoop_mode=False)
+        assert s1.shuffle_rounds == 3
+        assert s1.shuffle_total_bytes > 0
+        assert phase_stats(metrics, "no-such-phase", False).num_jobs == 0
+
+    def test_hadoop_phase_jobs(self, tiny_tensor):
+        _, metrics = run_and_measure("bigtensor", tiny_tensor, 1, CFG)
+        s1 = phase_stats(metrics, "MTTKRP-1", hadoop_mode=True)
+        assert s1.hadoop_jobs == 4
+        assert s1.hdfs_write_bytes > 0
+
+
+class TestRuntimeSeries:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return runtime_series(
+            "nell1", ("cstf-coo", "cstf-qcoo", "bigtensor"),
+            MeasurementConfig(target_nnz=1500, measure_nodes=4,
+                              partitions=8), node_counts=(4, 16))
+
+    def test_all_algorithms_present(self, series):
+        assert set(series.seconds) == {"cstf-coo", "cstf-qcoo",
+                                       "bigtensor"}
+
+    def test_positive_decreasing_with_nodes(self, series):
+        for alg, secs in series.seconds.items():
+            assert all(s > 0 for s in secs)
+            assert secs[-1] < secs[0], alg  # more nodes -> faster
+
+    def test_bigtensor_slowest(self, series):
+        for i in range(2):
+            assert series.seconds["bigtensor"][i] > \
+                series.seconds["cstf-coo"][i]
+            assert series.seconds["bigtensor"][i] > \
+                series.seconds["cstf-qcoo"][i]
+
+    def test_speedup_accessor(self, series):
+        sp = series.speedup("bigtensor", "cstf-coo")
+        assert all(s > 1 for s in sp)
+
+
+class TestModeSeries:
+    def test_mode_series_shape(self):
+        ms = mode_runtime_series(
+            "nell1", ("cstf-coo", "cstf-qcoo"),
+            MeasurementConfig(target_nnz=1500, measure_nodes=4,
+                              partitions=8), num_nodes=4)
+        assert set(ms.seconds) == {"cstf-coo", "cstf-qcoo"}
+        assert len(ms.seconds["cstf-coo"]) == 3
+        assert all(s > 0 for s in ms.seconds["cstf-coo"])
+
+    def test_qcoo_mode1_overhead(self):
+        """Figure 5: QCOO's mode-1 MTTKRP carries the queue-init cost,
+        exceeding its own later modes."""
+        ms = mode_runtime_series(
+            "nell1", ("cstf-qcoo",),
+            MeasurementConfig(target_nnz=1500, measure_nodes=4,
+                              partitions=8), num_nodes=4)
+        q = ms.seconds["cstf-qcoo"]
+        assert q[0] > q[1]
+        assert q[0] > q[2]

@@ -1,0 +1,75 @@
+"""Plain-text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (format_series, format_speedups, format_table,
+                            format_value)
+
+
+class TestFormatValue:
+    def test_int_thousands(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_float_moderate(self):
+        assert format_value(12.5) == "12.50"
+
+    def test_float_scientific(self):
+        assert format_value(6.5e-12) == "6.500e-12"
+        assert format_value(1.4e8) == "1.400e+08"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_value("nell1") == "nell1"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "n"], [["a", 1], ["bb", 22]],
+                           title="T5")
+        lines = out.splitlines()
+        assert lines[0] == "T5"
+        assert "name" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        out = format_series("Fig 2(a)", "nodes", [4, 8],
+                            {"coo": [10.0, 5.0], "qcoo": [9.0, 4.0]})
+        assert "Fig 2(a)" in out
+        assert "coo (s)" in out
+        assert "qcoo (s)" in out
+        assert "10.00" in out
+
+    def test_speedups(self):
+        out = format_speedups("s", [4], [10.0], [5.0], "big", "coo")
+        assert "big/coo" in out
+        assert "2.00" in out
+
+
+class TestFormatBreakdown:
+    def test_renders_terms(self):
+        from repro.engine import CostModel, RunStats
+        from repro.analysis import format_breakdown
+        model = CostModel()
+        stats = RunStats(records_processed=10**6,
+                         shuffle_total_bytes=10**7, shuffle_rounds=9)
+        out = format_breakdown(
+            "T", {8: model.estimate(stats, 8),
+                  32: model.estimate(stats, 32)})
+        assert "total s" in out
+        assert "compute" in out
+        assert "sync" in out

@@ -1,0 +1,99 @@
+"""BIGtensor baseline workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BigtensorCP, local_cp_als
+from repro.core import CstfCOO
+from repro.engine import Context
+from repro.tensor import random_factors, uniform_sparse
+from repro.analysis.complexity import measured_mttkrp_rounds
+
+
+class TestConstraints:
+    def test_requires_hadoop_context(self, ctx):
+        with pytest.raises(ValueError, match="hadoop"):
+            BigtensorCP(ctx)
+
+    def test_rejects_fourth_order(self, hadoop_ctx, tensor4d):
+        with pytest.raises(ValueError, match="3rd-order"):
+            BigtensorCP(hadoop_ctx).decompose(tensor4d, 2,
+                                              max_iterations=1)
+
+
+class TestWorkflow:
+    def test_four_rounds_per_mttkrp(self, small_tensor):
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as ctx:
+            BigtensorCP(ctx).decompose(small_tensor, 2, max_iterations=2,
+                                       tol=0.0, compute_fit=False)
+            per_mode = measured_mttkrp_rounds(ctx.metrics, 3, iterations=2)
+            assert per_mode == {1: 4.0, 2: 4.0, 3: 4.0}
+
+    def test_one_hadoop_job_per_round(self, small_tensor):
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as ctx:
+            BigtensorCP(ctx).decompose(small_tensor, 2, max_iterations=1,
+                                       tol=0.0, compute_fit=False)
+            rounds = ctx.metrics.total_shuffle_rounds()
+            assert ctx.metrics.hadoop.jobs_launched == rounds == 12
+
+    def test_hdfs_traffic_recorded(self, small_tensor):
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as ctx:
+            BigtensorCP(ctx).decompose(small_tensor, 2, max_iterations=1,
+                                       tol=0.0, compute_fit=False)
+            assert ctx.metrics.hadoop.hdfs_bytes_written > 0
+
+    def test_pair_join_shuffles_double_nnz(self, small_tensor):
+        """Section 4.3: at the N1-N2 combine, 'double the number of
+        tensor nonzeros are shuffled'."""
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as ctx:
+            driver = BigtensorCP(ctx)
+            init = random_factors(small_tensor.shape, 2, 0)
+            driver.decompose(small_tensor, 2, max_iterations=1, tol=0.0,
+                             initial_factors=init, compute_fit=False)
+            # one MTTKRP shuffles four nnz-sized streams: X, bin(X), and
+            # both N1 and N2 at the combine ("double the nonzeros");
+            # the final reduce is combiner-shrunk on this tiny tensor
+            written = ctx.metrics.total_shuffle_write().records_written
+            assert written >= 3 * 4 * small_tensor.nnz
+
+    def test_matches_local_reference(self, small_tensor):
+        init = random_factors(small_tensor.shape, 2, 9)
+        ref = local_cp_als(small_tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init)
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as ctx:
+            res = BigtensorCP(ctx).decompose(
+                small_tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_flops_five_nnz_r(self, small_tensor):
+        driver = BigtensorCP.__new__(BigtensorCP)
+        assert driver.flops_per_iteration(small_tensor, 2) == \
+            5 * 3 * small_tensor.nnz * 2
+        assert driver.shuffles_per_mttkrp(3) == 4
+
+    def test_more_shuffled_data_than_coo(self, small_tensor):
+        """The unfolding workflow must communicate more than CSTF-COO
+        (the paper's core claim)."""
+        init = random_factors(small_tensor.shape, 2, 0)
+        with Context(num_nodes=4, default_parallelism=8,
+                     execution_mode="hadoop") as hctx:
+            BigtensorCP(hctx).decompose(small_tensor, 2, max_iterations=1,
+                                        tol=0.0, initial_factors=init,
+                                        compute_fit=False)
+            big_bytes = hctx.metrics.total_shuffle_read().total_bytes
+        with Context(num_nodes=4, default_parallelism=8) as sctx:
+            CstfCOO(sctx).decompose(small_tensor, 2, max_iterations=1,
+                                    tol=0.0, initial_factors=init,
+                                    compute_fit=False)
+            coo_bytes = sctx.metrics.total_shuffle_read().total_bytes
+        assert big_bytes > coo_bytes

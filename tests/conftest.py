@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# hypothesis effort profiles: the default keeps the suite fast; set
+# REPRO_HYPOTHESIS_PROFILE=thorough for a deeper property-testing pass
+settings.register_profile(
+    "default", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "thorough", deadline=None, max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(
+    os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
+
+from repro.engine import Context
+from repro.tensor import COOTensor, uniform_sparse
+
+
+@pytest.fixture
+def ctx():
+    """A small 4-node spark-mode context."""
+    c = Context(num_nodes=4, default_parallelism=8)
+    yield c
+    c.stop()
+
+
+@pytest.fixture
+def hadoop_ctx():
+    """A small 4-node hadoop-mode context."""
+    c = Context(num_nodes=4, default_parallelism=8,
+                execution_mode="hadoop")
+    yield c
+    c.stop()
+
+
+@pytest.fixture
+def small_tensor() -> COOTensor:
+    """A 3rd-order sparse tensor small enough to densify."""
+    return uniform_sparse((12, 15, 9), 180, rng=42)
+
+
+@pytest.fixture
+def tensor4d() -> COOTensor:
+    """A 4th-order sparse tensor."""
+    return uniform_sparse((8, 10, 6, 7), 150, rng=43)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

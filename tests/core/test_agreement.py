@@ -1,0 +1,113 @@
+"""Cross-implementation agreement: all CP-ALS implementations compute
+identical decompositions from identical starting points — the central
+integration property of the reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BigtensorCP, local_cp_als
+from repro.core import CstfCOO, CstfQCOO
+from repro.engine import Context
+from repro.tensor import (congruence, low_rank_sparse, random_factors,
+                          uniform_sparse)
+
+
+def run(cls, tensor, init, iterations=3, **ctx_kw):
+    mode = "hadoop" if cls is BigtensorCP else "spark"
+    with Context(num_nodes=4, default_parallelism=8,
+                 execution_mode=mode, **ctx_kw) as ctx:
+        return cls(ctx).decompose(tensor, init[0].shape[1],
+                                  max_iterations=iterations, tol=0.0,
+                                  initial_factors=init)
+
+
+def assert_same(a, b, atol=1e-8):
+    assert np.allclose(a.lambdas, b.lambdas, atol=atol)
+    for fa, fb in zip(a.factors, b.factors):
+        assert np.allclose(fa, fb, atol=atol)
+    if a.fit_history and b.fit_history:
+        assert np.allclose(a.fit_history, b.fit_history, atol=1e-6)
+
+
+class TestThirdOrderAgreement:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        tensor = uniform_sparse((14, 11, 17), 250, rng=8)
+        init = random_factors(tensor.shape, 2, 21)
+        ref = local_cp_als(tensor, 2, max_iterations=3, tol=0.0,
+                           initial_factors=init)
+        return tensor, init, ref
+
+    def test_coo_matches_local(self, setup):
+        tensor, init, ref = setup
+        assert_same(run(CstfCOO, tensor, init), ref)
+
+    def test_qcoo_matches_local(self, setup):
+        tensor, init, ref = setup
+        assert_same(run(CstfQCOO, tensor, init), ref)
+
+    def test_bigtensor_matches_local(self, setup):
+        tensor, init, ref = setup
+        assert_same(run(BigtensorCP, tensor, init), ref)
+
+
+class TestFourthOrderAgreement:
+    def test_coo_and_qcoo_match_local(self, tensor4d):
+        init = random_factors(tensor4d.shape, 3, 5)
+        ref = local_cp_als(tensor4d, 3, max_iterations=3, tol=0.0,
+                           initial_factors=init)
+        assert_same(run(CstfCOO, tensor4d, init), ref)
+        assert_same(run(CstfQCOO, tensor4d, init), ref)
+
+
+class TestFifthOrderAgreement:
+    def test_qcoo_matches_local(self):
+        tensor = uniform_sparse((6, 5, 7, 4, 5), 150, rng=9)
+        init = random_factors(tensor.shape, 2, 13)
+        ref = local_cp_als(tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init)
+        assert_same(run(CstfQCOO, tensor, init, iterations=2), ref)
+
+
+class TestRecovery:
+    def test_all_algorithms_recover_planted_factors(self):
+        """On a dense-sampled low-rank tensor, every implementation
+        recovers the planted factors (congruence near 1)."""
+        rng = np.random.default_rng(3)
+        from repro.tensor import COOTensor, cp_reconstruct
+        planted = random_factors((12, 13, 14), 2, rng)
+        lam = np.ones(2)
+        tensor = COOTensor.from_dense(cp_reconstruct(lam, planted))
+        init = random_factors(tensor.shape, 2, 77)
+        for cls in (CstfCOO, CstfQCOO, BigtensorCP):
+            res = run(cls, tensor, init, iterations=25)
+            score = congruence(res.factors, res.lambdas, planted, lam)
+            assert score > 0.99, (cls.__name__, score)
+            assert res.fit_history[-1] > 0.99
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_agreement_property_random_tensors(self, seed):
+        tensor = uniform_sparse((9, 8, 7), 120, rng=seed)
+        init = random_factors(tensor.shape, 2, seed + 1)
+        ref = local_cp_als(tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init)
+        assert_same(run(CstfCOO, tensor, init, iterations=2), ref)
+        assert_same(run(CstfQCOO, tensor, init, iterations=2), ref)
+
+
+class TestNodeCountInvariance:
+    @pytest.mark.parametrize("nodes", [1, 2, 8])
+    def test_cluster_size_does_not_change_math(self, small_tensor, nodes):
+        init = random_factors(small_tensor.shape, 2, 0)
+        ref = local_cp_als(small_tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init)
+        with Context(num_nodes=nodes, default_parallelism=2 * nodes) as ctx:
+            res = CstfQCOO(ctx).decompose(
+                small_tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)

@@ -1,0 +1,109 @@
+"""Cross-cutting driver option combinations.
+
+Each option is tested in isolation elsewhere; these tests exercise the
+combinations a real user stacks together (nvecs + ridge + nonnegative +
+partitioning + variant), asserting distributed == local at every
+combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import local_cp_als
+from repro.core import CstfCOO, CstfDimTree, CstfQCOO
+from repro.engine import Context
+from repro.tensor import initial_factors, uniform_sparse
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return uniform_sparse((14, 12, 10), 220, rng=31)
+
+
+COMBOS = [
+    dict(regularization=0.2, nonnegative=True),
+    dict(regularization=0.05),
+    dict(nonnegative=True),
+]
+
+
+class TestOptionStacks:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO, CstfDimTree])
+    @pytest.mark.parametrize("combo", COMBOS,
+                             ids=["ridge+nn", "ridge", "nn"])
+    def test_every_variant_matches_local(self, tensor, cls, combo):
+        init = initial_factors(tensor, 2, "nvecs")
+        ref = local_cp_als(tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init, **combo)
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = cls(ctx, **combo).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_broadcast_strategy_with_ridge(self, tensor):
+        init = initial_factors(tensor, 2, "random", seed=4)
+        ref = local_cp_als(tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init, regularization=0.3)
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = CstfCOO(ctx, factor_strategy="broadcast",
+                          regularization=0.3).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+
+    def test_range_partitioning_with_qcoo(self, tensor):
+        init = initial_factors(tensor, 2, "random", seed=5)
+        with Context(num_nodes=2, default_parallelism=4) as a:
+            base = CstfQCOO(a).decompose(tensor, 2, max_iterations=2,
+                                         tol=0.0, initial_factors=init)
+        with Context(num_nodes=2, default_parallelism=4) as b:
+            ranged = CstfQCOO(b, tensor_partitioning="range:1")\
+                .decompose(tensor, 2, max_iterations=2, tol=0.0,
+                           initial_factors=init)
+        assert np.allclose(base.lambdas, ranged.lambdas)
+
+    def test_nvecs_with_dimtree(self, tensor):
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = CstfDimTree(ctx).decompose(tensor, 2,
+                                             max_iterations=3,
+                                             tol=0.0, init="nvecs")
+        assert res.fit_history[-1] >= res.fit_history[0] - 1e-9
+
+    def test_gram_recompute_with_qcoo_and_ridge(self, tensor):
+        init = initial_factors(tensor, 2, "random", seed=6)
+        with Context(num_nodes=2, default_parallelism=4) as a:
+            fast = CstfQCOO(a, regularization=0.1).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        with Context(num_nodes=2, default_parallelism=4) as b:
+            slow = CstfQCOO(b, regularization=0.1,
+                            recompute_grams_per_mttkrp=True).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(fast.lambdas, slow.lambdas)
+
+
+class TestHarnessVariants:
+    def test_runtime_series_with_dimtree(self):
+        from repro.analysis import MeasurementConfig, runtime_series
+        cfg = MeasurementConfig(target_nnz=1200, measure_nodes=4,
+                                partitions=8)
+        series = runtime_series("synt3d",
+                                ("cstf-coo", "cstf-dimtree"), cfg,
+                                node_counts=(4, 16))
+        assert set(series.seconds) == {"cstf-coo", "cstf-dimtree"}
+        for secs in series.seconds.values():
+            assert all(s > 0 for s in secs)
+
+    def test_breakdown_components_exposed(self):
+        from repro.engine import CostModel, RunStats
+        t = CostModel().estimate(
+            RunStats(records_processed=1000, shuffle_total_bytes=1000,
+                     shuffle_rounds=3), 8)
+        assert t.components["rounds"] == 3.0
+        assert t.components["remote_bytes"] == pytest.approx(875.0)

@@ -1,0 +1,140 @@
+"""ALS extensions: broadcast strategy, regularization, nonnegativity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import local_cp_als
+from repro.core import CstfCOO, CstfQCOO
+from repro.engine import Context
+from repro.tensor import random_factors, uniform_sparse
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return uniform_sparse((14, 11, 17), 250, rng=8)
+
+
+@pytest.fixture(scope="module")
+def init(tensor):
+    return random_factors(tensor.shape, 2, 21)
+
+
+class TestBroadcastStrategy:
+    def test_matches_join_strategy(self, tensor, init):
+        results = {}
+        for strategy in ("join", "broadcast"):
+            with Context(num_nodes=4, default_parallelism=8) as ctx:
+                results[strategy] = CstfCOO(
+                    ctx, factor_strategy=strategy).decompose(
+                        tensor, 2, max_iterations=3, tol=0.0,
+                        initial_factors=init)
+        assert np.allclose(results["join"].lambdas,
+                           results["broadcast"].lambdas)
+        for a, b in zip(results["join"].factors,
+                        results["broadcast"].factors):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_one_round_per_mttkrp(self, tensor, init):
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            CstfCOO(ctx, factor_strategy="broadcast").decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init, compute_fit=False)
+            # 2 iterations x 3 modes x 1 reduce round
+            assert ctx.metrics.total_shuffle_rounds() == 6
+            # 2 broadcasts per MTTKRP (the two fixed factors)
+            assert ctx.metrics.broadcast_count == 12
+            assert ctx.metrics.broadcast_bytes > 0
+
+    def test_less_shuffle_more_broadcast_than_join(self, tensor, init):
+        stats = {}
+        for strategy in ("join", "broadcast"):
+            with Context(num_nodes=4, default_parallelism=8) as ctx:
+                CstfCOO(ctx, factor_strategy=strategy).decompose(
+                    tensor, 2, max_iterations=2, tol=0.0,
+                    initial_factors=init, compute_fit=False)
+                stats[strategy] = (
+                    ctx.metrics.total_shuffle_read().total_bytes,
+                    ctx.metrics.broadcast_bytes)
+        assert stats["broadcast"][0] < stats["join"][0]
+        assert stats["broadcast"][1] > stats["join"][1] == 0
+
+    def test_invalid_strategy(self, ctx):
+        with pytest.raises(ValueError, match="factor_strategy"):
+            CstfCOO(ctx, factor_strategy="carrier-pigeon")
+
+    def test_shuffles_per_mttkrp_reflects_strategy(self, ctx):
+        assert CstfCOO(ctx).shuffles_per_mttkrp(3) == 3
+        assert CstfCOO(ctx, factor_strategy="broadcast")\
+            .shuffles_per_mttkrp(3) == 1
+
+
+class TestRegularization:
+    def test_matches_local_reference(self, tensor, init):
+        ref = local_cp_als(tensor, 2, max_iterations=3, tol=0.0,
+                           initial_factors=init, regularization=0.5)
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            res = CstfQCOO(ctx, regularization=0.5).decompose(
+                tensor, 2, max_iterations=3, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_changes_solution(self, tensor, init):
+        with Context(num_nodes=2, default_parallelism=4) as a:
+            plain = CstfCOO(a).decompose(tensor, 2, max_iterations=2,
+                                         tol=0.0, initial_factors=init)
+        with Context(num_nodes=2, default_parallelism=4) as b:
+            ridge = CstfCOO(b, regularization=1.0).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                initial_factors=init)
+        assert not np.allclose(plain.lambdas, ridge.lambdas)
+
+    def test_stabilises_singular_grams(self):
+        """With rank > effective tensor rank, plain ALS hits singular V;
+        ridge keeps it well-posed and finite."""
+        t = uniform_sparse((6, 6, 6), 20, rng=0)
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = CstfCOO(ctx, regularization=0.1).decompose(
+                t, 8, max_iterations=3, tol=0.0, seed=0)
+        for f in res.factors:
+            assert np.all(np.isfinite(f))
+
+    def test_validation(self, ctx):
+        with pytest.raises(ValueError, match="regularization"):
+            CstfCOO(ctx, regularization=-1.0)
+        with pytest.raises(ValueError, match="regularization"):
+            local_cp_als(uniform_sparse((3, 3, 3), 5, rng=0), 1,
+                         regularization=-0.1)
+
+
+class TestNonnegative:
+    def test_factors_nonnegative(self, tensor, init):
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = CstfQCOO(ctx, nonnegative=True).decompose(
+                tensor, 2, max_iterations=3, tol=0.0,
+                initial_factors=init)
+        for f in res.factors:
+            assert (f >= 0).all()
+
+    def test_matches_local_reference(self, tensor, init):
+        ref = local_cp_als(tensor, 2, max_iterations=3, tol=0.0,
+                           initial_factors=init, nonnegative=True)
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            res = CstfCOO(ctx, nonnegative=True).decompose(
+                tensor, 2, max_iterations=3, tol=0.0,
+                initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-8)
+
+    def test_fit_reasonable_on_nonnegative_data(self):
+        """Uniform(0,1)-valued tensors are nonnegative; projected ALS
+        should fit them comparably to plain ALS."""
+        t = uniform_sparse((10, 10, 10), 150, rng=4)
+        plain = local_cp_als(t, 3, max_iterations=8, tol=0.0, seed=1)
+        nn = local_cp_als(t, 3, max_iterations=8, tol=0.0, seed=1,
+                          nonnegative=True)
+        assert nn.fit_history[-1] > plain.fit_history[-1] - 0.1

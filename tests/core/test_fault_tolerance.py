@@ -1,0 +1,83 @@
+"""Fault tolerance of the full CP-ALS pipeline.
+
+The paper motivates Spark precisely because "fault-tolerant frameworks
+... can execute in data-center settings"; these tests inject task
+failures into complete decompositions and require bit-identical
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CstfCOO, CstfQCOO
+from repro.engine import Context, EngineConf, TaskFailedError
+from repro.tensor import random_factors, uniform_sparse
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return uniform_sparse((12, 10, 14), 220, rng=6)
+
+
+@pytest.fixture(scope="module")
+def init(tensor):
+    return random_factors(tensor.shape, 2, 17)
+
+
+def clean_run(cls, tensor, init):
+    with Context(num_nodes=4, default_parallelism=8) as ctx:
+        return cls(ctx).decompose(tensor, 2, max_iterations=2, tol=0.0,
+                                  initial_factors=init)
+
+
+class TestTransientFaults:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_sporadic_failures_do_not_change_results(self, cls, tensor,
+                                                     init):
+        ref = clean_run(cls, tensor, init)
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            state = {"count": 0}
+
+            def flaky(stage_id, partition, attempt):
+                state["count"] += 1
+                # fail every 17th task attempt once
+                if state["count"] % 17 == 0 and attempt == 0:
+                    raise RuntimeError("injected transient fault")
+
+            ctx.fault_injector = flaky
+            res = cls(ctx).decompose(tensor, 2, max_iterations=2,
+                                     tol=0.0, initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b)
+        assert state["count"] > 17  # faults actually fired
+
+    def test_every_first_attempt_fails(self, tensor, init):
+        """Worst transient case: every task fails once, all retried."""
+        ref = clean_run(CstfCOO, tensor, init)
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            def always_once(stage_id, partition, attempt):
+                if attempt == 0:
+                    raise RuntimeError("first attempt always dies")
+            ctx.fault_injector = always_once
+            res = CstfCOO(ctx).decompose(tensor, 2, max_iterations=2,
+                                         tol=0.0, initial_factors=init)
+        assert np.allclose(res.lambdas, ref.lambdas)
+
+
+class TestPermanentFaults:
+    def test_exhausted_retries_surface(self, tensor, init):
+        conf = EngineConf(task_max_failures=2)
+        with Context(num_nodes=4, default_parallelism=8,
+                     conf=conf) as ctx:
+            def doomed(stage_id, partition, attempt):
+                if partition == 3:
+                    raise RuntimeError("partition 3 is cursed")
+            ctx.fault_injector = doomed
+            with pytest.raises(TaskFailedError) as err:
+                CstfCOO(ctx).decompose(tensor, 2, max_iterations=1,
+                                       tol=0.0, initial_factors=init)
+            assert err.value.partition == 3
+            assert err.value.attempts == 2

@@ -1,0 +1,73 @@
+"""Distributed gram machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gram import GramCache, gram_of_rdd
+from repro.engine import HashPartitioner
+
+
+def factor_rdd(ctx, matrix):
+    n = ctx.default_parallelism
+    rows = [(i, matrix[i]) for i in range(matrix.shape[0])]
+    return ctx.parallelize(rows, n, HashPartitioner(n))
+
+
+class TestGramOfRdd:
+    def test_matches_numpy(self, ctx, rng):
+        m = rng.random((23, 3))
+        assert np.allclose(gram_of_rdd(factor_rdd(ctx, m), 3), m.T @ m)
+
+    def test_single_row(self, ctx):
+        m = np.array([[1.0, 2.0]])
+        assert np.allclose(gram_of_rdd(factor_rdd(ctx, m), 2),
+                           np.outer(m[0], m[0]))
+
+    def test_no_shuffle_needed(self, ctx, rng):
+        gram_of_rdd(factor_rdd(ctx, rng.random((10, 2))), 2)
+        assert ctx.metrics.total_shuffle_rounds() == 0
+
+
+class TestGramCache:
+    def test_initial_grams(self, ctx, rng):
+        mats = [rng.random((6, 2)), rng.random((7, 2)), rng.random((8, 2))]
+        cache = GramCache([factor_rdd(ctx, m) for m in mats], 2)
+        for g, m in zip(cache.grams, mats):
+            assert np.allclose(g, m.T @ m)
+
+    def test_v_except_hadamard(self, ctx, rng):
+        mats = [rng.random((6, 2)), rng.random((7, 2)), rng.random((8, 2))]
+        cache = GramCache([factor_rdd(ctx, m) for m in mats], 2)
+        expected = (mats[1].T @ mats[1]) * (mats[2].T @ mats[2])
+        assert np.allclose(cache.v_except(0), expected)
+
+    def test_refresh_updates_only_target(self, ctx, rng):
+        mats = [rng.random((6, 2)), rng.random((7, 2))]
+        cache = GramCache([factor_rdd(ctx, m) for m in mats], 2)
+        new = rng.random((6, 2))
+        cache.refresh(0, factor_rdd(ctx, new))
+        assert np.allclose(cache.grams[0], new.T @ new)
+        assert np.allclose(cache.grams[1], mats[1].T @ mats[1])
+
+    def test_refresh_all(self, ctx, rng):
+        mats = [rng.random((5, 2)), rng.random((5, 2))]
+        cache = GramCache([factor_rdd(ctx, m) for m in mats], 2)
+        new = [rng.random((5, 2)), rng.random((5, 2))]
+        cache.refresh_all([factor_rdd(ctx, m) for m in new])
+        for g, m in zip(cache.grams, new):
+            assert np.allclose(g, m.T @ m)
+
+    def test_pinv_except_recovers_inverse(self, ctx, rng):
+        mats = [rng.random((20, 2)) + 0.5 for _ in range(3)]
+        cache = GramCache([factor_rdd(ctx, m) for m in mats], 2)
+        v = cache.v_except(1)
+        assert np.allclose(cache.pinv_except(1) @ v, np.eye(2), atol=1e-8)
+
+    def test_pinv_handles_singular(self, ctx):
+        # rank-deficient grams: identical columns
+        m = np.ones((5, 2))
+        cache = GramCache([factor_rdd(ctx, m) for _ in range(3)], 2)
+        pinv = cache.pinv_except(0)
+        assert np.all(np.isfinite(pinv))

@@ -1,0 +1,61 @@
+"""Persistence of decomposition results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import local_cp_als, local_hooi
+from repro.core import CPDecomposition, TuckerDecomposition
+from repro.tensor import uniform_sparse
+
+
+class TestCPSaveLoad:
+    def test_roundtrip(self, tmp_path, small_tensor):
+        model = local_cp_als(small_tensor, 2, max_iterations=3, tol=0.0)
+        path = tmp_path / "cp.npz"
+        model.save(path)
+        loaded = CPDecomposition.load(path)
+        assert np.allclose(loaded.lambdas, model.lambdas)
+        for a, b in zip(loaded.factors, model.factors):
+            assert np.allclose(a, b)
+        assert loaded.fit_history == pytest.approx(model.fit_history)
+        assert loaded.algorithm == "local-als"
+        assert loaded.converged == model.converged
+
+    def test_loaded_model_evaluates_fit(self, tmp_path, small_tensor):
+        model = local_cp_als(small_tensor, 2, max_iterations=2, tol=0.0)
+        path = tmp_path / "cp.npz"
+        model.save(path)
+        loaded = CPDecomposition.load(path)
+        assert loaded.fit(small_tensor) == pytest.approx(
+            model.fit(small_tensor))
+
+    def test_empty_fit_history(self, tmp_path, small_tensor):
+        model = local_cp_als(small_tensor, 2, max_iterations=1, tol=0.0,
+                             compute_fit=False)
+        path = tmp_path / "cp.npz"
+        model.save(path)
+        assert CPDecomposition.load(path).fit_history == []
+
+
+class TestTuckerSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        tensor = uniform_sparse((8, 7, 6), 80, rng=1)
+        model = local_hooi(tensor, (2, 2, 2), max_iterations=2, tol=0.0)
+        path = tmp_path / "tucker.npz"
+        model.save(path)
+        loaded = TuckerDecomposition.load(path)
+        assert np.allclose(loaded.core, model.core)
+        for a, b in zip(loaded.factors, model.factors):
+            assert np.allclose(a, b)
+        assert loaded.ranks == model.ranks
+        assert loaded.algorithm == "local-hooi"
+
+    def test_loaded_fit_matches(self, tmp_path):
+        tensor = uniform_sparse((8, 7, 6), 80, rng=1)
+        model = local_hooi(tensor, (2, 2, 2), max_iterations=2, tol=0.0)
+        path = tmp_path / "tucker.npz"
+        model.save(path)
+        loaded = TuckerDecomposition.load(path)
+        assert loaded.fit(tensor) == pytest.approx(model.fit(tensor))

@@ -1,0 +1,102 @@
+"""Streaming CP maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CstfCOO
+from repro.core.streaming import StreamingCP, extend_factor
+from repro.engine import Context
+from repro.tensor import COOTensor, uniform_sparse
+
+
+def batch(shape, nnz, seed):
+    return uniform_sparse(shape, nnz, rng=seed)
+
+
+class TestExtendFactor:
+    def test_keeps_existing_rows(self, rng):
+        f = rng.random((5, 2))
+        out = extend_factor(f, 8, rng)
+        assert out.shape == (8, 2)
+        assert np.array_equal(out[:5], f)
+
+    def test_same_size_copies(self, rng):
+        f = rng.random((5, 2))
+        out = extend_factor(f, 5, rng)
+        assert np.array_equal(out, f)
+        assert out is not f
+
+    def test_shrink_rejected(self, rng):
+        with pytest.raises(ValueError, match="shrink"):
+            extend_factor(rng.random((5, 2)), 3, rng)
+
+
+class TestStreamingCP:
+    def test_first_batch_cold_start(self, ctx):
+        stream = StreamingCP(ctx, rank=2, refresh_iterations=3)
+        model = stream.observe(batch((10, 10, 10), 150, 1))
+        assert model.rank == 2
+        assert stream.nnz > 0
+        assert stream.fit is not None
+
+    def test_growing_modes(self, ctx):
+        stream = StreamingCP(ctx, rank=2, refresh_iterations=3)
+        stream.observe(batch((10, 10, 4), 100, 1))
+        stream.observe(batch((10, 10, 8), 100, 2))  # new date slices
+        assert stream.tensor.shape == (10, 10, 8)
+        assert stream.model.shape == (10, 10, 8)
+
+    def test_accumulates_nonzeros(self, ctx):
+        stream = StreamingCP(ctx, rank=2, refresh_iterations=2)
+        stream.observe(batch((12, 12, 12), 100, 1))
+        first = stream.nnz
+        stream.observe(batch((12, 12, 12), 100, 7))
+        assert stream.nnz > first
+
+    def test_duplicate_coordinates_summed(self, ctx):
+        idx = np.array([[0, 0, 0]])
+        b1 = COOTensor(idx, np.array([1.0]), (2, 2, 2))
+        b2 = COOTensor(idx, np.array([2.0]), (2, 2, 2))
+        stream = StreamingCP(ctx, rank=1, refresh_iterations=1)
+        stream.observe(b1)
+        stream.observe(b2)
+        assert stream.tensor.nnz == 1
+        assert stream.tensor.values[0] == 3.0
+
+    def test_order_mismatch_rejected(self, ctx):
+        stream = StreamingCP(ctx, rank=1, refresh_iterations=1)
+        stream.observe(batch((5, 5, 5), 20, 1))
+        with pytest.raises(ValueError, match="order"):
+            stream.observe(uniform_sparse((5, 5), 10, rng=0))
+
+    def test_warm_refresh_tracks_fit(self, ctx):
+        """After each batch the model fits the accumulated tensor about
+        as well as a cold re-decomposition would."""
+        stream = StreamingCP(ctx, rank=3, refresh_iterations=6)
+        for seed in (1, 2, 3):
+            stream.observe(batch((12, 11, 10), 120, seed))
+        from repro.baselines import local_cp_als
+        cold = local_cp_als(stream.tensor, 3, max_iterations=12,
+                            tol=1e-4, seed=0)
+        assert stream.fit > cold.fit_history[-1] - 0.05
+
+    def test_custom_driver(self, ctx):
+        stream = StreamingCP(ctx, rank=2, driver_cls=CstfCOO,
+                             refresh_iterations=2)
+        model = stream.observe(batch((8, 8, 8), 60, 1))
+        assert model.algorithm == "cstf-coo"
+
+    def test_refresh_history_recorded(self, ctx):
+        stream = StreamingCP(ctx, rank=2, refresh_iterations=3, tol=0.0)
+        stream.observe(batch((8, 8, 8), 60, 1))
+        stream.observe(batch((8, 8, 8), 60, 2))
+        assert len(stream.refresh_history) == 2
+        assert all(n >= 1 for n in stream.refresh_history)
+
+    def test_validations(self, ctx):
+        with pytest.raises(ValueError, match="rank"):
+            StreamingCP(ctx, rank=0)
+        with pytest.raises(ValueError, match="refresh_iterations"):
+            StreamingCP(ctx, rank=1, refresh_iterations=0)

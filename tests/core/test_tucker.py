@@ -1,0 +1,155 @@
+"""Distributed Tucker/HOOI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import local_hooi, random_orthonormal
+from repro.core import DistributedTucker
+from repro.engine import Context
+from repro.tensor import COOTensor, tucker_reconstruct, uniform_sparse
+
+
+def planted_tucker(shape=(15, 12, 10), ranks=(2, 3, 2), seed=5):
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal(ranks)
+    # spread the spectrum so leading subspaces are well separated
+    core.flat[0] += 10.0
+    core.flat[-1] += 3.0
+    factors = [random_orthonormal(s, r, rng)
+               for s, r in zip(shape, ranks)]
+    dense = tucker_reconstruct(core, factors)
+    return COOTensor.from_dense(dense), core, factors
+
+
+class TestAgreementWithLocal:
+    def test_fit_histories_match(self, ctx):
+        tensor, _, _ = planted_tucker()
+        ranks = (2, 3, 2)
+        init = [random_orthonormal(s, r, np.random.default_rng(9))
+                for s, r in zip(tensor.shape, ranks)]
+        ref = local_hooi(tensor, ranks, max_iterations=4, tol=0.0,
+                         initial_factors=init)
+        dist = DistributedTucker(ctx).decompose(
+            tensor, ranks, max_iterations=4, tol=0.0,
+            initial_factors=init)
+        assert np.allclose(ref.fit_history, dist.fit_history, atol=1e-8)
+
+    def test_subspaces_match(self, ctx):
+        tensor, _, _ = planted_tucker()
+        ranks = (2, 3, 2)
+        init = [random_orthonormal(s, r, np.random.default_rng(3))
+                for s, r in zip(tensor.shape, ranks)]
+        ref = local_hooi(tensor, ranks, max_iterations=3, tol=0.0,
+                         initial_factors=init)
+        dist = DistributedTucker(ctx).decompose(
+            tensor, ranks, max_iterations=3, tol=0.0,
+            initial_factors=init)
+        for a, b in zip(ref.factors, dist.factors):
+            assert np.allclose(a @ a.T, b @ b.T, atol=1e-6)
+
+    def test_random_sparse_tensor(self, ctx):
+        tensor = uniform_sparse((10, 9, 8), 120, rng=1)
+        ranks = (3, 3, 3)
+        init = [random_orthonormal(s, r, np.random.default_rng(2))
+                for s, r in zip(tensor.shape, ranks)]
+        ref = local_hooi(tensor, ranks, max_iterations=3, tol=0.0,
+                         initial_factors=init)
+        dist = DistributedTucker(ctx).decompose(
+            tensor, ranks, max_iterations=3, tol=0.0,
+            initial_factors=init)
+        assert np.allclose(ref.fit_history, dist.fit_history, atol=1e-7)
+
+
+class TestRecovery:
+    def test_recovers_planted_model(self, ctx):
+        tensor, core, factors = planted_tucker()
+        dist = DistributedTucker(ctx).decompose(
+            tensor, (2, 3, 2), max_iterations=8, tol=1e-10, seed=0)
+        assert dist.fit_history[-1] > 0.9999
+        for planted, found in zip(factors, dist.factors):
+            assert np.allclose(planted @ planted.T, found @ found.T,
+                               atol=1e-4)
+
+    def test_factors_orthonormal(self, ctx):
+        tensor = uniform_sparse((9, 8, 7), 100, rng=4)
+        dist = DistributedTucker(ctx).decompose(
+            tensor, (2, 2, 2), max_iterations=3, tol=0.0, seed=1)
+        for f in dist.factors:
+            assert np.allclose(f.T @ f, np.eye(f.shape[1]), atol=1e-8)
+
+    def test_fit_monotone(self, ctx):
+        tensor = uniform_sparse((9, 8, 7), 100, rng=4)
+        dist = DistributedTucker(ctx).decompose(
+            tensor, (3, 3, 3), max_iterations=5, tol=0.0, seed=2)
+        diffs = np.diff(dist.fit_history)
+        assert (diffs > -1e-9).all()
+
+    def test_fourth_order(self, ctx, tensor4d):
+        dist = DistributedTucker(ctx).decompose(
+            tensor4d, (2, 2, 2, 2), max_iterations=2, tol=0.0, seed=0)
+        assert dist.order == 4
+        assert dist.core.shape == (2, 2, 2, 2)
+
+
+class TestDataflow:
+    def test_one_shuffle_per_mode_update(self, small_tensor):
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            DistributedTucker(ctx).decompose(
+                small_tensor, (2, 2, 2), max_iterations=2, tol=0.0,
+                seed=0)
+            rounds = {}
+            for job in ctx.metrics.jobs:
+                rounds[job.phase] = rounds.get(job.phase, 0) \
+                    + job.shuffle_rounds
+            for m in (1, 2, 3):
+                assert rounds[f"TTM-{m}"] == 2  # one per iteration
+
+    def test_factors_broadcast_each_update(self, small_tensor):
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            DistributedTucker(ctx).decompose(
+                small_tensor, (2, 2, 2), max_iterations=1, tol=0.0,
+                seed=0)
+            # 3 mode updates x 2 fixed factors
+            assert ctx.metrics.broadcast_count == 6
+
+
+class TestValidation:
+    def test_rank_arity(self, ctx, small_tensor):
+        with pytest.raises(ValueError, match="ranks"):
+            DistributedTucker(ctx).decompose(small_tensor, (2, 2))
+
+    def test_rank_bounds(self, ctx, small_tensor):
+        with pytest.raises(ValueError, match="out of range"):
+            DistributedTucker(ctx).decompose(small_tensor, (99, 2, 2))
+
+    def test_duplicates_rejected(self, ctx):
+        t = COOTensor(np.array([[0, 0, 0], [0, 0, 0]]),
+                      np.array([1.0, 1.0]), (2, 2, 2))
+        with pytest.raises(ValueError, match="duplicate"):
+            DistributedTucker(ctx).decompose(t, (1, 1, 1))
+
+    def test_initial_factor_shape_checked(self, ctx, small_tensor):
+        init = [np.ones((3, 2))] * 3
+        with pytest.raises(ValueError, match="shape"):
+            DistributedTucker(ctx).decompose(
+                small_tensor, (2, 2, 2), initial_factors=init)
+
+
+class TestResultType:
+    def test_metadata(self, ctx, small_tensor):
+        dist = DistributedTucker(ctx).decompose(
+            small_tensor, (2, 3, 2), max_iterations=2, tol=0.0, seed=0)
+        assert dist.ranks == (2, 3, 2)
+        assert dist.shape == small_tensor.shape
+        assert dist.compression_ratio() > 1.0
+        assert "distributed-tucker" in repr(dist)
+        assert dist.fit(small_tensor) == pytest.approx(
+            dist.final_fit, abs=1e-8)
+
+    def test_convergence_flag(self, ctx):
+        tensor, _, _ = planted_tucker()
+        dist = DistributedTucker(ctx).decompose(
+            tensor, (2, 3, 2), max_iterations=20, tol=1e-6, seed=0)
+        assert dist.converged

@@ -1,0 +1,48 @@
+"""Dataset disk cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cache_path, cached_dataset, clear_cache
+
+
+class TestCachedDataset:
+    def test_first_call_writes_file(self, tmp_path):
+        t = cached_dataset("synt3d", 500, 0, cache_dir=tmp_path)
+        assert cache_path(tmp_path, "synt3d", 500, 0).exists()
+        assert t.nnz > 0
+
+    def test_second_call_reads_identical(self, tmp_path):
+        a = cached_dataset("nell1", 400, 1, cache_dir=tmp_path)
+        b = cached_dataset("nell1", 400, 1, cache_dir=tmp_path)
+        assert a.shape == b.shape
+        assert np.array_equal(a.indices, b.indices)
+        assert np.allclose(a.values, b.values)
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        cached_dataset("synt3d", 300, 0, cache_dir=tmp_path)
+        cached_dataset("synt3d", 300, 1, cache_dir=tmp_path)
+        cached_dataset("synt3d", 400, 0, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.tns"))) == 3
+
+    def test_unknown_dataset_rejected_before_disk(self, tmp_path):
+        with pytest.raises(KeyError):
+            cached_dataset("amazon", 100, 0, cache_dir=tmp_path)
+        assert not any(tmp_path.iterdir())
+
+    def test_clear_cache(self, tmp_path):
+        cached_dataset("synt3d", 200, 0, cache_dir=tmp_path)
+        assert clear_cache(tmp_path) == 1
+        assert clear_cache(tmp_path) == 0
+
+    def test_clear_missing_dir(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0
+
+    def test_shape_preserved_through_cache(self, tmp_path):
+        """The .tns format drops trailing empty slices; re-reads pass the
+        registry shape explicitly so shapes stay stable."""
+        a = cached_dataset("delicious4d", 400, 0, cache_dir=tmp_path)
+        b = cached_dataset("delicious4d", 400, 0, cache_dir=tmp_path)
+        assert a.shape == b.shape

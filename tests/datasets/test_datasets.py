@@ -1,0 +1,133 @@
+"""Dataset registry (Table 5) and synthetic analogues."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (DATASETS, FOURTH_ORDER, THIRD_ORDER, get_spec,
+                            make_all, make_dataset, scaled_shape, table5)
+
+
+class TestRegistry:
+    def test_all_five_present(self):
+        assert set(DATASETS) == {"delicious3d", "nell1", "synt3d",
+                                 "flickr", "delicious4d"}
+
+    def test_table5_published_values(self):
+        """Exact values from Table 5 of the paper."""
+        d = get_spec("delicious3d")
+        assert d.order == 3
+        assert d.max_mode_size == 17_262_471  # "17.3M"
+        assert d.nnz == 140_126_181           # "140M"
+        assert d.density == 6.5e-12
+
+        n = get_spec("nell1")
+        assert n.order == 3
+        assert n.max_mode_size == 25_495_389  # "25.5M"
+        assert n.density == 9.3e-13
+
+        s = get_spec("synt3d")
+        assert s.order == 3
+        assert s.max_mode_size == 15_000_000  # "15M"
+        assert s.nnz == 200_000_000           # "200M"
+
+        f = get_spec("flickr")
+        assert f.order == 4
+        assert f.max_mode_size == 28_153_045  # "28M"
+        assert f.density == 1.1e-14
+
+        d4 = get_spec("delicious4d")
+        assert d4.order == 4
+        assert d4.nnz == 140_126_181
+        assert d4.density == 4.3e-15
+
+    def test_density_consistent_with_shape(self):
+        """Published density ~ nnz / prod(shape) for every dataset."""
+        for spec in DATASETS.values():
+            prod = 1.0
+            for s in spec.shape:
+                prod *= s
+            assert spec.nnz / prod == pytest.approx(spec.density, rel=0.3)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            get_spec("amazon")
+
+    def test_groupings(self):
+        assert all(get_spec(n).order == 3 for n in THIRD_ORDER)
+        assert all(get_spec(n).order == 4 for n in FOURTH_ORDER)
+
+    def test_table5_row(self):
+        row = get_spec("nell1").table5_row()
+        assert row[0] == "nell1"
+        assert row[1] == 3
+
+
+class TestScaledShape:
+    def test_ratio_preserved(self):
+        spec = get_spec("delicious3d")
+        shape = scaled_shape(spec, 20_000)
+        ratio_paper = spec.shape[1] / spec.shape[2]
+        ratio_scaled = shape[1] / shape[2]
+        assert ratio_scaled == pytest.approx(ratio_paper, rel=0.1)
+
+    def test_small_modes_floored(self):
+        spec = get_spec("delicious4d")
+        shape = scaled_shape(spec, 20_000)
+        assert shape[3] >= 8  # date mode not crushed to 1
+
+    def test_never_exceeds_published(self):
+        spec = get_spec("nell1")
+        shape = scaled_shape(spec, 10**12)
+        assert shape == spec.shape
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            scaled_shape(get_spec("nell1"), 0)
+
+
+class TestMakeDataset:
+    def test_order_matches(self):
+        for name, spec in DATASETS.items():
+            t = make_dataset(name, 2000, 0)
+            assert t.order == spec.order
+
+    def test_nnz_near_target(self):
+        t = make_dataset("synt3d", 5000, 0)
+        assert 4000 <= t.nnz <= 5000
+
+    def test_deduplicated(self):
+        t = make_dataset("delicious3d", 3000, 0)
+        assert not t.has_duplicates()
+
+    def test_seeded_reproducible(self):
+        a = make_dataset("nell1", 2000, 7)
+        b = make_dataset("nell1", 2000, 7)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seeds_differ(self):
+        a = make_dataset("nell1", 2000, 1)
+        b = make_dataset("nell1", 2000, 2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_web_crawl_tensors_skewed(self):
+        """Zipf modes concentrate nonzeros; synt3d does not."""
+        skewed = make_dataset("delicious3d", 5000, 0)
+        flat = make_dataset("synt3d", 5000, 0)
+        def head_mass(t, mode):
+            counts = np.sort(t.mode_slice_counts(mode))[::-1]
+            top = max(1, len(counts) // 100)
+            return counts[:top].sum() / counts.sum()
+        assert head_mass(skewed, 0) > 2 * head_mass(flat, 0)
+
+    def test_make_all(self):
+        tensors = make_all(1000, 0)
+        assert set(tensors) == set(DATASETS)
+
+    def test_table5_rows(self):
+        rows = table5(1000, 0)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["analogue_nnz"] <= 1000
+            assert row["paper_nnz"] >= 10**8

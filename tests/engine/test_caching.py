@@ -1,0 +1,181 @@
+"""Persistence: storage levels, cache manager, unpersist, eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Context, StorageLevel
+from repro.engine.storage import CacheManager
+
+
+class TestRDDCaching:
+    def test_cached_rdd_not_recomputed(self, ctx):
+        calls = []
+
+        def trace(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize(range(10), 2).map(trace).cache()
+        rdd.collect()
+        first = len(calls)
+        rdd.collect()
+        assert len(calls) == first == 10
+
+    def test_uncached_rdd_recomputed(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(10), 2).map(
+            lambda x: calls.append(x) or x)
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 20
+
+    def test_is_fully_cached_lifecycle(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).cache()
+        assert not rdd.is_fully_cached()
+        rdd.count()
+        assert rdd.is_fully_cached()
+        rdd.unpersist()
+        assert not rdd.is_fully_cached()
+
+    def test_unpersist_forces_recompute(self, ctx):
+        calls = []
+        rdd = ctx.parallelize(range(5), 1).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.cache()
+        rdd.collect()
+        assert len(calls) == 10
+
+    def test_memory_ser_roundtrip(self, ctx):
+        rdd = ctx.parallelize([np.arange(3.0), np.arange(4.0)], 2).persist(
+            StorageLevel.MEMORY_SER)
+        rdd.count()
+        out = rdd.collect()
+        assert np.array_equal(out[0], np.arange(3.0))
+        assert np.array_equal(out[1], np.arange(4.0))
+
+    def test_memory_ser_accounts_deserialized_bytes(self, ctx):
+        rdd = ctx.parallelize(list(range(100)), 2).persist(
+            StorageLevel.MEMORY_SER)
+        rdd.count()
+        assert ctx.metrics.cache_deserialized_bytes == 0
+        rdd.count()  # this read deserializes
+        assert ctx.metrics.cache_deserialized_bytes > 0
+
+    def test_raw_caching_no_deserialization(self, ctx):
+        rdd = ctx.parallelize(list(range(100)), 2).cache()
+        rdd.count()
+        rdd.count()
+        assert ctx.metrics.cache_deserialized_bytes == 0
+
+    def test_cache_stored_bytes_tracked_per_level(self, ctx):
+        ctx.parallelize(range(50), 2).cache().count()
+        assert ctx.metrics.cache_stored_bytes.get("memory_raw", 0) > 0
+
+    def test_downstream_of_cache_still_computes(self, ctx):
+        base = ctx.parallelize(range(10), 2).cache()
+        base.count()
+        assert base.map(lambda x: x * 2).collect() == \
+            [x * 2 for x in range(10)]
+
+    def test_cache_prunes_shuffle_recompute(self, ctx):
+        """Once a shuffled RDD is cached and its shuffle data dropped,
+        re-reading it must come from cache, not a re-shuffle."""
+        rdd = ctx.parallelize([(i % 4, 1) for i in range(40)]).reduce_by_key(
+            lambda a, b: a + b).cache()
+        rdd.count()
+        rounds_before = ctx.metrics.total_shuffle_rounds()
+        ctx.drop_shuffle_outputs()
+        rdd.collect()
+        assert ctx.metrics.total_shuffle_rounds() == rounds_before
+
+
+class TestCacheManager:
+    def test_put_get_raw(self):
+        cm = CacheManager()
+        cm.put(1, 0, [1, 2, 3], StorageLevel.MEMORY_RAW)
+        assert cm.get(1, 0) == [1, 2, 3]
+        assert cm.hits == 1
+
+    def test_miss(self):
+        cm = CacheManager()
+        assert cm.get(9, 9) is None
+        assert cm.misses == 1
+
+    def test_has_all_partitions(self):
+        cm = CacheManager()
+        cm.put(1, 0, [1], StorageLevel.MEMORY_RAW)
+        assert not cm.has_all_partitions(1, 2)
+        cm.put(1, 1, [2], StorageLevel.MEMORY_RAW)
+        assert cm.has_all_partitions(1, 2)
+
+    def test_unpersist_frees_bytes(self):
+        cm = CacheManager()
+        cm.put(1, 0, list(range(100)), StorageLevel.MEMORY_RAW)
+        used = cm.used_bytes
+        assert used > 0
+        freed = cm.unpersist(1)
+        assert freed == used
+        assert cm.used_bytes == 0
+
+    def test_replace_same_key(self):
+        cm = CacheManager()
+        cm.put(1, 0, [1], StorageLevel.MEMORY_RAW)
+        cm.put(1, 0, [1, 2], StorageLevel.MEMORY_RAW)
+        assert cm.get(1, 0) == [1, 2]
+
+    def test_ser_level_sizes_by_blob(self):
+        cm = CacheManager()
+        cm.put(1, 0, list(range(1000)), StorageLevel.MEMORY_SER)
+        cm.put(2, 0, list(range(1000)), StorageLevel.MEMORY_RAW)
+        ser = cm.rdd_size_bytes(1)
+        raw = cm.rdd_size_bytes(2)
+        assert 0 < ser < raw  # pickled ints are tighter than 8B/scalar
+
+    def test_lru_eviction(self):
+        cm = CacheManager(capacity_bytes=2000)
+        for i in range(10):
+            cm.put(i, 0, list(range(100)), StorageLevel.MEMORY_RAW)
+        assert cm.evictions > 0
+        assert cm.used_bytes <= 2000
+        assert cm.get(0, 0) is None        # oldest evicted
+        assert cm.get(9, 0) is not None    # newest kept
+
+    def test_eviction_protects_current_entry(self):
+        cm = CacheManager(capacity_bytes=100)
+        cm.put(1, 0, list(range(100)), StorageLevel.MEMORY_RAW)
+        assert cm.get(1, 0) is not None  # over budget but protected
+
+    def test_clear(self):
+        cm = CacheManager()
+        cm.put(1, 0, [1], StorageLevel.MEMORY_RAW)
+        cm.clear()
+        assert cm.get(1, 0) is None
+        assert cm.used_bytes == 0
+
+
+class TestEvictionUnderPressure:
+    def test_engine_recomputes_evicted_partitions(self):
+        """With a tiny cache budget, evicted partitions silently
+        recompute from lineage — results stay correct."""
+        from repro.engine import EngineConf
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=EngineConf(cache_capacity_bytes=500)) as ctx:
+            rdd = ctx.parallelize(list(range(200)), 4).map(
+                lambda x: x * 2).cache()
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert ctx._cache.evictions > 0
+            assert rdd.collect() == [x * 2 for x in range(200)]
+
+
+class TestHadoopModeCaching:
+    def test_persist_is_noop(self, hadoop_ctx):
+        calls = []
+        rdd = hadoop_ctx.parallelize(range(10), 2).map(
+            lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 20  # recomputed: no caching in hadoop mode

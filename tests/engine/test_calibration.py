@@ -1,0 +1,90 @@
+"""Cost-model calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CostModel, RunStats
+from repro.engine.calibration import (CalibratedCostModel,
+                                      CalibrationPoint, TermMultipliers,
+                                      calibrate)
+
+
+def stats(rounds=9, **kw) -> RunStats:
+    base = dict(records_processed=500_000, shuffle_total_bytes=20_000_000,
+                shuffle_rounds=rounds, flops=1e8, num_jobs=10)
+    base.update(kw)
+    return RunStats(**base)
+
+
+def observe(model: CostModel, s: RunStats, nodes: int,
+            mode: str = "spark") -> float:
+    return model.estimate(s, nodes, mode).total_s
+
+
+class TestCalibrate:
+    def test_recovers_known_multipliers(self):
+        truth = CalibratedCostModel(
+            multipliers=TermMultipliers(compute=2.0, network=0.5,
+                                        latency=3.0))
+        points = [
+            CalibrationPoint(stats(), n, observe(truth, stats(), n))
+            for n in (4, 8, 16, 32)
+        ] + [
+            CalibrationPoint(stats(rounds=3), n,
+                             observe(truth, stats(rounds=3), n))
+            for n in (4, 16)
+        ]
+        fitted = calibrate(points)
+        assert fitted.multipliers.compute == pytest.approx(2.0, rel=0.05)
+        assert fitted.multipliers.network == pytest.approx(0.5, rel=0.05)
+        assert fitted.multipliers.latency == pytest.approx(3.0, rel=0.05)
+
+    def test_predictions_match_observations(self):
+        truth = CalibratedCostModel(
+            multipliers=TermMultipliers(compute=1.7, latency=0.8))
+        points = [CalibrationPoint(stats(), n,
+                                   observe(truth, stats(), n))
+                  for n in (4, 8, 16, 32)]
+        fitted = calibrate(points)
+        for p in points:
+            predicted = fitted.estimate(p.stats, p.num_nodes).total_s
+            assert predicted == pytest.approx(p.observed_s, rel=0.02)
+
+    def test_hadoop_term_fit_from_hadoop_points(self):
+        hstats = stats(hadoop_jobs=12, hdfs_write_bytes=10**9,
+                       hdfs_read_bytes=10**9)
+        truth = CalibratedCostModel(
+            multipliers=TermMultipliers(hadoop=2.5))
+        points = [CalibrationPoint(hstats, n,
+                                   observe(truth, hstats, n, "hadoop"),
+                                   mode="hadoop")
+                  for n in (4, 8, 16, 32)]
+        fitted = calibrate(points)
+        assert fitted.multipliers.hadoop == pytest.approx(2.5, rel=0.1)
+
+    def test_inactive_terms_keep_unity(self):
+        points = [CalibrationPoint(stats(), 8,
+                                   observe(CostModel(), stats(), 8))]
+        fitted = calibrate(points)
+        assert fitted.multipliers.hadoop == 1.0  # no hadoop points
+
+    def test_validations(self):
+        with pytest.raises(ValueError, match="at least one"):
+            calibrate([])
+        with pytest.raises(ValueError, match="positive"):
+            calibrate([CalibrationPoint(stats(), 4, -1.0)])
+
+    def test_nonnegative_even_with_noisy_observations(self):
+        rng = np.random.default_rng(0)
+        model = CostModel()
+        points = [
+            CalibrationPoint(stats(), n,
+                             observe(model, stats(), n)
+                             * rng.uniform(0.8, 1.2))
+            for n in (4, 8, 16, 32)
+        ]
+        fitted = calibrate(points)
+        m = fitted.multipliers
+        assert min(m.compute, m.network, m.latency, m.hadoop) >= 0.0

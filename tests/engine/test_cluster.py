@@ -1,0 +1,59 @@
+"""Cluster topology and partition placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Cluster
+
+
+class TestCluster:
+    def test_node_count(self):
+        assert len(Cluster(num_nodes=8).nodes) == 8
+
+    def test_node_ids_sequential(self):
+        c = Cluster(num_nodes=4)
+        assert [n.node_id for n in c.nodes] == [0, 1, 2, 3]
+
+    def test_node_name(self):
+        assert Cluster(num_nodes=2).nodes[1].name == "node-1"
+
+    def test_defaults_match_comet(self):
+        c = Cluster()
+        assert c.cores_per_node == 24
+        assert c.memory_gb_per_node == 128.0
+
+    def test_total_cores(self):
+        assert Cluster(num_nodes=4, cores_per_node=24).total_cores == 96
+
+    def test_round_robin_placement(self):
+        c = Cluster(num_nodes=4)
+        assert [c.node_of_partition(p) for p in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=1, cores_per_node=0)
+
+    def test_default_parallelism_positive(self):
+        assert Cluster(num_nodes=2).default_parallelism() > 0
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_placement_in_range(self, nodes, partition):
+        c = Cluster(num_nodes=nodes)
+        assert 0 <= c.node_of_partition(partition) < nodes
+
+    def test_equal_partitions_colocated(self):
+        """Two RDDs with the same partitioner place partition p on the
+        same node — the foundation of co-partitioned narrow joins."""
+        c = Cluster(num_nodes=4)
+        for p in range(32):
+            assert c.node_of_partition(p) == c.node_of_partition(p)

@@ -1,0 +1,113 @@
+"""Engine edge cases: deep pipelines, chained unions, odd shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Context, HashPartitioner
+
+
+class TestDeepPipelines:
+    def test_fifty_chained_narrow_ops(self, ctx):
+        rdd = ctx.parallelize(range(20), 4)
+        for _ in range(50):
+            rdd = rdd.map(lambda x: x + 1)
+        assert rdd.collect() == [x + 50 for x in range(20)]
+        # all fifty maps pipelined into ONE stage
+        assert len(ctx.metrics.jobs[-1].stages) == 1
+
+    def test_ten_chained_shuffles(self, ctx):
+        rdd = ctx.parallelize([(i, 1) for i in range(40)], 4)
+        for k in range(10):
+            rdd = (rdd.map(lambda kv, _k=k: ((kv[0] + _k) % 7, kv[1]))
+                   .reduce_by_key(lambda a, b: a + b, 4))
+        total = sum(v for _k, v in rdd.collect())
+        assert total == 40
+        assert ctx.metrics.jobs[-1].shuffle_rounds == 10
+
+    def test_wide_narrow_wide_sandwich(self, ctx):
+        out = (ctx.parallelize([(i % 5, i) for i in range(50)], 4)
+               .reduce_by_key(lambda a, b: a + b, 4)
+               .map(lambda kv: (kv[0] % 2, kv[1]))
+               .reduce_by_key(lambda a, b: a + b, 2)
+               .collect_as_map())
+        assert out[0] + out[1] == sum(range(50))
+
+
+class TestChainedUnions:
+    def test_triple_union(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        c = ctx.parallelize([3], 1)
+        u = a.union(b).union(c)
+        assert sorted(u.collect()) == [1, 2, 3]
+        assert u.num_partitions == 3
+
+    def test_union_then_shuffle(self, ctx):
+        a = ctx.parallelize([(1, "a")], 2)
+        b = ctx.parallelize([(1, "b"), (2, "c")], 2)
+        grouped = a.union(b).group_by_key(4).collect_as_map()
+        assert sorted(grouped[1]) == ["a", "b"]
+        assert grouped[2] == ["c"]
+
+    def test_union_of_shuffled(self, ctx):
+        a = ctx.parallelize([(i % 2, 1) for i in range(10)], 2)\
+            .reduce_by_key(lambda x, y: x + y, 2)
+        b = ctx.parallelize([(9, 9)], 1)
+        assert sorted(a.union(b).collect()) == [(0, 5), (1, 5), (9, 9)]
+
+
+class TestOddShapes:
+    def test_more_partitions_than_records(self, ctx):
+        assert ctx.parallelize([42], 16).collect() == [42]
+
+    def test_single_partition_everything(self):
+        with Context(num_nodes=1, default_parallelism=1) as ctx:
+            out = (ctx.parallelize([(i % 3, i) for i in range(30)], 1)
+                   .reduce_by_key(lambda a, b: a + b, 1)
+                   .sort_by_key().collect())
+            assert [k for k, _ in out] == [0, 1, 2]
+
+    def test_many_nodes_few_partitions(self):
+        with Context(num_nodes=32, default_parallelism=2) as ctx:
+            assert ctx.parallelize(range(10), 2).sum() == 45
+
+    def test_key_none(self, ctx):
+        out = ctx.parallelize([(None, 1), (None, 2)], 2)\
+            .reduce_by_key(lambda a, b: a + b).collect()
+        assert out == [(None, 3)]
+
+    def test_tuple_keys_shuffle(self, ctx):
+        data = [((i % 3, i % 2), 1) for i in range(60)]
+        out = ctx.parallelize(data, 4).reduce_by_key(
+            lambda a, b: a + b).collect_as_map()
+        assert sum(out.values()) == 60
+        assert len(out) == 6
+
+    def test_string_sort(self, ctx):
+        data = [("pear", 1), ("apple", 2), ("mango", 3)]
+        out = ctx.parallelize(data, 2).sort_by_key().collect()
+        assert [k for k, _ in out] == ["apple", "mango", "pear"]
+
+
+class TestRecomputationConsistency:
+    def test_shuffle_drop_mid_pipeline(self, ctx):
+        base = ctx.parallelize([(i % 4, 1) for i in range(40)], 4)\
+            .reduce_by_key(lambda a, b: a + b, 4)
+        first = base.collect_as_map()
+        ctx.drop_shuffle_outputs()
+        derived = base.map_values(lambda v: v * 2).collect_as_map()
+        assert derived == {k: v * 2 for k, v in first.items()}
+
+    def test_cache_cleared_then_recomputed(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map(lambda x: x * 3).cache()
+        assert rdd.sum() == 135
+        ctx.clear_cache()
+        assert rdd.sum() == 135
+
+    def test_unpersist_during_lineage_chain(self, ctx):
+        base = ctx.parallelize(range(20), 4).cache()
+        derived = base.map(lambda x: x + 1)
+        base.count()
+        base.unpersist()
+        assert derived.sum() == sum(range(1, 21))

@@ -1,0 +1,143 @@
+"""The native MapReduce layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Cluster
+from repro.engine.mapreduce import (REPLICATION, HadoopRuntime,
+                                    MapReduceJob, SimulatedHDFS)
+
+
+@pytest.fixture
+def rt():
+    return HadoopRuntime(Cluster(num_nodes=4))
+
+
+def wordcount_job(**kw) -> MapReduceJob:
+    return MapReduceJob(
+        "wordcount",
+        mapper=lambda _k, word: [(word, 1)],
+        reducer=lambda word, counts: [(word, sum(counts))], **kw)
+
+
+class TestHDFS:
+    def test_write_stripes_blocks(self):
+        hdfs = SimulatedHDFS()
+        f = hdfs.write("f", [(i, i) for i in range(10)], 4)
+        assert len(f.blocks) == 4
+        assert f.num_records == 10
+        assert sorted(f.records()) == [(i, i) for i in range(10)]
+
+    def test_write_charges_replication(self):
+        hdfs = SimulatedHDFS()
+        hdfs.write("f", [(1, 1)], 1)
+        single = hdfs.bytes_written
+        assert single > 0
+        hdfs.write("g", [(1, 1), (2, 2)], 1)
+        assert hdfs.bytes_written == 3 * single
+        assert REPLICATION == 3
+
+    def test_read_charges(self):
+        hdfs = SimulatedHDFS()
+        f = hdfs.write("f", [(1, 1)], 1)
+        list(hdfs.read(f))
+        assert hdfs.bytes_read > 0
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            SimulatedHDFS().write("f", [], 0)
+
+
+class TestJobExecution:
+    def test_wordcount(self, rt):
+        data = rt.put([(i, ["a", "b", "a", "c"][i % 4])
+                       for i in range(40)])
+        result = rt.run(wordcount_job(), data)
+        assert dict(result.output.records()) == {"a": 20, "b": 10,
+                                                 "c": 10}
+
+    def test_reducer_sees_sorted_keys(self, rt):
+        seen = []
+        job = MapReduceJob(
+            "order",
+            mapper=lambda _k, v: [(v, 1)],
+            reducer=lambda k, vs: (seen.append(k), [(k, len(vs))])[1],
+            num_reducers=1)
+        data = rt.put([(i, i % 7) for i in range(30)])
+        rt.run(job, data)
+        assert seen == sorted(seen)
+
+    def test_combiner_shrinks_shuffle(self, rt):
+        data = rt.put([(i, "x") for i in range(64)])
+        plain = rt.run(wordcount_job(), data)
+        combined = rt.run(wordcount_job(
+            combiner=lambda k, vs: [(k, sum(vs))]), data)
+        assert combined.shuffle_write.records_written < \
+            plain.shuffle_write.records_written
+        assert dict(plain.output.records()) == \
+            dict(combined.output.records())
+
+    def test_counters(self, rt):
+        job = MapReduceJob(
+            "count",
+            mapper=lambda _k, v, ctx: (ctx.increment("mapped"),
+                                       [(v, 1)])[1],
+            reducer=lambda k, vs, ctx: (ctx.increment("reduced", 2),
+                                        [(k, sum(vs))])[1])
+        data = rt.put([(i, i % 3) for i in range(12)])
+        result = rt.run(job, data)
+        assert result.counters["mapped"] == 12
+        assert result.counters["reduced"] == 6  # 3 keys x 2
+
+    def test_multiple_inputs_concatenated(self, rt):
+        a = rt.put([(0, "x")])
+        b = rt.put([(0, "x"), (0, "y")])
+        result = rt.run(wordcount_job(), a, b)
+        assert dict(result.output.records()) == {"x": 2, "y": 1}
+
+    def test_local_remote_split(self, rt):
+        # keys decorrelated from block striping, else every record's
+        # source and destination node coincide by construction
+        data = rt.put([(i, (i * 7 + 3) % 13) for i in range(160)])
+        result = rt.run(wordcount_job(num_reducers=8), data)
+        read = result.shuffle_read
+        assert read.remote_records > 0
+        assert read.local_records > 0
+        frac = read.remote_records / read.total_records
+        assert 0.5 < frac < 0.95  # ~3/4 on 4 nodes
+
+    def test_jobs_counted(self, rt):
+        data = rt.put([(0, "a")])
+        rt.run(wordcount_job(), data)
+        rt.run(wordcount_job(), data)
+        assert rt.jobs_run == 2
+
+    def test_job_chaining(self, rt):
+        data = rt.put([(i, i % 5) for i in range(50)])
+        first = rt.run(wordcount_job(), data)
+        second = rt.run(MapReduceJob(
+            "invert",
+            mapper=lambda word, count: [(count, word)],
+            reducer=lambda count, words: [(count, sorted(words))]),
+            first.output)
+        assert dict(second.output.records()) == {10: [0, 1, 2, 3, 4]}
+
+    def test_validations(self, rt):
+        with pytest.raises(ValueError, match="num_reducers"):
+            MapReduceJob("x", lambda k, v: [], lambda k, v: [],
+                         num_reducers=0)
+        with pytest.raises(ValueError, match="input"):
+            rt.run(wordcount_job())
+
+    def test_numpy_values_flow(self, rt):
+        data = rt.put([(i % 2, np.ones(3) * i) for i in range(6)])
+        job = MapReduceJob(
+            "sum-vec",
+            mapper=lambda k, v: [(k, v)],
+            reducer=lambda k, vs: [(k, sum(vs[1:], vs[0]))])
+        result = rt.run(job, data)
+        out = dict(result.output.records())
+        assert np.allclose(out[0], [6, 6, 6])
+        assert np.allclose(out[1], [9, 9, 9])

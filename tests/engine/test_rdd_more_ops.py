@@ -1,0 +1,82 @@
+"""intersection, sample_by_key, histogram."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Context
+
+
+class TestIntersection:
+    def test_common_elements_distinct(self, ctx):
+        a = ctx.parallelize([1, 2, 2, 3], 2)
+        b = ctx.parallelize([2, 3, 3, 4], 2)
+        assert sorted(a.intersection(b).collect()) == [2, 3]
+
+    def test_disjoint(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        assert a.intersection(b).collect() == []
+
+    @given(st.lists(st.integers(0, 20), max_size=30),
+           st.lists(st.integers(0, 20), max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_set_intersection(self, xs, ys):
+        with Context(num_nodes=2, default_parallelism=3) as ctx:
+            out = ctx.parallelize(xs, 2).intersection(
+                ctx.parallelize(ys, 2)).collect()
+        assert sorted(out) == sorted(set(xs) & set(ys))
+
+
+class TestSampleByKey:
+    def test_fraction_one_keeps_all(self, ctx):
+        kv = ctx.parallelize([(0, i) for i in range(50)], 4)
+        assert len(kv.sample_by_key({0: 1.0}).collect()) == 50
+
+    def test_missing_key_dropped(self, ctx):
+        kv = ctx.parallelize([(0, 1), (1, 2)], 2)
+        out = kv.sample_by_key({0: 1.0}).collect()
+        assert out == [(0, 1)]
+
+    def test_fraction_roughly_respected(self, ctx):
+        kv = ctx.parallelize([(0, i) for i in range(2000)], 4)
+        n = len(kv.sample_by_key({0: 0.25}, seed=3).collect())
+        assert 350 < n < 650
+
+    def test_invalid_fraction(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([(0, 1)]).sample_by_key({0: 1.5})
+
+    def test_deterministic(self, ctx):
+        kv = ctx.parallelize([(0, i) for i in range(100)], 4)
+        a = kv.sample_by_key({0: 0.5}, seed=7).collect()
+        b = kv.sample_by_key({0: 0.5}, seed=7).collect()
+        assert a == b
+
+
+class TestHistogram:
+    def test_uniform_data(self, ctx):
+        edges, counts = ctx.parallelize(list(range(100)), 4).histogram(4)
+        assert counts == [25, 25, 25, 25]
+        assert edges[0] == 0
+        assert edges[-1] == 99
+
+    def test_constant_data(self, ctx):
+        edges, counts = ctx.parallelize([5.0] * 10, 2).histogram(3)
+        assert counts == [10]
+        assert edges == [5.0, 5.0]
+
+    def test_max_lands_in_last_bucket(self, ctx):
+        _edges, counts = ctx.parallelize([0.0, 1.0], 1).histogram(2)
+        assert counts == [1, 1]
+
+    def test_total_preserved(self, ctx):
+        data = [float(i * i % 37) for i in range(200)]
+        _e, counts = ctx.parallelize(data, 4).histogram(7)
+        assert sum(counts) == 200
+
+    def test_invalid_buckets(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1.0]).histogram(0)

@@ -1,0 +1,109 @@
+"""Semantic-equivalence properties: different RDD formulations of the
+same computation must agree (the strongest kind of engine invariant)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Context
+
+kv_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(-50, 50)), max_size=50)
+
+
+def fresh_ctx():
+    return Context(num_nodes=3, default_parallelism=4)
+
+
+class TestReduceEquivalences:
+    @given(kv_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_reduce_by_key_equals_group_then_sum(self, pairs):
+        with fresh_ctx() as ctx:
+            rdd = ctx.parallelize(pairs, 3)
+            reduced = rdd.reduce_by_key(lambda a, b: a + b)\
+                .collect_as_map()
+            grouped = rdd.group_by_key().map_values(sum).collect_as_map()
+        assert reduced == grouped
+
+    @given(kv_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_fold_by_key_zero_equals_reduce(self, pairs):
+        with fresh_ctx() as ctx:
+            rdd = ctx.parallelize(pairs, 3)
+            folded = rdd.fold_by_key(0, lambda a, b: a + b)\
+                .collect_as_map()
+            reduced = rdd.reduce_by_key(lambda a, b: a + b)\
+                .collect_as_map()
+        assert folded == reduced
+
+    @given(kv_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_combine_on_off_agree(self, pairs):
+        with fresh_ctx() as ctx:
+            rdd = ctx.parallelize(pairs, 3)
+            on = rdd.reduce_by_key(lambda a, b: a + b,
+                                   map_side_combine=True).collect_as_map()
+            off = rdd.reduce_by_key(lambda a, b: a + b,
+                                    map_side_combine=False).collect_as_map()
+        assert on == off
+
+
+class TestJoinEquivalences:
+    @given(kv_lists, kv_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_join_equals_cogroup_product(self, left, right):
+        with fresh_ctx() as ctx:
+            l_rdd = ctx.parallelize(left, 2)
+            r_rdd = ctx.parallelize(right, 3)
+            joined = sorted(l_rdd.join(r_rdd, 4).collect())
+            via_cogroup = sorted(
+                (k, (lv, rv))
+                for k, (ls, rs) in l_rdd.cogroup(r_rdd, 4).collect()
+                for lv in ls for rv in rs)
+        assert joined == via_cogroup
+
+    @given(kv_lists, kv_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_outer_joins_partition_the_key_space(self, left, right):
+        with fresh_ctx() as ctx:
+            l_rdd = ctx.parallelize(left, 2)
+            r_rdd = ctx.parallelize(right, 2)
+            full = l_rdd.full_outer_join(r_rdd, 4).collect()
+        keys_full = {k for k, _ in full}
+        assert keys_full == {k for k, _ in left} | {k for k, _ in right}
+
+
+class TestDistinctEquivalence:
+    @given(st.lists(st.integers(-30, 30), max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_equals_set(self, xs):
+        with fresh_ctx() as ctx:
+            out = ctx.parallelize(xs, 3).distinct().collect()
+        assert sorted(out) == sorted(set(xs))
+
+
+class TestAggregateEquivalence:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_aggregate_equals_python_sum(self, xs):
+        with fresh_ctx() as ctx:
+            total = ctx.parallelize(xs, 4).tree_aggregate(
+                0, lambda a, x: a + x, lambda a, b: a + b)
+        assert total == sum(xs)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=40),
+           st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_partitioning_never_changes_results(self, xs, parts):
+        with fresh_ctx() as ctx:
+            a = ctx.parallelize(xs, parts).map(lambda x: (x % 3, x))\
+                .reduce_by_key(max).collect_as_map()
+        with fresh_ctx() as ctx:
+            b = ctx.parallelize(xs, 1).map(lambda x: (x % 3, x))\
+                .reduce_by_key(max).collect_as_map()
+        assert a == b

@@ -1,0 +1,117 @@
+"""ShuffleManager unit behaviour (exercised directly, not via RDDs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Cluster, HashPartitioner
+from repro.engine.metrics import ShuffleReadMetrics, ShuffleWriteMetrics
+from repro.engine.shuffle import Aggregator, ShuffleManager
+
+
+@pytest.fixture
+def mgr():
+    return ShuffleManager(Cluster(num_nodes=2))
+
+
+def write(mgr, sid, map_partition, records, parts=4, aggregator=None):
+    wm = ShuffleWriteMetrics()
+    mgr.write(sid, map_partition, records, HashPartitioner(parts), wm,
+              aggregator)
+    return wm
+
+
+class TestWriteRead:
+    def test_roundtrip_all_buckets(self, mgr):
+        sid = mgr.new_shuffle_id()
+        records = [(k, k * 10) for k in range(12)]
+        write(mgr, sid, 0, records)
+        rm = ShuffleReadMetrics()
+        fetched = []
+        for q in range(4):
+            fetched.extend(mgr.read(sid, q, rm))
+        assert sorted(fetched) == sorted(records)
+        assert rm.total_records == 12
+
+    def test_bucket_assignment_by_key_hash(self, mgr):
+        sid = mgr.new_shuffle_id()
+        part = HashPartitioner(4)
+        write(mgr, sid, 0, [(7, "x")])
+        rm = ShuffleReadMetrics()
+        bucket = part.get_partition(7)
+        assert mgr.read(sid, bucket, rm) == [(7, "x")]
+        for q in range(4):
+            if q != bucket:
+                assert mgr.read(sid, q, ShuffleReadMetrics()) == []
+
+    def test_local_remote_classification(self, mgr):
+        """2-node cluster: map partition 0 (node 0); reduce partition 0
+        is node-local, reduce partition 1 is remote."""
+        sid = mgr.new_shuffle_id()
+        part = HashPartitioner(2)
+        write(mgr, sid, 0, [(0, "a"), (1, "b")], parts=2)
+        local = ShuffleReadMetrics()
+        mgr.read(sid, 0, local)
+        assert local.local_records == 1
+        assert local.remote_records == 0
+        remote = ShuffleReadMetrics()
+        mgr.read(sid, 1, remote)
+        assert remote.remote_records == 1
+
+    def test_write_metrics_accumulate(self, mgr):
+        sid = mgr.new_shuffle_id()
+        wm = write(mgr, sid, 0, [(1, "a"), (2, "b")])
+        assert wm.records_written == 2
+        assert wm.bytes_written > 0
+
+    def test_multiple_map_partitions_merge(self, mgr):
+        sid = mgr.new_shuffle_id()
+        part = HashPartitioner(1)
+        write(mgr, sid, 0, [(1, "a")], parts=1)
+        write(mgr, sid, 1, [(1, "b")], parts=1)
+        rm = ShuffleReadMetrics()
+        assert sorted(mgr.read(sid, 0, rm)) == [(1, "a"), (1, "b")]
+
+    def test_unknown_shuffle_raises(self, mgr):
+        with pytest.raises(KeyError):
+            mgr.read(999, 0, ShuffleReadMetrics())
+
+
+class TestAggregator:
+    def test_map_side_combine(self, mgr):
+        sid = mgr.new_shuffle_id()
+        agg = Aggregator(lambda v: v, lambda a, b: a + b,
+                         lambda a, b: a + b)
+        wm = write(mgr, sid, 0, [(1, 10), (1, 5), (2, 1)], parts=1,
+                   aggregator=agg)
+        assert wm.records_written == 2  # combined per key
+        rm = ShuffleReadMetrics()
+        assert sorted(mgr.read(sid, 0, rm)) == [(1, 15), (2, 1)]
+
+
+class TestLifecycle:
+    def test_is_written_tracks_map_tasks(self, mgr):
+        sid = mgr.new_shuffle_id()
+        assert not mgr.is_written(sid, 2)
+        write(mgr, sid, 0, [(1, "a")])
+        assert not mgr.is_written(sid, 2)
+        write(mgr, sid, 1, [(2, "b")])
+        assert mgr.is_written(sid, 2)
+
+    def test_remove_shuffle(self, mgr):
+        sid = mgr.new_shuffle_id()
+        write(mgr, sid, 0, [(1, "a")])
+        mgr.remove_shuffle(sid)
+        with pytest.raises(KeyError):
+            mgr.read(sid, 0, ShuffleReadMetrics())
+
+    def test_clear_then_rewrite(self, mgr):
+        sid = mgr.new_shuffle_id()
+        write(mgr, sid, 0, [(1, "a")])
+        mgr.clear()
+        assert not mgr.is_written(sid, 1)
+        write(mgr, sid, 0, [(1, "a")])  # lazily re-registered
+        assert mgr.is_written(sid, 1)
+
+    def test_ids_unique(self, mgr):
+        assert mgr.new_shuffle_id() != mgr.new_shuffle_id()

@@ -1,0 +1,64 @@
+"""zip, fold_by_key, is_empty."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Context, EngineError
+
+
+class TestZip:
+    def test_positional_pairs(self, ctx):
+        a = ctx.parallelize(range(10), 4)
+        b = ctx.parallelize(range(10, 20), 4)
+        assert a.zip(b).collect() == [(i, i + 10) for i in range(10)]
+
+    def test_partition_count_mismatch(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(4), 4)
+        with pytest.raises(EngineError, match="partition counts"):
+            a.zip(b)
+
+    def test_size_mismatch_raises_at_compute(self, ctx):
+        a = ctx.parallelize(range(4), 2)
+        b = ctx.parallelize(range(5), 2)
+        from repro.engine import TaskFailedError
+        with pytest.raises((EngineError, TaskFailedError)):
+            a.zip(b).collect()
+
+    def test_zip_with_self(self, ctx):
+        a = ctx.parallelize(range(6), 3)
+        assert a.zip(a).collect() == [(i, i) for i in range(6)]
+
+
+class TestFoldByKey:
+    def test_fold_sum(self, ctx):
+        rdd = ctx.parallelize([(i % 3, 1) for i in range(30)], 4)
+        out = rdd.fold_by_key(0, lambda a, b: a + b).collect_as_map()
+        assert out == {0: 10, 1: 10, 2: 10}
+
+    def test_nonzero_zero_value(self, ctx):
+        """As in Spark, the zero must share the value type (the same
+        function merges partials across partitions)."""
+        rdd = ctx.parallelize([(0, 2), (1, 3), (0, 4)], 2)
+        out = rdd.fold_by_key(1, lambda a, b: a * b).collect_as_map()
+        # each key's fold starts from 1; cross-partition merge multiplies
+        assert out[0] == 8
+        assert out[1] == 3
+
+    def test_max_fold(self, ctx):
+        rdd = ctx.parallelize([(i % 2, i) for i in range(20)], 4)
+        out = rdd.fold_by_key(0, max).collect_as_map()
+        assert out == {0: 18, 1: 19}
+
+
+class TestIsEmpty:
+    def test_empty(self, ctx):
+        assert ctx.parallelize([], 3).is_empty()
+
+    def test_nonempty(self, ctx):
+        assert not ctx.parallelize([1], 1).is_empty()
+
+    def test_filtered_to_empty(self, ctx):
+        assert ctx.parallelize(range(5), 2).filter(
+            lambda x: x > 99).is_empty()

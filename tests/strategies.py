@@ -1,0 +1,35 @@
+"""Shared hypothesis strategies for tensor-valued property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.tensor import COOTensor
+
+
+@st.composite
+def coo_tensors(draw, min_order: int = 2, max_order: int = 4,
+                max_dim: int = 8, max_nnz: int = 40) -> COOTensor:
+    """A random deduplicated sparse tensor."""
+    order = draw(st.integers(min_order, max_order))
+    shape = tuple(draw(st.integers(2, max_dim)) for _ in range(order))
+    nnz = draw(st.integers(1, max_nnz))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    indices = np.column_stack([
+        rng.integers(0, s, size=nnz) for s in shape])
+    values = rng.uniform(-2.0, 2.0, size=nnz)
+    tensor = COOTensor(indices, values, shape).deduplicate()
+    return tensor.drop_zeros(1e-12) if tensor.nnz else tensor
+
+
+@st.composite
+def tensors_with_factors(draw, rank_max: int = 3):
+    """A tensor plus compatible random factor matrices."""
+    tensor = draw(coo_tensors())
+    rank = draw(st.integers(1, rank_max))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    factors = [rng.random((s, rank)) for s in tensor.shape]
+    return tensor, factors

@@ -1,0 +1,99 @@
+"""COOTensor utility operations: transpose, scale, add, slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import COOTensor, uniform_sparse
+
+
+class TestTranspose:
+    def test_matches_numpy(self, small_tensor):
+        order = (2, 0, 1)
+        out = small_tensor.transpose(order)
+        assert np.allclose(out.to_dense(),
+                           np.transpose(small_tensor.to_dense(), order))
+
+    def test_shape_permuted(self, small_tensor):
+        out = small_tensor.transpose((1, 2, 0))
+        i, j, k = small_tensor.shape
+        assert out.shape == (j, k, i)
+
+    def test_identity(self, small_tensor):
+        out = small_tensor.transpose((0, 1, 2))
+        assert np.array_equal(out.indices, small_tensor.indices)
+
+    def test_involution(self, small_tensor):
+        out = small_tensor.transpose((2, 0, 1)).transpose((1, 2, 0))
+        assert np.allclose(out.to_dense(), small_tensor.to_dense())
+
+    def test_invalid_permutation(self, small_tensor):
+        with pytest.raises(ValueError, match="permute"):
+            small_tensor.transpose((0, 0, 1))
+        with pytest.raises(ValueError, match="permute"):
+            small_tensor.transpose((0, 1))
+
+
+class TestScaleAdd:
+    def test_scale(self, small_tensor):
+        out = small_tensor.scale(2.5)
+        assert np.allclose(out.to_dense(),
+                           2.5 * small_tensor.to_dense())
+
+    def test_scale_zero(self, small_tensor):
+        assert np.allclose(small_tensor.scale(0.0).to_dense(), 0.0)
+
+    def test_add_matches_dense(self):
+        a = uniform_sparse((6, 7, 8), 50, rng=1)
+        b = uniform_sparse((6, 7, 8), 60, rng=2)
+        out = a.add(b)
+        assert np.allclose(out.to_dense(), a.to_dense() + b.to_dense())
+        assert not out.has_duplicates()
+
+    def test_add_cancellation_dropped(self):
+        a = COOTensor(np.array([[0, 0]]), np.array([1.0]), (2, 2))
+        b = COOTensor(np.array([[0, 0]]), np.array([-1.0]), (2, 2))
+        assert a.add(b).nnz == 0
+
+    def test_add_shape_mismatch(self):
+        a = uniform_sparse((3, 3), 4, rng=0)
+        b = uniform_sparse((3, 4), 4, rng=0)
+        with pytest.raises(ValueError, match="shape"):
+            a.add(b)
+
+    def test_linearity(self, small_tensor):
+        doubled = small_tensor.add(small_tensor)
+        assert np.allclose(doubled.to_dense(),
+                           small_tensor.scale(2.0).to_dense())
+
+
+class TestSliceMode:
+    def test_selects_and_relabels(self):
+        t = COOTensor(np.array([[0, 0], [1, 1], [2, 0]]),
+                      np.array([1.0, 2.0, 3.0]), (3, 2))
+        out = t.slice_mode(0, [0, 2])
+        assert out.shape == (2, 2)
+        dense = out.to_dense()
+        assert dense[0, 0] == 1.0
+        assert dense[1, 0] == 3.0
+        assert out.nnz == 2
+
+    def test_matches_dense_take(self, small_tensor):
+        keep = [0, 3, 5, 7]
+        out = small_tensor.slice_mode(1, keep)
+        ref = np.take(small_tensor.to_dense(), keep, axis=1)
+        assert np.allclose(out.to_dense(), ref)
+
+    def test_empty_selection(self, small_tensor):
+        out = small_tensor.slice_mode(0, [])
+        assert out.nnz == 0
+        assert out.shape[0] == 0
+
+    def test_out_of_range(self, small_tensor):
+        with pytest.raises(ValueError, match="range"):
+            small_tensor.slice_mode(0, [99])
+
+    def test_duplicate_keep_deduplicated(self, small_tensor):
+        out = small_tensor.slice_mode(0, [1, 1, 2])
+        assert out.shape[0] == 2

@@ -1,0 +1,99 @@
+"""Dense factor helpers: initialisation, normalisation, congruence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import (congruence, factors_allclose, gram,
+                          normalize_columns, random_factors)
+
+
+class TestRandomFactors:
+    def test_shapes(self):
+        factors = random_factors((3, 4, 5), 2, rng=0)
+        assert [f.shape for f in factors] == [(3, 2), (4, 2), (5, 2)]
+
+    def test_seeded(self):
+        a = random_factors((3, 4), 2, rng=5)
+        b = random_factors((3, 4), 2, rng=5)
+        assert factors_allclose(a, b)
+
+    def test_nonnegative_uniform(self):
+        factors = random_factors((100,), 3, rng=0)
+        assert factors[0].min() >= 0
+        assert factors[0].max() <= 1
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            random_factors((3,), 0)
+
+
+class TestNormalize:
+    def test_unit_columns(self, rng):
+        m = rng.random((10, 3)) + 0.1
+        normed, norms = normalize_columns(m)
+        assert np.allclose(np.linalg.norm(normed, axis=0), 1.0)
+        assert np.allclose(normed * norms, m)
+
+    def test_zero_column_safe(self):
+        m = np.zeros((4, 2))
+        m[:, 1] = 2.0
+        normed, norms = normalize_columns(m)
+        assert norms[0] == 1.0  # convention: zero column keeps norm 1
+        assert np.allclose(normed[:, 0], 0.0)
+        assert np.allclose(np.linalg.norm(normed[:, 1]), 1.0)
+
+
+class TestGram:
+    def test_matches_matmul(self, rng):
+        m = rng.random((7, 3))
+        assert np.allclose(gram(m), m.T @ m)
+
+    def test_symmetric_psd(self, rng):
+        g = gram(rng.random((10, 4)))
+        assert np.allclose(g, g.T)
+        assert np.linalg.eigvalsh(g).min() >= -1e-12
+
+
+class TestCongruence:
+    def test_identical_models(self, rng):
+        factors = random_factors((5, 6, 7), 3, rng)
+        lam = np.ones(3)
+        assert congruence(factors, lam, factors, lam) == pytest.approx(1.0)
+
+    def test_permuted_columns_still_match(self, rng):
+        factors = random_factors((5, 6, 7), 3, rng)
+        perm = [2, 0, 1]
+        permuted = [f[:, perm] for f in factors]
+        lam = np.ones(3)
+        assert congruence(factors, lam, permuted, lam) == pytest.approx(1.0)
+
+    def test_scaled_columns_still_match(self, rng):
+        factors = random_factors((5, 6, 7), 2, rng)
+        scaled = [f * np.array([3.0, 0.5]) for f in factors]
+        lam = np.ones(2)
+        assert congruence(factors, lam, scaled, lam) == pytest.approx(1.0)
+
+    def test_unrelated_models_low(self, rng):
+        a = random_factors((40, 40, 40), 2, np.random.default_rng(1))
+        b = random_factors((40, 40, 40), 2, np.random.default_rng(2))
+        lam = np.ones(2)
+        assert congruence(a, lam, b, lam) < 0.95
+
+    def test_order_mismatch(self, rng):
+        a = random_factors((5, 6), 2, rng)
+        b = random_factors((5, 6, 7), 2, rng)
+        with pytest.raises(ValueError):
+            congruence(a, np.ones(2), b, np.ones(2))
+
+
+class TestFactorsAllclose:
+    def test_length_mismatch(self):
+        a = random_factors((3, 3), 2, rng=0)
+        assert not factors_allclose(a, a[:1])
+
+    def test_shape_mismatch(self):
+        a = random_factors((3, 3), 2, rng=0)
+        b = random_factors((3, 4), 2, rng=0)
+        assert not factors_allclose(a, b)

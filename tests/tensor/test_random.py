@@ -1,0 +1,119 @@
+"""Synthetic tensor generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import low_rank_sparse, uniform_sparse, zipf_sparse
+from repro.tensor.random import zipf_mode_indices
+
+
+class TestUniformSparse:
+    def test_within_shape(self):
+        t = uniform_sparse((5, 6, 7), 100, rng=0)
+        assert t.shape == (5, 6, 7)
+        assert (t.indices.max(axis=0) < np.array([5, 6, 7])).all()
+
+    def test_no_duplicates(self):
+        assert not uniform_sparse((4, 4, 4), 50, rng=0).has_duplicates()
+
+    def test_seeded_reproducible(self):
+        a = uniform_sparse((5, 5, 5), 50, rng=9)
+        b = uniform_sparse((5, 5, 5), 50, rng=9)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+    def test_value_range(self):
+        t = uniform_sparse((30, 30, 30), 100, rng=0,
+                           value_range=(2.0, 3.0))
+        # duplicates may sum, but with this density there are none
+        assert t.values.min() >= 2.0
+
+    def test_rejects_zero_nnz(self):
+        with pytest.raises(ValueError):
+            uniform_sparse((3, 3), 0)
+
+    def test_second_order(self):
+        assert uniform_sparse((10, 10), 20, rng=0).order == 2
+
+
+class TestZipf:
+    def test_exponent_zero_is_uniform(self):
+        rng = np.random.default_rng(0)
+        picks = zipf_mode_indices(100, 5000, 0.0, rng)
+        counts = np.bincount(picks, minlength=100)
+        assert counts.max() < 120  # ~50 each
+
+    def test_skew_concentrates_head(self):
+        rng = np.random.default_rng(0)
+        picks = zipf_mode_indices(1000, 5000, 1.2, rng)
+        head_mass = (picks < 10).mean()
+        assert head_mass > 0.3  # heavy head
+
+    def test_higher_exponent_more_skew(self):
+        rng = np.random.default_rng(0)
+        mild = (zipf_mode_indices(1000, 5000, 0.5,
+                                  np.random.default_rng(1)) < 10).mean()
+        heavy = (zipf_mode_indices(1000, 5000, 1.5,
+                                   np.random.default_rng(1)) < 10).mean()
+        assert heavy > mild
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        picks = zipf_mode_indices(37, 1000, 1.0, rng)
+        assert picks.min() >= 0
+        assert picks.max() < 37
+
+    def test_large_mode_tail_sampling(self):
+        """Modes larger than the head table still produce tail indices."""
+        rng = np.random.default_rng(0)
+        picks = zipf_mode_indices((1 << 20) + 1000, 20000, 0.5, rng)
+        assert picks.max() >= (1 << 20) or picks.max() < (1 << 20)
+        assert picks.min() >= 0
+
+    def test_validations(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_mode_indices(0, 10, 1.0, rng)
+        with pytest.raises(ValueError):
+            zipf_mode_indices(10, 10, -1.0, rng)
+
+    def test_zipf_sparse_shape_and_skew(self):
+        t = zipf_sparse((500, 500, 500), 3000, (1.5, 0.0, 0.0), rng=0)
+        counts0 = t.mode_slice_counts(0)
+        counts1 = t.mode_slice_counts(1)
+        assert counts0.max() > counts1.max()  # mode 0 is skewed
+
+    def test_zipf_scalar_exponent_broadcast(self):
+        t = zipf_sparse((50, 50), 200, 1.0, rng=0)
+        assert t.order == 2
+
+    def test_zipf_exponent_arity_checked(self):
+        with pytest.raises(ValueError, match="exponents"):
+            zipf_sparse((5, 5, 5), 10, (1.0, 1.0), rng=0)
+
+
+class TestLowRank:
+    def test_returns_planted_factors(self):
+        t, factors = low_rank_sparse((10, 11, 12), 100, 3, rng=0)
+        assert len(factors) == 3
+        assert factors[0].shape == (10, 3)
+
+    def test_values_match_model(self):
+        t, factors = low_rank_sparse((30, 30, 30), 80, 2, rng=0)
+        for idx, val in t.records():
+            expected = float(
+                (factors[0][idx[0]] * factors[1][idx[1]]
+                 * factors[2][idx[2]]).sum())
+            assert val == pytest.approx(expected)
+
+    def test_noise_perturbs(self):
+        clean, f1 = low_rank_sparse((20, 20, 20), 50, 2, rng=7)
+        noisy, f2 = low_rank_sparse((20, 20, 20), 50, 2, noise=0.5, rng=7)
+        assert not np.allclose(np.sort(clean.values), np.sort(noisy.values))
+
+    def test_fourth_order(self):
+        t, factors = low_rank_sparse((5, 6, 7, 8), 60, 2, rng=0)
+        assert t.order == 4
+        assert len(factors) == 4
