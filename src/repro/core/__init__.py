@@ -2,6 +2,8 @@
 distributed CP-ALS, plus the shared driver, gram machinery and result
 types."""
 
+from .checkpoint import (CheckpointStore, CPCheckpoint,
+                         DirectoryCheckpointStore, InMemoryCheckpointStore)
 from .cp_als import CPALSDriver
 from .cstf_coo import CstfCOO
 from .cstf_dimtree import CstfDimTree
@@ -13,8 +15,12 @@ from .tucker import DistributedTucker
 from .tucker_result import TuckerDecomposition
 
 __all__ = [
+    "CheckpointStore",
     "CPALSDriver",
+    "CPCheckpoint",
     "CPDecomposition",
+    "DirectoryCheckpointStore",
+    "InMemoryCheckpointStore",
     "CstfCOO",
     "CstfDimTree",
     "CstfQCOO",

@@ -32,6 +32,7 @@ from ..engine.partitioner import HashPartitioner
 from ..engine.rdd import RDD
 from ..tensor.coo import COOTensor
 from ..tensor.dense import random_factors
+from .checkpoint import CheckpointStore, CPCheckpoint
 from .gram import GramCache
 from .result import CPDecomposition, IterationStats
 
@@ -122,7 +123,10 @@ class CPALSDriver:
                   initial_factors: Sequence[np.ndarray] | None = None,
                   init: str = "random",
                   compute_fit: bool = True,
-                  gc_shuffles: bool = True) -> CPDecomposition:
+                  gc_shuffles: bool = True,
+                  checkpoint_every: int | None = None,
+                  checkpoint_store: CheckpointStore | None = None,
+                  resume_from: int | str | None = None) -> CPDecomposition:
         """Run CP-ALS and return the decomposition.
 
         ``tensor`` must have unique coordinates (call
@@ -130,6 +134,14 @@ class CPALSDriver:
         silently change the objective.  ``init`` selects the
         initialisation strategy (``"random"`` or the HOSVD-style
         ``"nvecs"``) when ``initial_factors`` is not given.
+
+        With ``checkpoint_every=n`` the driver snapshots the factor
+        matrices, λ and the fit history to ``checkpoint_store`` after
+        every ``n``-th completed iteration, so a driver crash costs at
+        most ``n`` iterations.  ``resume_from`` (an iteration number, or
+        ``"latest"``) restarts from a stored snapshot; the resumed run
+        is bit-for-bit identical to the uninterrupted one, because an
+        iteration's outcome depends only on the current factors.
         """
         if rank < 1:
             raise ValueError(f"rank must be >= 1, got {rank}")
@@ -139,13 +151,50 @@ class CPALSDriver:
         if tensor.has_duplicates():
             raise ValueError(
                 "tensor has duplicate coordinates; call deduplicate()")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got "
+                    f"{checkpoint_every}")
+            if checkpoint_store is None:
+                raise ValueError(
+                    "checkpoint_every requires a checkpoint_store")
+        snapshot: CPCheckpoint | None = None
+        if resume_from is not None:
+            if checkpoint_store is None:
+                raise ValueError("resume_from requires a checkpoint_store")
+            if initial_factors is not None:
+                raise ValueError(
+                    "resume_from and initial_factors are mutually "
+                    "exclusive — the snapshot provides the factors")
+            snapshot = checkpoint_store.load(
+                None if resume_from == "latest" else resume_from)
+            if snapshot.rank != rank:
+                raise ValueError(
+                    f"checkpoint has rank {snapshot.rank}, "
+                    f"requested {rank}")
+            if snapshot.algorithm != self.name:
+                raise ValueError(
+                    f"checkpoint was written by {snapshot.algorithm!r}, "
+                    f"resuming with {self.name!r}")
         order = tensor.order
         norm_x = tensor.norm()
 
         with self.ctx.metrics.phase("setup"):
             tensor_rdd = self._distribute_tensor(tensor)
 
-            if initial_factors is not None:
+            if snapshot is not None:
+                init_mats = snapshot.factors
+                if len(init_mats) != order:
+                    raise ValueError(
+                        f"checkpoint has {len(init_mats)} factors, "
+                        f"tensor has order {order}")
+                for m, f in enumerate(init_mats):
+                    if f.shape != (tensor.shape[m], rank):
+                        raise ValueError(
+                            f"checkpoint factor {m} has shape {f.shape},"
+                            f" expected {(tensor.shape[m], rank)}")
+            elif initial_factors is not None:
                 init_mats = [np.asarray(f, dtype=np.float64)
                              for f in initial_factors]
                 if len(init_mats) != order:
@@ -167,10 +216,16 @@ class CPALSDriver:
 
         lambdas = np.ones(rank)
         fit_history: list[float] = []
+        start_iteration = 0
+        if snapshot is not None:
+            lambdas = snapshot.lambdas
+            fit_history = list(snapshot.fit_history)
+            start_iteration = snapshot.iteration + 1
         iterations: list[IterationStats] = []
         converged = False
 
-        for it in range(max_iterations):
+        for it in range(start_iteration, max_iterations):
+            self.ctx.faults.on_iteration(it)
             t0 = time.perf_counter()
             last_m_rdd: RDD | None = None
             for mode in range(order):
@@ -211,6 +266,17 @@ class CPALSDriver:
                 seconds=time.perf_counter() - t0,
                 shuffle_rounds=self.ctx.metrics.total_shuffle_rounds(),
                 shuffle_bytes=read.total_bytes))
+
+            if checkpoint_every is not None and \
+                    (it + 1) % checkpoint_every == 0:
+                with self.ctx.metrics.phase("checkpoint"):
+                    checkpoint_store.save(CPCheckpoint(
+                        algorithm=self.name, rank=rank, iteration=it,
+                        lambdas=lambdas.copy(),
+                        factors=[self._collect_factor(rdd, size, rank)
+                                 for rdd, size in zip(factor_rdds,
+                                                      tensor.shape)],
+                        fit_history=list(fit_history)))
 
             if compute_fit and len(fit_history) >= 2 and \
                     abs(fit_history[-1] - fit_history[-2]) < tol:

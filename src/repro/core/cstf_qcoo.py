@@ -61,8 +61,25 @@ class CstfQCOO(CPALSDriver):
 
             current = joined.map(enqueue).set_name(
                 f"qcoo-init-enqueue{m}")
-        self._queue_rdd = current.set_name("qcoo-queue").cache()
+        self._queue_rdd = self._canonical(current).set_name(
+            "qcoo-queue").cache()
         self._expected_key_mode = order - 1
+
+    @staticmethod
+    def _canonical(queue_rdd: RDD) -> RDD:
+        """Sort each partition by nonzero coordinate.
+
+        Join outputs are ordered by how their inputs happened to be
+        ordered, so the queue built by ``_setup`` and the queue carried
+        across iterations would hold the same records in different
+        orders — and the order feeds the floating-point summation in the
+        MTTKRP's reduce.  Canonicalising makes every queue (and hence
+        every factor) bit-for-bit reproducible, which checkpoint/resume
+        relies on: a run resumed from snapshotted factors rebuilds the
+        queue and must continue exactly as the uninterrupted run would.
+        """
+        return queue_rdd.map_partitions(
+            lambda it: sorted(it, key=lambda kv: kv[1][0][0]))
 
     def _teardown(self) -> None:
         for rdd in (self._queue_rdd, self._old_queue):
@@ -102,7 +119,8 @@ class CstfQCOO(CPALSDriver):
             new_queue = queue[1:] + (fresh_row,)
             return (rec[0][_mode], (rec, new_queue))
 
-        next_queue = joined.map(rotate).set_name("qcoo-queue").cache()
+        next_queue = self._canonical(joined.map(rotate)).set_name(
+            "qcoo-queue").cache()
 
         # STAGE 3: reduce each record's queue to one scaled row, then sum
         def reduce_queue(value):

@@ -25,13 +25,24 @@ def gram_of_rdd(factor_rdd: RDD, rank: int) -> np.ndarray:
     One pass: each partition accumulates the outer products of its rows;
     partials (R x R) are merged on the driver, mirroring Spark's
     ``treeAggregate`` used for exactly this purpose.
+
+    Rows are accumulated in index order within each partition.  A
+    factor RDD's record order depends on how it was produced (a freshly
+    distributed matrix arrives index-ordered, a just-updated factor in
+    MTTKRP-output order), and floating-point summation order would leak
+    that history into the gram's low bits — breaking the bit-for-bit
+    guarantee checkpoint/resume makes.  Partition *contents* are fixed
+    by the hash partitioner, so sorting makes the sum canonical.
     """
     def seq(acc: np.ndarray, kv: tuple) -> np.ndarray:
         row = kv[1]
         acc += np.outer(row, row)
         return acc
 
-    return factor_rdd.tree_aggregate(
+    canonical = factor_rdd.map_partitions(
+        lambda it: sorted(it, key=lambda kv: kv[0]),
+        preserves_partitioning=True)
+    return canonical.tree_aggregate(
         np.zeros((rank, rank)), seq, lambda a, b: a + b)
 
 

@@ -22,11 +22,14 @@ from .cluster import Cluster, Node
 from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
 from .errors import (CacheEvictedError, ContextStoppedError, EngineError,
-                     JobExecutionError, TaskFailedError)
+                     FetchFailedError, JobExecutionError, TaskFailedError)
+from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
+                     NodeKillEvent)
 from .mapreduce import (HadoopRuntime, HDFSFile, JobResult,
                         MapReduceJob, SimulatedHDFS)
-from .metrics import (HadoopMetrics, JobMetrics, MetricsCollector,
-                      ShuffleReadMetrics, ShuffleWriteMetrics, StageMetrics)
+from .metrics import (FaultMetrics, HadoopMetrics, JobMetrics,
+                      MetricsCollector, ShuffleReadMetrics,
+                      ShuffleWriteMetrics, StageMetrics)
 from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
                           stable_hash)
 from .rdd import RDD
@@ -47,6 +50,12 @@ __all__ = [
     "CostModel",
     "EngineConf",
     "EngineError",
+    "FaultInjector",
+    "FaultMetrics",
+    "FaultPlan",
+    "FetchFailedError",
+    "InjectedFaultError",
+    "NodeKillEvent",
     "HadoopMetrics",
     "HadoopRuntime",
     "HDFSFile",

@@ -11,11 +11,20 @@ Placement policy: partition ``p`` of every RDD is pinned to node
 assignment closely enough for communication accounting: two RDDs with the
 same partitioner place equal partitions on the same node, which is what
 makes co-partitioned joins communication-free.
+
+Node liveness: the fault-tolerance layer can *kill* a node (its shuffle
+outputs and cached partitions are lost and must be recomputed from
+lineage) or *exclude* one (Spark's blacklisting — the node keeps its
+data but receives no new tasks).  Partitions whose primary node is
+unavailable are re-placed deterministically onto the remaining available
+nodes, modelling the scheduler moving tasks to healthy executors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from .errors import EngineError
 
 
 @dataclass(frozen=True)
@@ -51,6 +60,10 @@ class Cluster:
     cores_per_node: int = 24
     memory_gb_per_node: float = 128.0
     nodes: list[Node] = field(init=False)
+    #: nodes lost to simulated failure (their data is gone)
+    dead_nodes: set[int] = field(init=False, default_factory=set)
+    #: nodes blacklisted by the scheduler (alive, but receive no tasks)
+    excluded_nodes: set[int] = field(init=False, default_factory=set)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -63,16 +76,82 @@ class Cluster:
             for i in range(self.num_nodes)
         ]
 
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    def _check_node_id(self, node_id: int) -> None:
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(
+                f"node_id must be in [0, {self.num_nodes}), got {node_id}")
+
+    def is_available(self, node_id: int) -> bool:
+        """True iff the node is alive and not excluded from scheduling."""
+        return (node_id not in self.dead_nodes
+                and node_id not in self.excluded_nodes)
+
+    @property
+    def available_nodes(self) -> list[int]:
+        """Sorted ids of nodes that may receive tasks."""
+        return [n.node_id for n in self.nodes
+                if self.is_available(n.node_id)]
+
+    def kill_node(self, node_id: int) -> None:
+        """Mark a node dead.  The caller (``Context.kill_node``) is
+        responsible for invalidating its shuffle outputs and cache."""
+        self._check_node_id(node_id)
+        if node_id in self.dead_nodes:
+            return
+        if len(self.available_nodes) <= 1 and self.is_available(node_id):
+            raise EngineError(
+                f"cannot kill node {node_id}: it is the last available node")
+        self.dead_nodes.add(node_id)
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a dead node back (empty — its old data stays lost)."""
+        self._check_node_id(node_id)
+        self.dead_nodes.discard(node_id)
+
+    def exclude_node(self, node_id: int) -> bool:
+        """Blacklist a node from task placement.  Returns False (and does
+        nothing) when exclusion would leave no available node."""
+        self._check_node_id(node_id)
+        if node_id in self.excluded_nodes:
+            return True
+        if len(self.available_nodes) <= 1 and self.is_available(node_id):
+            return False
+        self.excluded_nodes.add(node_id)
+        return True
+
+    def include_node(self, node_id: int) -> None:
+        """Lift a node's exclusion."""
+        self._check_node_id(node_id)
+        self.excluded_nodes.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
     def node_of_partition(self, partition: int) -> int:
-        """Node id hosting ``partition`` (round-robin placement)."""
-        return partition % self.num_nodes
+        """Node id hosting ``partition`` (round-robin placement).
+
+        When the primary node ``partition % num_nodes`` is dead or
+        excluded, the partition's tasks are re-placed round-robin over
+        the remaining available nodes — deterministic, so repeated runs
+        under the same fault plan place identically.
+        """
+        primary = partition % self.num_nodes
+        if self.is_available(primary):
+            return primary
+        available = self.available_nodes
+        if not available:
+            raise EngineError("no available nodes left in the cluster")
+        return available[partition % len(available)]
 
     @property
     def total_cores(self) -> int:
         return self.num_nodes * self.cores_per_node
 
     def default_parallelism(self) -> int:
-        """Default number of partitions for new RDDs (2 tasks per core is a
-        common Spark rule of thumb; we use one wave of cores, capped so tiny
-        test clusters stay cheap)."""
-        return self.total_cores
+        """Default number of partitions for new RDDs: 2 tasks per core (a
+        common Spark rule of thumb), capped at 128 partitions so tiny
+        test clusters stay cheap."""
+        return min(2 * self.total_cores, 128)

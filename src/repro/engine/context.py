@@ -22,6 +22,7 @@ from .accumulator import Accumulator
 from .broadcast import Broadcast
 from .cluster import Cluster
 from .errors import ContextStoppedError
+from .faults import FaultInjector, FaultPlan
 from .metrics import MetricsCollector
 from .partitioner import HashPartitioner, Partitioner
 from .rdd import RDD, ParallelCollectionRDD
@@ -40,6 +41,15 @@ class EngineConf:
         both settings are measurable.
     ``task_max_failures``
         Retry budget per task (Spark's ``spark.task.maxFailures``).
+    ``stage_max_failures``
+        How many fetch-failure recoveries (parent-stage resubmissions
+        from lineage) one stage may consume before the job aborts with
+        :class:`~repro.engine.errors.JobExecutionError` (Spark's
+        ``spark.stage.maxConsecutiveAttempts``).
+    ``node_max_failures``
+        Failed task attempts a node may accumulate before it is excluded
+        from placement (Spark's blacklisting); ``None`` disables
+        exclusion (the Spark default).
     ``cache_capacity_bytes``
         Optional cluster-wide cache budget with LRU eviction; ``None``
         means unbounded.
@@ -47,6 +57,8 @@ class EngineConf:
 
     map_side_combine: bool = True
     task_max_failures: int = 4
+    stage_max_failures: int = 4
+    node_max_failures: int | None = None
     cache_capacity_bytes: int | None = None
 
 
@@ -71,7 +83,8 @@ class Context:
                  default_parallelism: int | None = None,
                  execution_mode: str = "spark",
                  conf: EngineConf | None = None,
-                 cluster: Cluster | None = None):
+                 cluster: Cluster | None = None,
+                 fault_plan: FaultPlan | None = None):
         if execution_mode not in ("spark", "hadoop"):
             raise ValueError(
                 f"execution_mode must be 'spark' or 'hadoop', "
@@ -86,15 +99,29 @@ class Context:
         self.metrics = MetricsCollector()
         self._cache = CacheManager(self.conf.cache_capacity_bytes,
                                    metrics=self.metrics)
-        self._shuffle_manager = ShuffleManager(self.cluster)
+        #: structured fault injection (see :mod:`repro.engine.faults`)
+        self.faults = FaultInjector(fault_plan or FaultPlan(), self)
+        self._shuffle_manager = ShuffleManager(self.cluster,
+                                               faults=self.faults)
         self._scheduler = DAGScheduler(self)
         self._rdd_counter = 0
         self._accumulators: list[Accumulator] = []
         self._broadcast_counter = 0
         self._stopped = False
-        #: optional fault hook ``(stage_id, partition, attempt) -> None``
-        #: that may raise to simulate task failures
-        self.fault_injector: Callable[[int, int, int], None] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_injector(self) -> Callable[[int, int, int], None] | None:
+        """Legacy fault hook ``(stage_id, partition, attempt) -> None``
+        that may raise to simulate task failures.  Kept as a thin
+        adapter over the structured :class:`~repro.engine.faults
+        .FaultInjector`; prefer passing a ``fault_plan``."""
+        return self.faults.legacy_hook
+
+    @fault_injector.setter
+    def fault_injector(
+            self, hook: Callable[[int, int, int], None] | None) -> None:
+        self.faults.legacy_hook = hook
 
     # ------------------------------------------------------------------
     @property
@@ -150,24 +177,65 @@ class Context:
         return self.parallelize([], num_partitions)
 
     # ------------------------------------------------------------------
+    def kill_node(self, node_id: int) -> None:
+        """Simulate losing a worker node mid-run.
+
+        Everything the node held is invalidated: its shuffle map outputs
+        (subsequent reduce-side reads raise ``FetchFailedError`` and the
+        scheduler resubmits the parent stages from lineage) and its
+        cached partitions (recomputed from lineage on the next read).
+        Tasks whose partition was placed on the node are re-placed onto
+        the remaining nodes.  Raises ``EngineError`` when this would
+        leave no available node.
+        """
+        if not self.cluster.is_available(node_id) \
+                and node_id in self.cluster.dead_nodes:
+            return  # already dead
+        # invalidate the cache first, while placement still maps
+        # partitions onto the dying node
+        cached_lost = self._cache.invalidate_node(node_id, self.cluster)
+        outputs_lost, _records = \
+            self._shuffle_manager.invalidate_node(node_id)
+        self.cluster.kill_node(node_id)
+        faults = self.metrics.faults
+        faults.nodes_killed += 1
+        faults.map_outputs_lost += outputs_lost
+        faults.cached_partitions_lost += cached_lost
+
+    # ------------------------------------------------------------------
     def checkpoint(self, rdd: RDD, num_partitions: int | None = None,
                    partitioner: Partitioner | None = None) -> RDD:
         """Materialize ``rdd`` and return a lineage-free copy.
 
-        In hadoop mode this models writing a job's output to HDFS and
-        reading it back (MapReduce materializes every job boundary):
-        the data volume is charged to the HDFS metrics.  In spark mode
-        it is the analogue of ``RDD.checkpoint()``.
+        Cost model: a checkpoint is a write of the full dataset to
+        reliable storage plus a read-back.  In hadoop mode that is HDFS
+        (MapReduce materializes every job boundary) and the volume is
+        charged to the HDFS metrics; in spark mode it is the analogue of
+        ``RDD.checkpoint()`` and the volume is charged to
+        ``metrics.checkpoint_bytes_written``.
+
+        In spark mode the source RDD's partitioner is preserved by
+        default (checkpointing must not silently break co-partitioned
+        joins); pass ``partitioner`` explicitly to re-key.  In hadoop
+        mode the HDFS round-trip genuinely loses the partitioning — that
+        overhead is part of what the BIGtensor baseline measures — so
+        the partitioner is dropped unless one is given.
         """
         records = rdd.collect()
+        n = num_partitions or rdd.num_partitions
+        from .serialization import estimate_record_size
+        size = sum(estimate_record_size(r) for r in records)
         if self.hadoop_mode:
-            from .serialization import estimate_record_size
-            size = sum(estimate_record_size(r) for r in records)
             self.metrics.hadoop.hdfs_bytes_written += size
             self.metrics.hadoop.hdfs_bytes_read += size
             self.metrics.hadoop.hdfs_records_written += len(records)
-        return self.parallelize(
-            records, num_partitions or rdd.num_partitions, partitioner)
+        else:
+            self.metrics.checkpoint_bytes_written += size
+            self.metrics.checkpoint_records_written += len(records)
+            if partitioner is None and rdd.partitioner is not None \
+                    and rdd.partitioner.num_partitions == n:
+                partitioner = rdd.partitioner
+        return self.parallelize(records, n, partitioner)
 
     def accumulator(self, zero: Any = 0, name: str = "") -> Accumulator:
         """Create a task-writable additive counter."""

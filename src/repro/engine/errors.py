@@ -11,7 +11,10 @@ class JobExecutionError(EngineError):
     """A job failed while executing one of its stages.
 
     Carries the failing stage id and partition so that test harnesses can
-    assert on *where* a failure-injection fault surfaced.
+    assert on *where* a failure-injection fault surfaced.  Raised by the
+    scheduler when a task exhausts ``conf.task_max_failures`` (wrapping
+    the terminal :class:`TaskFailedError` as ``__cause__``) or when a
+    stage exhausts ``conf.stage_max_failures`` fetch-failure recoveries.
     """
 
     def __init__(self, message: str, stage_id: int | None = None,
@@ -24,10 +27,31 @@ class JobExecutionError(EngineError):
 class TaskFailedError(EngineError):
     """A single task exhausted its retry budget."""
 
-    def __init__(self, message: str, partition: int, attempts: int):
+    def __init__(self, message: str, partition: int, attempts: int,
+                 stage_id: int | None = None):
         super().__init__(message)
         self.partition = partition
         self.attempts = attempts
+        self.stage_id = stage_id
+
+
+class FetchFailedError(EngineError):
+    """A reduce task could not fetch one or more shuffle map outputs.
+
+    Raised when map outputs are missing (their writer node died and its
+    blocks were invalidated) or when the fault plan injects a transient
+    fetch failure.  The scheduler reacts by resubmitting the parent
+    shuffle-map stage from lineage, not by retrying the task in place —
+    retrying cannot conjure data that is gone.
+    """
+
+    def __init__(self, message: str, shuffle_id: int,
+                 reduce_partition: int,
+                 missing_map_partitions: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.shuffle_id = shuffle_id
+        self.reduce_partition = reduce_partition
+        self.missing_map_partitions = tuple(missing_map_partitions)
 
 
 class CacheEvictedError(EngineError):

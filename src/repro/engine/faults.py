@@ -1,0 +1,258 @@
+"""Structured, seeded fault injection for the engine.
+
+Spark earns the "R" in RDD through lineage-based *recovery*: lost shuffle
+outputs and cached partitions are recomputed from their lineage, and
+iterative workloads like CP-ALS survive worker loss mid-run.  This module
+is the controlled way to exercise that machinery: a :class:`FaultPlan`
+declaratively describes which faults fire (per-task failure
+probabilities, deterministic node kills, shuffle-fetch failures,
+straggler delays), and a :class:`FaultInjector` — owned by the
+:class:`~repro.engine.Context` — executes the plan at well-defined
+engine hook points:
+
+* ``on_iteration`` — the CP-ALS drivers report iteration boundaries, so
+  kills can be pinned to "iteration n";
+* ``on_stage_start`` — the scheduler reports each stage execution, so
+  kills can be pinned to "stage n";
+* ``on_task_attempt`` — called before every task attempt; fires
+  ``after_tasks`` kills, broken-node faults, stragglers and the legacy
+  ``ctx.fault_injector`` callable (kept as a thin adapter);
+* ``wrap_task_iterator`` — wraps the task's record stream so injected
+  task failures can surface *lazily*, mid-iteration, the way a real map
+  function dies halfway through a partition;
+* ``maybe_fail_fetch`` — called by the shuffle manager per fetched
+  block to inject transient fetch failures.
+
+All randomness flows from one ``random.Random(plan.seed)``, and the
+engine is single-threaded, so a given plan replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, TYPE_CHECKING
+
+from .errors import EngineError, FetchFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+
+class InjectedFaultError(EngineError):
+    """A fault raised by the injection framework (retryable)."""
+
+
+@dataclass(frozen=True)
+class NodeKillEvent:
+    """Deterministically kill one node when a trigger fires.
+
+    Exactly one trigger must be set:
+
+    ``at_iteration``
+        Kill when a driver reports the start of iteration ``n`` (the
+        CP-ALS drivers call :meth:`FaultInjector.on_iteration`).
+    ``at_stage``
+        Kill when the first stage with ``stage_id >= at_stage`` starts
+        (>= rather than == so plans survive small changes in stage
+        numbering).
+    ``after_tasks``
+        Kill once the cluster has started that many task attempts.
+    """
+
+    node_id: int
+    at_iteration: int | None = None
+    at_stage: int | None = None
+    after_tasks: int | None = None
+
+    def __post_init__(self) -> None:
+        triggers = [t for t in (self.at_iteration, self.at_stage,
+                                self.after_tasks) if t is not None]
+        if len(triggers) != 1:
+            raise ValueError(
+                "exactly one of at_iteration/at_stage/after_tasks must "
+                f"be set, got {self}")
+
+
+@dataclass
+class FaultPlan:
+    """Declarative description of the faults to inject into one context.
+
+    ``seed``
+        Seeds every probabilistic decision; identical plans replay
+        identically.
+    ``task_failure_prob``
+        Per task attempt, the probability of raising an
+        :class:`InjectedFaultError` from inside the task.  At most
+        ``max_injected_failures_per_task`` injections hit any one
+        ``(stage, partition)``, so probabilistic faults stay transient
+        and are healed by the scheduler's task retries.
+    ``task_failure_mode``
+        ``"lazy"`` (default) raises mid-way through the partition's
+        record stream — the hard case, where a task dies after already
+        having produced records; ``"eager"`` raises before the first
+        record.
+    ``fetch_failure_prob``
+        Per fetched shuffle block, the probability of raising a
+        :class:`~repro.engine.errors.FetchFailedError`; the scheduler
+        answers by resubmitting the parent shuffle-map stage from
+        lineage.
+    ``straggler_prob`` / ``straggler_delay_s``
+        Probability per task attempt of sleeping ``straggler_delay_s``
+        before the task runs (wall-clock skew for duration metrics).
+    ``broken_nodes``
+        Node ids whose tasks always fail — models bad hardware; combined
+        with ``EngineConf.node_max_failures`` this exercises node
+        exclusion and re-placement onto healthy nodes.
+    ``node_kills``
+        Deterministic :class:`NodeKillEvent`\\ s.
+    """
+
+    seed: int = 0
+    task_failure_prob: float = 0.0
+    task_failure_mode: str = "lazy"
+    max_injected_failures_per_task: int = 1
+    fetch_failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_delay_s: float = 0.0
+    broken_nodes: tuple[int, ...] = ()
+    node_kills: tuple[NodeKillEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("task_failure_prob", "fetch_failure_prob",
+                     "straggler_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.task_failure_mode not in ("eager", "lazy"):
+            raise ValueError(
+                f"task_failure_mode must be 'eager' or 'lazy', "
+                f"got {self.task_failure_mode!r}")
+        if self.max_injected_failures_per_task < 0:
+            raise ValueError("max_injected_failures_per_task must be >= 0")
+        if self.straggler_delay_s < 0:
+            raise ValueError("straggler_delay_s must be >= 0")
+        self.broken_nodes = tuple(self.broken_nodes)
+        self.node_kills = tuple(self.node_kills)
+
+    @property
+    def is_null(self) -> bool:
+        """True iff the plan injects nothing."""
+        return (self.task_failure_prob == 0.0
+                and self.fetch_failure_prob == 0.0
+                and self.straggler_prob == 0.0
+                and not self.broken_nodes
+                and not self.node_kills)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one context.
+
+    ``legacy_hook`` is the adapter for the historical
+    ``ctx.fault_injector`` API: a bare callable
+    ``(stage_id, partition, attempt) -> None`` that may raise to fail
+    the task.  It is invoked from :meth:`on_task_attempt`, before the
+    plan's own faults.
+    """
+
+    def __init__(self, plan: FaultPlan, ctx: "Context"):
+        self.plan = plan
+        self._ctx = ctx
+        self._rng = random.Random(plan.seed)
+        self.legacy_hook: Callable[[int, int, int], None] | None = None
+        self._task_attempts_started = 0
+        self._injected_per_task: dict[tuple[int, int], int] = {}
+        self._fired_kills: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_iteration(self, iteration: int) -> None:
+        """Driver-reported iteration boundary (fires iteration kills)."""
+        self._fire_kills(
+            lambda ev: ev.at_iteration is not None
+            and iteration >= ev.at_iteration)
+
+    def on_stage_start(self, stage_id: int) -> None:
+        """Scheduler-reported stage execution (fires stage kills)."""
+        self._fire_kills(
+            lambda ev: ev.at_stage is not None and stage_id >= ev.at_stage)
+
+    def on_task_attempt(self, stage_id: int, partition: int,
+                        attempt: int, node: int) -> None:
+        """Called before each task attempt runs; may raise to fail it."""
+        self._task_attempts_started += 1
+        self._fire_kills(
+            lambda ev: ev.after_tasks is not None
+            and self._task_attempts_started >= ev.after_tasks)
+        if self.legacy_hook is not None:
+            self.legacy_hook(stage_id, partition, attempt)
+        plan = self.plan
+        if node in plan.broken_nodes:
+            self._faults().injected_task_failures += 1
+            raise InjectedFaultError(
+                f"node {node} is broken (stage {stage_id}, "
+                f"partition {partition}, attempt {attempt})")
+        if plan.straggler_prob and self._rng.random() < plan.straggler_prob:
+            self._faults().stragglers_injected += 1
+            if plan.straggler_delay_s:
+                time.sleep(plan.straggler_delay_s)
+
+    def wrap_task_iterator(self, records: Iterable, stage_id: int,
+                           partition: int, attempt: int) -> Iterable:
+        """Possibly poison the task's record stream per the plan."""
+        plan = self.plan
+        if not plan.task_failure_prob:
+            return records
+        key = (stage_id, partition)
+        if (self._injected_per_task.get(key, 0)
+                >= plan.max_injected_failures_per_task):
+            return records
+        if self._rng.random() >= plan.task_failure_prob:
+            return records
+        self._injected_per_task[key] = self._injected_per_task.get(key, 0) + 1
+        self._faults().injected_task_failures += 1
+        message = (f"injected task failure (stage {stage_id}, "
+                   f"partition {partition}, attempt {attempt})")
+        if plan.task_failure_mode == "eager":
+            def eager() -> Iterator:
+                raise InjectedFaultError(message)
+                yield  # pragma: no cover
+            return eager()
+        # lazy: die after a seeded number of records (or at stream end
+        # for short partitions) — mid-iteration, as real map faults do
+        poison_after = self._rng.randrange(1, 8)
+
+        def lazy() -> Iterator:
+            for i, record in enumerate(records):
+                if i >= poison_after:
+                    raise InjectedFaultError(message)
+                yield record
+            raise InjectedFaultError(message)
+        return lazy()
+
+    def maybe_fail_fetch(self, shuffle_id: int, map_partition: int,
+                         reduce_partition: int) -> None:
+        """Injected transient fetch failure for one shuffle block."""
+        plan = self.plan
+        if plan.fetch_failure_prob \
+                and self._rng.random() < plan.fetch_failure_prob:
+            raise FetchFailedError(
+                f"injected fetch failure: shuffle {shuffle_id} map "
+                f"partition {map_partition} -> reduce partition "
+                f"{reduce_partition}",
+                shuffle_id=shuffle_id, reduce_partition=reduce_partition,
+                missing_map_partitions=(map_partition,))
+
+    # ------------------------------------------------------------------
+    def _faults(self):
+        return self._ctx.metrics.faults
+
+    def _fire_kills(self, should_fire: Callable[[NodeKillEvent], bool]) -> None:
+        for i, event in enumerate(self.plan.node_kills):
+            if i in self._fired_kills or not should_fire(event):
+                continue
+            self._fired_kills.add(i)
+            self._ctx.kill_node(event.node_id)

@@ -125,6 +125,49 @@ class HadoopMetrics:
     hdfs_records_written: int = 0
 
 
+@dataclass
+class FaultMetrics:
+    """Accounting for the fault-tolerance layer: what failed, what the
+    scheduler retried/resubmitted, and what lineage recomputed."""
+
+    #: task attempts that failed with a retryable error
+    task_failures: int = 0
+    #: failed task attempts that were retried (not terminal)
+    tasks_retried: int = 0
+    #: failures injected by the FaultPlan (subset of task_failures)
+    injected_task_failures: int = 0
+    #: straggler delays injected by the FaultPlan
+    stragglers_injected: int = 0
+    #: fetch failures observed by the scheduler (missing or injected)
+    fetch_failures: int = 0
+    #: shuffle-map stages resubmitted from lineage after a fetch failure
+    stages_resubmitted: int = 0
+    #: shuffle records rewritten by resubmitted (recovery) stages
+    records_recomputed: int = 0
+    #: nodes killed (Context.kill_node / NodeKillEvent)
+    nodes_killed: int = 0
+    #: nodes excluded (blacklisted) after repeated task failures
+    nodes_excluded: int = 0
+    #: shuffle map outputs invalidated by node deaths
+    map_outputs_lost: int = 0
+    #: cached partitions invalidated by node deaths
+    cached_partitions_lost: int = 0
+    #: per-node failed-task-attempt counts (drives exclusion)
+    failures_per_node: dict[int, int] = field(default_factory=dict)
+
+    def record_node_failure(self, node: int) -> int:
+        """Count one failed attempt against ``node``; returns its total."""
+        total = self.failures_per_node.get(node, 0) + 1
+        self.failures_per_node[node] = total
+        return total
+
+    @property
+    def any_activity(self) -> bool:
+        return bool(self.task_failures or self.fetch_failures
+                    or self.nodes_killed or self.nodes_excluded
+                    or self.stragglers_injected)
+
+
 class MetricsCollector:
     """Accumulates job/stage metrics for one :class:`~repro.engine.Context`.
 
@@ -135,6 +178,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.jobs: list[JobMetrics] = []
         self.hadoop = HadoopMetrics()
+        self.faults = FaultMetrics()
         self._phase_stack: list[str] = ["Other"]
         #: bytes deserialized out of MEMORY_SER cache (ablation metric)
         self.cache_deserialized_bytes: int = 0
@@ -145,6 +189,10 @@ class MetricsCollector:
         #: one-shot network traffic of broadcast variables
         self.broadcast_bytes: int = 0
         self.broadcast_count: int = 0
+        #: spark-mode checkpoint traffic (write + read-back of reliable
+        #: storage, see Context.checkpoint)
+        self.checkpoint_bytes_written: int = 0
+        self.checkpoint_records_written: int = 0
 
     # ------------------------------------------------------------------
     # phases
@@ -248,6 +296,19 @@ class MetricsCollector:
                 f"hadoop jobs         : {self.hadoop.jobs_launched}, HDFS "
                 f"write {self.hadoop.hdfs_bytes_written:,} B / read "
                 f"{self.hadoop.hdfs_bytes_read:,} B")
+        if self.checkpoint_records_written:
+            lines.append(
+                f"checkpoints         : {self.checkpoint_records_written:,} "
+                f"records, {self.checkpoint_bytes_written:,} B")
+        if self.faults.any_activity:
+            f = self.faults
+            lines.append(
+                f"faults              : {f.task_failures} task failures "
+                f"({f.tasks_retried} retried), {f.fetch_failures} fetch "
+                f"failures, {f.stages_resubmitted} stages resubmitted, "
+                f"{f.records_recomputed:,} records recomputed, "
+                f"{f.nodes_killed} nodes killed, "
+                f"{f.nodes_excluded} excluded")
         by_phase = self.shuffle_read_by_phase()
         if len(by_phase) > 1:
             lines.append("per phase (remote B):")
@@ -259,8 +320,11 @@ class MetricsCollector:
         """Drop all recorded metrics (phase stack is preserved)."""
         self.jobs.clear()
         self.hadoop = HadoopMetrics()
+        self.faults = FaultMetrics()
         self.cache_deserialized_bytes = 0
         self.cache_stored_bytes.clear()
         self.cache_disk_read_bytes = 0
         self.broadcast_bytes = 0
         self.broadcast_count = 0
+        self.checkpoint_bytes_written = 0
+        self.checkpoint_records_written = 0

@@ -89,7 +89,8 @@ class ShuffleDependency(Dependency):
         self.partitioner = partitioner
         self.aggregator = aggregator
         self.map_side_combine = map_side_combine and aggregator is not None
-        self.shuffle_id = rdd.ctx._shuffle_manager.new_shuffle_id()
+        self.shuffle_id = rdd.ctx._shuffle_manager.new_shuffle_id(
+            rdd.num_partitions)
         #: id of the wide RDD consuming this shuffle; set by the consumer.
         #: Lets the scheduler count paper-style "shuffle rounds" (a
         #: cogroup of two shuffled parents is one round).

@@ -11,13 +11,26 @@ Key behaviours reproduced from Spark:
   never recomputed (this is what keeps iterative CP-ALS from re-running
   the whole lineage every action);
 * lineage walks prune at fully-cached RDDs;
-* failed tasks are retried up to ``conf.task_max_failures`` times (used
-  by the failure-injection tests).
+* failed tasks are retried up to ``conf.task_max_failures`` times, with
+  per-node failure counting: a node that keeps failing tasks is excluded
+  (Spark's blacklisting, ``conf.node_max_failures``) and the failed
+  partition's tasks are re-placed onto healthy nodes;
+* a :class:`~repro.engine.errors.FetchFailedError` (a reduce task found
+  its shuffle incomplete, e.g. because the writer node died) is *not*
+  retried in place — the scheduler resubmits the missing parent
+  shuffle-map stages from lineage and re-runs the stage, up to
+  ``conf.stage_max_failures`` times;
+* a terminal :class:`~repro.engine.errors.TaskFailedError` is wrapped in
+  :class:`~repro.engine.errors.JobExecutionError` carrying the stage id
+  and partition.
 
 "Shuffle rounds" (the unit the paper counts in Table 4: a join is one
 round even when both inputs move, and a ``reduceByKey`` is one round) are
 counted per job by grouping newly-executed shuffle dependencies by their
-consuming wide RDD.
+consuming wide RDD.  Recovery re-executions are accounted separately in
+:class:`~repro.engine.metrics.FaultMetrics`, not in the job's shuffle
+rounds — they are repeats of work already counted, and keeping them out
+preserves the paper's Table 4 semantics under fault injection.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
-from .errors import TaskFailedError
+from .errors import FetchFailedError, JobExecutionError, TaskFailedError
 from .metrics import JobMetrics, StageMetrics
 from .rdd import (RDD, Dependency, NarrowDependency, ShuffleDependency)
 
@@ -83,19 +96,23 @@ class DAGScheduler:
         job = self.ctx.metrics.start_job(self._next_job_id, description)
         self._next_job_id += 1
 
-        final_stage = Stage(self._bump_stage_id(), rdd, None)
-        final_stage.parents = self._parent_stages(rdd, {})
-        executed_deps: list[ShuffleDependency] = []
-        self._run_parents(final_stage, job, executed_deps, set())
+        try:
+            final_stage = Stage(self._bump_stage_id(), rdd, None)
+            final_stage.parents = self._parent_stages(rdd, {})
+            executed_deps: list[ShuffleDependency] = []
+            self._run_parents(final_stage, job, executed_deps, set())
 
-        # count paper-style shuffle rounds: group new deps by consumer
-        consumers = {dep.consumer_rdd_id for dep in executed_deps}
-        job.shuffle_rounds = len(consumers)
-        if self.ctx.hadoop_mode:
-            self.ctx.metrics.hadoop.jobs_launched += len(consumers)
+            # count paper-style shuffle rounds: group new deps by consumer
+            consumers = {dep.consumer_rdd_id for dep in executed_deps}
+            job.shuffle_rounds = len(consumers)
+            if self.ctx.hadoop_mode:
+                self.ctx.metrics.hadoop.jobs_launched += len(consumers)
 
-        results = self._run_result_stage(final_stage, partition_func, job)
-        return results
+            return self._run_result_stage(final_stage, partition_func, job)
+        except TaskFailedError as exc:
+            raise JobExecutionError(
+                f"job {job.job_id} ({description}) aborted: {exc}",
+                stage_id=exc.stage_id, partition=exc.partition) from exc
 
     # ------------------------------------------------------------------
     # stage graph construction
@@ -142,94 +159,169 @@ class DAGScheduler:
     # ------------------------------------------------------------------
     def _run_parents(self, stage: Stage, job: JobMetrics,
                      executed: list[ShuffleDependency],
-                     done: set[int]) -> None:
+                     done: set[int], recomputation: bool = False) -> None:
         for parent in stage.parents:
             if parent.stage_id in done:
                 continue
-            self._run_parents(parent, job, executed, done)
+            self._run_parents(parent, job, executed, done, recomputation)
             # a racing sibling may have written this shuffle meanwhile
             dep = parent.shuffle_dep
             assert dep is not None
             if not self.ctx._shuffle_manager.is_written(
                     dep.shuffle_id, dep.rdd.num_partitions):
-                self._run_shuffle_map_stage(parent, job)
+                self._run_shuffle_map_stage(parent, job, recomputation)
                 executed.append(dep)
             done.add(parent.stage_id)
 
-    def _run_shuffle_map_stage(self, stage: Stage, job: JobMetrics) -> None:
+    def _run_shuffle_map_stage(self, stage: Stage, job: JobMetrics,
+                               recomputation: bool = False) -> None:
         dep = stage.shuffle_dep
         assert dep is not None
-        metrics = StageMetrics(
-            stage_id=stage.stage_id, job_id=job.job_id,
-            phase=job.phase, is_shuffle_map=True,
-            name=f"shuffleMap {stage.rdd.name}",
-            num_tasks=stage.num_tasks)
-        job.stages.append(metrics)
         cluster = self.ctx.cluster
         aggregator = dep.aggregator if dep.map_side_combine else None
-        stage_start = time.perf_counter()
-        for partition in range(stage.num_tasks):
-            records = self._run_task(stage, partition, metrics)
-            before = metrics.shuffle_write.records_written
-            self.ctx._shuffle_manager.write(
-                dep.shuffle_id, partition, records, dep.partitioner,
-                metrics.shuffle_write, aggregator)
-            written = metrics.shuffle_write.records_written - before
-            metrics.add_node_records(
-                cluster.node_of_partition(partition), written)
-            metrics.output_records += written
-        metrics.duration_s = time.perf_counter() - stage_start
-        if self.ctx.hadoop_mode:
-            # MapReduce materializes job boundaries through HDFS: charge a
-            # read of the map input and a write of the map output.
-            hadoop = self.ctx.metrics.hadoop
-            hadoop.hdfs_bytes_written += metrics.shuffle_write.bytes_written
-            hadoop.hdfs_bytes_read += metrics.shuffle_write.bytes_written
-            hadoop.hdfs_records_written += metrics.shuffle_write.records_written
+        fetch_failures = 0
+        while True:
+            self.ctx.faults.on_stage_start(stage.stage_id)
+            metrics = StageMetrics(
+                stage_id=stage.stage_id, job_id=job.job_id,
+                phase=job.phase, is_shuffle_map=True,
+                name=f"shuffleMap {stage.rdd.name}",
+                num_tasks=stage.num_tasks)
+            stage_start = time.perf_counter()
+            try:
+                for partition in range(stage.num_tasks):
+                    records = self._run_task(stage, partition, metrics)
+                    before = metrics.shuffle_write.records_written
+                    self.ctx._shuffle_manager.write(
+                        dep.shuffle_id, partition, records, dep.partitioner,
+                        metrics.shuffle_write, aggregator)
+                    written = metrics.shuffle_write.records_written - before
+                    metrics.add_node_records(
+                        cluster.node_of_partition(partition), written)
+                    metrics.output_records += written
+            except FetchFailedError as exc:
+                fetch_failures += 1
+                self._recover_from_fetch_failure(stage, job, exc,
+                                                 fetch_failures)
+                continue
+            metrics.duration_s = time.perf_counter() - stage_start
+            job.stages.append(metrics)
+            if recomputation:
+                self.ctx.metrics.faults.records_recomputed += \
+                    metrics.shuffle_write.records_written
+            if self.ctx.hadoop_mode:
+                # MapReduce materializes job boundaries through HDFS:
+                # charge a read of the map input and a write of the map
+                # output.
+                hadoop = self.ctx.metrics.hadoop
+                hadoop.hdfs_bytes_written += metrics.shuffle_write.bytes_written
+                hadoop.hdfs_bytes_read += metrics.shuffle_write.bytes_written
+                hadoop.hdfs_records_written += \
+                    metrics.shuffle_write.records_written
+            return
 
     def _run_result_stage(self, stage: Stage,
                           partition_func: Callable[[int, Iterable], Any],
                           job: JobMetrics) -> list[Any]:
-        metrics = StageMetrics(
-            stage_id=stage.stage_id, job_id=job.job_id,
-            phase=job.phase, is_shuffle_map=False,
-            name=f"result {stage.rdd.name}", num_tasks=stage.num_tasks)
-        job.stages.append(metrics)
         cluster = self.ctx.cluster
-        results: list[Any] = []
-        stage_start = time.perf_counter()
-        for partition in range(stage.num_tasks):
-            records = self._run_task(stage, partition, metrics)
-            counted = _CountingIterator(records)
-            results.append(partition_func(partition, counted))
-            metrics.add_node_records(
-                cluster.node_of_partition(partition), counted.count)
-            metrics.output_records += counted.count
-        metrics.duration_s = time.perf_counter() - stage_start
-        return results
+        fetch_failures = 0
+        while True:
+            self.ctx.faults.on_stage_start(stage.stage_id)
+            metrics = StageMetrics(
+                stage_id=stage.stage_id, job_id=job.job_id,
+                phase=job.phase, is_shuffle_map=False,
+                name=f"result {stage.rdd.name}", num_tasks=stage.num_tasks)
+            results: list[Any] = []
+            stage_start = time.perf_counter()
+            try:
+                for partition in range(stage.num_tasks):
+                    records = self._run_task(stage, partition, metrics)
+                    counted = _CountingIterator(records)
+                    results.append(partition_func(partition, counted))
+                    metrics.add_node_records(
+                        cluster.node_of_partition(partition), counted.count)
+                    metrics.output_records += counted.count
+            except FetchFailedError as exc:
+                fetch_failures += 1
+                self._recover_from_fetch_failure(stage, job, exc,
+                                                 fetch_failures)
+                continue
+            metrics.duration_s = time.perf_counter() - stage_start
+            job.stages.append(metrics)
+            return results
+
+    def _recover_from_fetch_failure(self, stage: Stage, job: JobMetrics,
+                                    exc: FetchFailedError,
+                                    fetch_failures: int) -> None:
+        """React to a reduce-side fetch failure: give up once the stage's
+        recovery budget is exhausted, otherwise resubmit the missing
+        parent shuffle-map stages from lineage.  The caller then re-runs
+        the stage from its first task (Spark re-runs only lost tasks;
+        re-running the whole stage is the deterministic in-process
+        equivalent — outputs are overwritten idempotently)."""
+        faults = self.ctx.metrics.faults
+        faults.fetch_failures += 1
+        if fetch_failures >= self.ctx.conf.stage_max_failures:
+            raise JobExecutionError(
+                f"stage {stage.stage_id} aborted after {fetch_failures} "
+                f"fetch failures (conf.stage_max_failures="
+                f"{self.ctx.conf.stage_max_failures}): {exc}",
+                stage_id=stage.stage_id,
+                partition=exc.reduce_partition) from exc
+        # rebuild the parent graph against the *current* shuffle/cache
+        # state: exactly the stages whose map outputs are now missing
+        stage.parents = self._parent_stages(stage.rdd, {})
+        resubmitted: list[ShuffleDependency] = []
+        self._run_parents(stage, job, resubmitted, set(),
+                          recomputation=True)
+        faults.stages_resubmitted += len(resubmitted)
 
     def _run_task(self, stage: Stage, partition: int,
                   metrics: StageMetrics) -> Iterable:
-        """Run one task with retries; returns the partition's records."""
-        max_attempts = self.ctx.conf.task_max_failures
+        """Run one task with retries; returns the partition's records.
+
+        Failed attempts are counted against the node the task ran on;
+        once a node accumulates ``conf.node_max_failures`` failures it is
+        excluded from placement and the partition's next attempt runs on
+        a healthy node.  Fetch failures propagate to the stage level —
+        retrying in place cannot recover lost shuffle outputs.
+        """
+        conf = self.ctx.conf
+        cluster = self.ctx.cluster
+        faults = self.ctx.faults
+        fault_metrics = self.ctx.metrics.faults
+        max_attempts = conf.task_max_failures
         last_error: Exception | None = None
         for attempt in range(max_attempts):
+            node = cluster.node_of_partition(partition)
             task = TaskContext(partition=partition, stage_metrics=metrics,
                                attempt=attempt)
             try:
-                if self.ctx.fault_injector is not None:
-                    self.ctx.fault_injector(stage.stage_id, partition, attempt)
+                faults.on_task_attempt(stage.stage_id, partition, attempt,
+                                       node)
                 # materialize inside the try so that faults raised lazily
                 # (mid-iteration) are still retried
-                return list(stage.rdd.iterator(partition, task))
-            except TaskFailedError:
+                return list(faults.wrap_task_iterator(
+                    stage.rdd.iterator(partition, task),
+                    stage.stage_id, partition, attempt))
+            except (TaskFailedError, FetchFailedError):
                 raise
             except Exception as exc:  # noqa: BLE001 - retry any task fault
                 last_error = exc
+                fault_metrics.task_failures += 1
+                node_failures = fault_metrics.record_node_failure(node)
+                if conf.node_max_failures is not None \
+                        and node_failures >= conf.node_max_failures \
+                        and cluster.is_available(node):
+                    if cluster.exclude_node(node):
+                        fault_metrics.nodes_excluded += 1
+                if attempt + 1 < max_attempts:
+                    fault_metrics.tasks_retried += 1
         raise TaskFailedError(
             f"task for partition {partition} of stage {stage.stage_id} "
             f"failed {max_attempts} times: {last_error}",
-            partition=partition, attempts=max_attempts)
+            partition=partition, attempts=max_attempts,
+            stage_id=stage.stage_id)
 
 
 class _CountingIterator:

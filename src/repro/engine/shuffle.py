@@ -4,23 +4,35 @@ A *shuffle* moves the output of a map stage to the reduce tasks of the
 next stage.  Each map task hashes every record's key through the child
 partitioner into one bucket per reduce partition; reduce tasks then fetch
 their bucket from every map task.  A fetched block is **local** when the
-map partition and the reduce partition are placed on the same node, and
+map output and the reduce partition live on the same node, and
 **remote** otherwise — this is precisely the local/remote split Spark's
 metrics report and that Figure 4 of the paper is built from.
 
 Map-side combining (Spark's ``reduceByKey`` behaviour) is supported: when
 an aggregator is attached to the dependency, records are pre-merged per
 key inside each map task, shrinking the shuffle.
+
+Fault tolerance: every map output records the node that wrote it.
+Killing a node (``invalidate_node``) discards its outputs, and a reduce
+task that later finds its shuffle incomplete raises
+:class:`~repro.engine.errors.FetchFailedError` — the scheduler answers
+by resubmitting the parent shuffle-map stage from lineage.  A
+:class:`~repro.engine.faults.FaultInjector` may additionally inject
+transient fetch failures per block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .cluster import Cluster
+from .errors import FetchFailedError
 from .metrics import ShuffleReadMetrics, ShuffleWriteMetrics
 from .serialization import estimate_record_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .faults import FaultInjector
 
 
 @dataclass
@@ -37,6 +49,8 @@ class _MapOutput:
     """Shuffle blocks written by one map task: bucket -> records."""
 
     map_partition: int
+    #: node that executed the map task (its loss invalidates the output)
+    node: int = 0
     buckets: dict[int, list] = field(default_factory=dict)
     bucket_bytes: dict[int, int] = field(default_factory=dict)
 
@@ -44,16 +58,24 @@ class _MapOutput:
 class ShuffleManager:
     """Holds all shuffle outputs for one context, keyed by shuffle id."""
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster,
+                 faults: "FaultInjector | None" = None):
         self.cluster = cluster
+        self.faults = faults
         self._shuffles: dict[int, dict[int, _MapOutput]] = {}
+        #: shuffle id -> expected map-partition count (None when the
+        #: shuffle was registered through the legacy argless API)
+        self._num_maps: dict[int, int | None] = {}
         self._next_shuffle_id = 0
 
-    def new_shuffle_id(self) -> int:
-        """Register a new shuffle and return its id."""
+    def new_shuffle_id(self, num_map_partitions: int | None = None) -> int:
+        """Register a new shuffle and return its id.  When the map-side
+        partition count is declared, reduce-side reads verify the
+        shuffle is complete and raise ``FetchFailedError`` otherwise."""
         sid = self._next_shuffle_id
         self._next_shuffle_id += 1
         self._shuffles[sid] = {}
+        self._num_maps[sid] = num_map_partitions
         return sid
 
     def is_written(self, shuffle_id: int, num_map_partitions: int) -> bool:
@@ -83,7 +105,9 @@ class ShuffleManager:
                     combined[key] = aggregator.create_combiner(value)
             records = combined.items()
 
-        output = _MapOutput(map_partition=map_partition)
+        output = _MapOutput(
+            map_partition=map_partition,
+            node=self.cluster.node_of_partition(map_partition))
         buckets = output.buckets
         bucket_bytes = output.bucket_bytes
         get_partition = partitioner.get_partition
@@ -108,18 +132,44 @@ class ShuffleManager:
     def read(self, shuffle_id: int, reduce_partition: int,
              read_metrics: ShuffleReadMetrics) -> list:
         """Fetch all blocks of ``reduce_partition``, accounting each block
-        as local or remote based on node placement."""
+        as local or remote based on the writer's node placement.
+
+        Raises :class:`FetchFailedError` when the shuffle's declared map
+        outputs are incomplete (a writer node died and its blocks were
+        invalidated) or when the fault plan injects a fetch failure.
+        """
         outputs = self._shuffles.get(shuffle_id)
         if outputs is None:
-            raise KeyError(f"unknown shuffle id {shuffle_id}")
+            if shuffle_id not in self._num_maps:
+                raise KeyError(f"unknown shuffle id {shuffle_id}")
+            # registered but dropped (gc'd or removed): recoverable —
+            # the scheduler recomputes the map stage from lineage
+            expected = self._num_maps[shuffle_id]
+            missing = tuple(range(expected)) if expected else ()
+            raise FetchFailedError(
+                f"shuffle {shuffle_id} has no map outputs (dropped or "
+                f"lost) for reduce partition {reduce_partition}",
+                shuffle_id=shuffle_id, reduce_partition=reduce_partition,
+                missing_map_partitions=missing)
+        expected = self._num_maps.get(shuffle_id)
+        if expected is not None and len(outputs) < expected:
+            missing = tuple(sorted(set(range(expected)) - set(outputs)))
+            raise FetchFailedError(
+                f"shuffle {shuffle_id} is missing map outputs "
+                f"{list(missing)} for reduce partition {reduce_partition}",
+                shuffle_id=shuffle_id, reduce_partition=reduce_partition,
+                missing_map_partitions=missing)
         reduce_node = self.cluster.node_of_partition(reduce_partition)
         fetched: list = []
         for map_partition, output in outputs.items():
             block = output.buckets.get(reduce_partition)
             if not block:
                 continue
+            if self.faults is not None:
+                self.faults.maybe_fail_fetch(shuffle_id, map_partition,
+                                             reduce_partition)
             nbytes = output.bucket_bytes.get(reduce_partition, 0)
-            if self.cluster.node_of_partition(map_partition) == reduce_node:
+            if output.node == reduce_node:
                 read_metrics.local_bytes += nbytes
                 read_metrics.local_records += len(block)
             else:
@@ -129,10 +179,29 @@ class ShuffleManager:
         return fetched
 
     # ------------------------------------------------------------------
+    def invalidate_node(self, node_id: int) -> tuple[int, int]:
+        """Discard every map output written by ``node_id`` (the node
+        died).  Returns ``(outputs_lost, records_lost)``; subsequent
+        reduce-side reads of the affected shuffles raise
+        ``FetchFailedError`` and trigger lineage resubmission."""
+        outputs_lost = 0
+        records_lost = 0
+        for shuffle_outputs in self._shuffles.values():
+            doomed = [p for p, out in shuffle_outputs.items()
+                      if out.node == node_id]
+            for p in doomed:
+                output = shuffle_outputs.pop(p)
+                outputs_lost += 1
+                records_lost += sum(len(b) for b in output.buckets.values())
+        return outputs_lost, records_lost
+
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard one shuffle's map outputs."""
         self._shuffles.pop(shuffle_id, None)
 
     def clear(self) -> None:
-        """Discard all map outputs (recomputed from lineage on demand)."""
+        """Discard all map outputs (recomputed from lineage on demand).
+
+        The declared map-partition counts are metadata, not data, and
+        survive — recomputed shuffles re-register their outputs."""
         self._shuffles.clear()

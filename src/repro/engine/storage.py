@@ -132,6 +132,18 @@ class CacheManager:
         return all((rdd_id, p) in self._entries
                    for p in range(num_partitions))
 
+    def invalidate_node(self, node_id: int, cluster) -> int:
+        """Drop every cached partition placed on ``node_id`` (the node
+        died).  Must be called *before* the cluster marks the node dead,
+        while ``cluster.node_of_partition`` still reflects the placement
+        the entries were stored under.  Returns partitions dropped;
+        affected RDDs recompute them from lineage on the next read."""
+        doomed = [key for key in self._entries
+                  if cluster.node_of_partition(key[1]) == node_id]
+        for key in doomed:
+            self._remove(key)
+        return len(doomed)
+
     def unpersist(self, rdd_id: int) -> int:
         """Drop all partitions of ``rdd_id``; returns bytes freed."""
         freed = 0

@@ -2,18 +2,25 @@
 
 The paper motivates Spark precisely because "fault-tolerant frameworks
 ... can execute in data-center settings"; these tests inject task
-failures into complete decompositions and require bit-identical
-results.
+failures and whole-node loss into complete decompositions and require
+bit-identical results, and exercise driver-level checkpoint/resume.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.core import CstfCOO, CstfQCOO
-from repro.engine import Context, EngineConf, TaskFailedError
+from repro.core import (CstfCOO, CstfQCOO, DirectoryCheckpointStore,
+                        InMemoryCheckpointStore)
+from repro.engine import (Context, EngineConf, FaultPlan,
+                          JobExecutionError, NodeKillEvent,
+                          TaskFailedError)
 from repro.tensor import random_factors, uniform_sparse
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +74,162 @@ class TestTransientFaults:
         assert np.allclose(res.lambdas, ref.lambdas)
 
 
+class TestNodeLoss:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_node_killed_mid_iteration_recovers_exactly(self, cls,
+                                                        tensor, init):
+        """Kill a node mid-iteration, while its shuffle map outputs are
+        still live: the reduce-side read hits FetchFailedError, the
+        scheduler resubmits the map stage from lineage, and the
+        decomposition converges to the fault-free factors exactly."""
+        ref = clean_run(cls, tensor, init)
+        plan = FaultPlan(
+            seed=SEED,
+            node_kills=(NodeKillEvent(node_id=2, after_tasks=80),))
+        with Context(num_nodes=4, default_parallelism=8,
+                     fault_plan=plan) as ctx:
+            res = cls(ctx).decompose(tensor, 2, max_iterations=2,
+                                     tol=0.0, initial_factors=init)
+            faults = ctx.metrics.faults
+            assert faults.nodes_killed == 1
+            assert faults.map_outputs_lost > 0
+            assert faults.cached_partitions_lost > 0
+            assert faults.fetch_failures > 0
+            assert faults.stages_resubmitted > 0
+            assert faults.records_recomputed > 0
+        assert np.allclose(res.lambdas, ref.lambdas, atol=1e-10, rtol=0)
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-10, rtol=0)
+
+    def test_node_killed_late_during_factor_collection(self, tensor,
+                                                       init):
+        """A kill after the iterations, during factor collection,
+        invalidates cached factor partitions whose lineage reaches
+        already-gc'd shuffles — recovery must recompute those too."""
+        ref = clean_run(CstfCOO, tensor, init)
+        plan = FaultPlan(
+            seed=SEED,
+            node_kills=(NodeKillEvent(node_id=2, after_tasks=300),))
+        with Context(num_nodes=4, default_parallelism=8,
+                     fault_plan=plan) as ctx:
+            res = CstfCOO(ctx).decompose(tensor, 2, max_iterations=2,
+                                         tol=0.0, initial_factors=init)
+            assert ctx.metrics.faults.nodes_killed == 1
+        for a, b in zip(res.factors, ref.factors):
+            assert np.allclose(a, b, atol=1e-10, rtol=0)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_resume_is_bit_for_bit(self, cls, tensor, init):
+        """Simulated driver crash: run 2 of 4 iterations with
+        checkpointing, then resume in a brand-new context.  The resumed
+        run must match the uninterrupted one exactly."""
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            full = cls(ctx).decompose(tensor, 2, max_iterations=4,
+                                      tol=0.0, initial_factors=init)
+        store = InMemoryCheckpointStore()
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            cls(ctx).decompose(tensor, 2, max_iterations=2, tol=0.0,
+                               initial_factors=init, checkpoint_every=1,
+                               checkpoint_store=store)
+        assert store.iterations() == [0, 1]
+        # "crash": the context above is gone; resume in a fresh one
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            resumed = cls(ctx).decompose(tensor, 2, max_iterations=4,
+                                         tol=0.0, checkpoint_store=store,
+                                         resume_from="latest")
+        assert np.array_equal(resumed.lambdas, full.lambdas)
+        for a, b in zip(resumed.factors, full.factors):
+            assert np.array_equal(a, b)
+        assert resumed.fit_history == full.fit_history
+
+    def test_resume_from_explicit_iteration(self, tensor, init):
+        full = clean_run(CstfCOO, tensor, init)
+        store = InMemoryCheckpointStore()
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            CstfCOO(ctx).decompose(tensor, 2, max_iterations=2, tol=0.0,
+                                   initial_factors=init,
+                                   checkpoint_every=1,
+                                   checkpoint_store=store)
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            resumed = CstfCOO(ctx).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                checkpoint_store=store, resume_from=0)
+        for a, b in zip(resumed.factors, full.factors):
+            assert np.array_equal(a, b)
+
+    def test_directory_store_roundtrip(self, tensor, init, tmp_path):
+        full = clean_run(CstfCOO, tensor, init)
+        store = DirectoryCheckpointStore(tmp_path / "ckpts")
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            CstfCOO(ctx).decompose(tensor, 2, max_iterations=1, tol=0.0,
+                                   initial_factors=init,
+                                   checkpoint_every=1,
+                                   checkpoint_store=store)
+        assert store.iterations() == [0]
+        snap = store.load()
+        assert snap.algorithm == CstfCOO.name
+        assert snap.rank == 2
+        assert snap.iteration == 0
+        # resume off disk — the real crash-recovery path
+        store2 = DirectoryCheckpointStore(tmp_path / "ckpts")
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            resumed = CstfCOO(ctx).decompose(
+                tensor, 2, max_iterations=2, tol=0.0,
+                checkpoint_store=store2, resume_from="latest")
+        for a, b in zip(resumed.factors, full.factors):
+            assert np.array_equal(a, b)
+
+    def test_checkpointing_does_not_change_results(self, tensor, init):
+        ref = clean_run(CstfCOO, tensor, init)
+        store = InMemoryCheckpointStore()
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            res = CstfCOO(ctx).decompose(tensor, 2, max_iterations=2,
+                                         tol=0.0, initial_factors=init,
+                                         checkpoint_every=2,
+                                         checkpoint_store=store)
+        assert store.iterations() == [1]
+        for a, b in zip(res.factors, ref.factors):
+            assert np.array_equal(a, b)
+
+    def test_checkpoint_validations(self, tensor, init):
+        store = InMemoryCheckpointStore()
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            driver = CstfCOO(ctx)
+            with pytest.raises(ValueError, match="checkpoint_store"):
+                driver.decompose(tensor, 2, max_iterations=1,
+                                 checkpoint_every=1)
+            with pytest.raises(ValueError, match="checkpoint_store"):
+                driver.decompose(tensor, 2, max_iterations=1,
+                                 resume_from="latest")
+            with pytest.raises(ValueError, match="checkpoint_every"):
+                driver.decompose(tensor, 2, max_iterations=1,
+                                 checkpoint_every=0,
+                                 checkpoint_store=store)
+            with pytest.raises(KeyError):  # empty store
+                driver.decompose(tensor, 2, max_iterations=1,
+                                 checkpoint_store=store,
+                                 resume_from="latest")
+            driver.decompose(tensor, 2, max_iterations=1, tol=0.0,
+                             initial_factors=init, checkpoint_every=1,
+                             checkpoint_store=store)
+            with pytest.raises(ValueError, match="mutually"):
+                driver.decompose(tensor, 2, max_iterations=2,
+                                 initial_factors=init,
+                                 checkpoint_store=store,
+                                 resume_from="latest")
+            with pytest.raises(ValueError, match="rank"):
+                driver.decompose(tensor, 3, max_iterations=2,
+                                 checkpoint_store=store,
+                                 resume_from="latest")
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            with pytest.raises(ValueError, match="written by"):
+                CstfQCOO(ctx).decompose(tensor, 2, max_iterations=2,
+                                        checkpoint_store=store,
+                                        resume_from="latest")
+
+
 class TestPermanentFaults:
     def test_exhausted_retries_surface(self, tensor, init):
         conf = EngineConf(task_max_failures=2)
@@ -76,8 +239,9 @@ class TestPermanentFaults:
                 if partition == 3:
                     raise RuntimeError("partition 3 is cursed")
             ctx.fault_injector = doomed
-            with pytest.raises(TaskFailedError) as err:
+            with pytest.raises(JobExecutionError) as err:
                 CstfCOO(ctx).decompose(tensor, 2, max_iterations=1,
                                        tol=0.0, initial_factors=init)
             assert err.value.partition == 3
-            assert err.value.attempts == 2
+            assert isinstance(err.value.__cause__, TaskFailedError)
+            assert err.value.__cause__.attempts == 2

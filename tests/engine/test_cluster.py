@@ -44,6 +44,12 @@ class TestCluster:
     def test_default_parallelism_positive(self):
         assert Cluster(num_nodes=2).default_parallelism() > 0
 
+    def test_default_parallelism_two_per_core_capped(self):
+        assert Cluster(num_nodes=2, cores_per_node=4)\
+            .default_parallelism() == 16
+        assert Cluster(num_nodes=32, cores_per_node=24)\
+            .default_parallelism() == 128  # capped
+
     @given(st.integers(min_value=1, max_value=64),
            st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=50)
@@ -57,3 +63,39 @@ class TestCluster:
         c = Cluster(num_nodes=4)
         for p in range(32):
             assert c.node_of_partition(p) == c.node_of_partition(p)
+
+
+class TestLiveness:
+    def test_kill_reroutes_partitions(self):
+        c = Cluster(num_nodes=4)
+        c.kill_node(1)
+        assert not c.is_available(1)
+        assert c.available_nodes == [0, 2, 3]
+        # partition 1's primary (node 1) is dead: re-placed, stably
+        assert c.node_of_partition(1) in (0, 2, 3)
+        assert c.node_of_partition(1) == c.node_of_partition(1)
+        # healthy primaries are untouched
+        assert c.node_of_partition(0) == 0
+        assert c.node_of_partition(2) == 2
+
+    def test_revive_restores_placement(self):
+        c = Cluster(num_nodes=4)
+        c.kill_node(1)
+        c.revive_node(1)
+        assert c.is_available(1)
+        assert c.node_of_partition(1) == 1
+
+    def test_cannot_kill_every_node(self):
+        from repro.engine import EngineError
+        c = Cluster(num_nodes=2)
+        c.kill_node(0)
+        with pytest.raises(EngineError):
+            c.kill_node(1)
+
+    def test_exclude_never_empties_cluster(self):
+        c = Cluster(num_nodes=2)
+        assert c.exclude_node(0)
+        assert not c.exclude_node(1)  # refused: last available node
+        assert c.available_nodes == [1]
+        c.include_node(0)
+        assert c.available_nodes == [0, 1]

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import Context, EngineConf, TaskFailedError
+from repro.engine import (Context, EngineConf, JobExecutionError,
+                          TaskFailedError)
 
 
 class TestStageExecution:
@@ -97,9 +98,15 @@ class TestFaultInjection:
             def broken(stage_id, partition, attempt):
                 raise RuntimeError("injected permanent fault")
             ctx.fault_injector = broken
-            with pytest.raises(TaskFailedError) as exc:
+            # the terminal TaskFailedError is wrapped in JobExecutionError
+            # carrying the failing stage and partition
+            with pytest.raises(JobExecutionError) as exc:
                 ctx.parallelize(range(4), 2).count()
-            assert exc.value.attempts == 3
+            assert exc.value.stage_id == 0
+            assert exc.value.partition == 0
+            cause = exc.value.__cause__
+            assert isinstance(cause, TaskFailedError)
+            assert cause.attempts == 3
 
     def test_fault_in_lazy_map_function_retried(self):
         with Context(num_nodes=2, default_parallelism=2) as ctx:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import Cluster, HashPartitioner
+from repro.engine import Cluster, FetchFailedError, HashPartitioner
 from repro.engine.metrics import ShuffleReadMetrics, ShuffleWriteMetrics
 from repro.engine.shuffle import Aggregator, ShuffleManager
 
@@ -102,7 +102,11 @@ class TestLifecycle:
         sid = mgr.new_shuffle_id()
         write(mgr, sid, 0, [(1, "a")])
         mgr.remove_shuffle(sid)
-        with pytest.raises(KeyError):
+        # a registered-then-dropped shuffle is recoverable: the read
+        # signals FetchFailedError so the scheduler can resubmit the
+        # map stage from lineage (an id never registered is a bug and
+        # stays a KeyError)
+        with pytest.raises(FetchFailedError):
             mgr.read(sid, 0, ShuffleReadMetrics())
 
     def test_clear_then_rewrite(self, mgr):
