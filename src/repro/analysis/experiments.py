@@ -24,7 +24,7 @@ from ..core.cp_als import CPALSDriver
 from ..core.cstf_coo import CstfCOO
 from ..core.cstf_dimtree import CstfDimTree
 from ..core.cstf_qcoo import CstfQCOO
-from ..engine.context import Context
+from ..engine.context import Context, EngineConf
 from ..engine.costmodel import COMET, CostModel, HardwareProfile, RunStats
 from ..engine.metrics import MetricsCollector
 from ..tensor.coo import COOTensor
@@ -62,11 +62,18 @@ def execution_mode(algorithm: str) -> str:
     return "hadoop" if algorithm == "bigtensor" else "spark"
 
 
-def make_context(algorithm: str, config: MeasurementConfig) -> Context:
-    """Context sized per the measurement configuration."""
+def make_context(algorithm: str, config: MeasurementConfig,
+                 conf: EngineConf | None = None) -> Context:
+    """Context sized per the measurement configuration.
+
+    ``conf`` optionally carries engine tuning (cache capacity, memory
+    budget, fault plan) into the context; the cluster geometry always
+    comes from ``config``.
+    """
     return Context(num_nodes=config.measure_nodes,
                    default_parallelism=config.partitions,
-                   execution_mode=execution_mode(algorithm))
+                   execution_mode=execution_mode(algorithm),
+                   conf=conf)
 
 
 def make_driver(algorithm: str, ctx: Context,

@@ -28,7 +28,7 @@ from .analysis.experiments import (NODE_COUNTS, execution_mode,
                                    make_context, make_driver, paper_scale,
                                    per_iteration_stats)
 from .datasets import DATASETS, get_spec, make_dataset
-from .engine import CostModel
+from .engine import CostModel, EngineConf, StorageLevel
 from .tensor import read_tns
 
 ALGORITHMS = ("cstf-coo", "cstf-qcoo", "bigtensor")
@@ -58,6 +58,21 @@ def _build_parser() -> argparse.ArgumentParser:
     dec.add_argument("--seed", type=int, default=0)
     dec.add_argument("--regularization", type=float, default=0.0)
     dec.add_argument("--nonnegative", action="store_true")
+    dec.add_argument("--storage-level",
+                     choices=[lvl.value for lvl in StorageLevel],
+                     default=StorageLevel.MEMORY_RAW.value,
+                     help="persistence level for the tensor RDD "
+                          "(memory_and_disk* levels demote to disk "
+                          "under cache pressure)")
+    dec.add_argument("--cache-budget", type=int, default=None,
+                     metavar="BYTES",
+                     help="per-node cache capacity; undersizing it "
+                          "forces eviction/demotion")
+    dec.add_argument("--memory-budget", type=int, default=None,
+                     metavar="BYTES",
+                     help="per-node unified memory (execution + "
+                          "storage); undersizing it forces shuffle "
+                          "aggregation to spill")
 
     comm = sub.add_parser("communication",
                           help="Figure 4: COO vs QCOO shuffle volume")
@@ -139,10 +154,15 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     config = MeasurementConfig(
         rank=args.rank, measure_nodes=args.nodes,
         partitions=args.partitions or 4 * args.nodes, seed=args.seed)
-    ctx = make_context(args.algorithm, config)
+    conf = None
+    if args.cache_budget is not None or args.memory_budget is not None:
+        conf = EngineConf(cache_capacity_bytes=args.cache_budget,
+                          memory_total_bytes=args.memory_budget)
+    ctx = make_context(args.algorithm, config, conf=conf)
     driver = make_driver(args.algorithm, ctx, config)
     driver.regularization = args.regularization
     driver.nonnegative = args.nonnegative
+    driver.storage_level = StorageLevel(args.storage_level)
     result = driver.decompose(
         tensor, args.rank, max_iterations=args.iterations,
         seed=args.seed)
@@ -154,6 +174,11 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     read = ctx.metrics.total_shuffle_read()
     print(f"shuffles  : {ctx.metrics.total_shuffle_rounds()} rounds, "
           f"{read.remote_bytes:,} remote B, {read.local_bytes:,} local B")
+    mem = ctx.metrics.memory
+    print(f"memory    : peak {mem.execution_peak_bytes:,} B execution, "
+          f"{mem.storage_peak_bytes:,} B storage; "
+          f"spilled {mem.spill_bytes:,} B in {mem.spill_count} spills, "
+          f"{mem.demotions} demotions, {mem.oom_kills} OOM kills")
     if ctx.hadoop_mode:
         print(f"hadoop    : {ctx.metrics.hadoop.jobs_launched} jobs, "
               f"{ctx.metrics.hadoop.hdfs_bytes_written:,} HDFS B written")

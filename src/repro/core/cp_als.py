@@ -30,6 +30,7 @@ import numpy as np
 from ..engine.context import Context
 from ..engine.partitioner import HashPartitioner
 from ..engine.rdd import RDD
+from ..engine.storage import StorageLevel
 from ..tensor.coo import COOTensor
 from ..tensor.dense import random_factors
 from .checkpoint import CheckpointStore, CPCheckpoint
@@ -66,6 +67,14 @@ class CPALSDriver:
         skewed tensors, Section 6.6) or ``"range:<mode>"`` (contiguous
         index ranges of one mode — the imbalanced alternative measured
         by the partitioning ablation).
+    storage_level:
+        Storage level for the big per-run RDDs — the tensor RDD and
+        (for QCOO) the queue RDDs.  ``MEMORY_RAW`` reproduces the
+        paper's choice; ``MEMORY_AND_DISK`` degrades gracefully when a
+        cache budget (``EngineConf.cache_capacity_bytes`` /
+        ``memory_total_bytes``) cannot hold them: over-budget partitions
+        spill to simulated disk instead of being dropped and recomputed.
+        Factor RDDs are small and stay ``MEMORY_RAW``.
     """
 
     #: subclass tag used in results and reports
@@ -75,7 +84,8 @@ class CPALSDriver:
                  recompute_grams_per_mttkrp: bool = False,
                  regularization: float = 0.0,
                  nonnegative: bool = False,
-                 tensor_partitioning: str = "hash"):
+                 tensor_partitioning: str = "hash",
+                 storage_level: StorageLevel = StorageLevel.MEMORY_RAW):
         if regularization < 0:
             raise ValueError(
                 f"regularization must be >= 0, got {regularization}")
@@ -92,6 +102,7 @@ class CPALSDriver:
         self.regularization = regularization
         self.nonnegative = nonnegative
         self.tensor_partitioning = tensor_partitioning
+        self.storage_level = storage_level
 
     # ------------------------------------------------------------------
     # subclass interface
@@ -315,7 +326,7 @@ class CPALSDriver:
             part = RangePartitioner.for_key_range(tensor.shape[mode], n)
             keyed = [(idx[mode], (idx, val)) for idx, val in records]
             rdd = self.ctx.parallelize(keyed, n, part).values()
-        return rdd.set_name("tensor-coo").cache()
+        return rdd.set_name("tensor-coo").persist(self.storage_level)
 
     def _distribute_factor(self, factor: np.ndarray) -> RDD:
         """``RDD[(index, row)]`` hash-partitioned by row index, so that

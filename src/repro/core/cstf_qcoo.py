@@ -62,7 +62,7 @@ class CstfQCOO(CPALSDriver):
             current = joined.map(enqueue).set_name(
                 f"qcoo-init-enqueue{m}")
         self._queue_rdd = self._canonical(current).set_name(
-            "qcoo-queue").cache()
+            "qcoo-queue").persist(self.storage_level)
         self._expected_key_mode = order - 1
 
     @staticmethod
@@ -120,7 +120,7 @@ class CstfQCOO(CPALSDriver):
             return (rec[0][_mode], (rec, new_queue))
 
         next_queue = self._canonical(joined.map(rotate)).set_name(
-            "qcoo-queue").cache()
+            "qcoo-queue").persist(self.storage_level)
 
         # STAGE 3: reduce each record's queue to one scaled row, then sum
         def reduce_queue(value):

@@ -22,13 +22,16 @@ from .cluster import Cluster, Node
 from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
 from .errors import (CacheEvictedError, ContextStoppedError, EngineError,
-                     FetchFailedError, JobExecutionError, TaskFailedError)
+                     FetchFailedError, JobExecutionError, OutOfMemoryError,
+                     TaskFailedError)
 from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
                      NodeKillEvent)
 from .mapreduce import (HadoopRuntime, HDFSFile, JobResult,
                         MapReduceJob, SimulatedHDFS)
+from .memory import (LEVEL_MEMORY_FACTOR, MemoryManager,
+                     SpillableAppendOnlyMap, demote_level)
 from .metrics import (FaultMetrics, HadoopMetrics, JobMetrics,
-                      MetricsCollector, ShuffleReadMetrics,
+                      MemoryMetrics, MetricsCollector, ShuffleReadMetrics,
                       ShuffleWriteMetrics, StageMetrics)
 from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
                           stable_hash)
@@ -66,8 +69,13 @@ __all__ = [
     "HashPartitioner",
     "JobExecutionError",
     "JobMetrics",
+    "LEVEL_MEMORY_FACTOR",
+    "MemoryManager",
+    "MemoryMetrics",
     "MetricsCollector",
     "Node",
+    "OutOfMemoryError",
+    "SpillableAppendOnlyMap",
     "Partitioner",
     "RangePartitioner",
     "RDD",
@@ -80,6 +88,7 @@ __all__ = [
     "TermMultipliers",
     "TimeBreakdown",
     "calibrate",
+    "demote_level",
     "estimate_record_size",
     "estimate_size",
     "stable_hash",

@@ -23,6 +23,7 @@ from .broadcast import Broadcast
 from .cluster import Cluster
 from .errors import ContextStoppedError
 from .faults import FaultInjector, FaultPlan
+from .memory import MemoryManager
 from .metrics import MetricsCollector
 from .partitioner import HashPartitioner, Partitioner
 from .rdd import RDD, ParallelCollectionRDD
@@ -51,8 +52,26 @@ class EngineConf:
         from placement (Spark's blacklisting); ``None`` disables
         exclusion (the Spark default).
     ``cache_capacity_bytes``
-        Optional cluster-wide cache budget with LRU eviction; ``None``
-        means unbounded.
+        Optional cluster-wide cache budget (a hard cap on the storage
+        pool): over-budget entries are demoted to disk
+        (``MEMORY_AND_DISK*`` levels) or LRU-evicted (memory-only
+        levels); ``None`` means unbounded.
+    ``memory_total_bytes``
+        Optional unified memory budget (Spark's executor heap analogue).
+        The usable budget is ``memory_total_bytes * memory_fraction``,
+        split between the storage pool (cached partitions) and the
+        execution pool (shuffle combine buffers), which borrow from each
+        other; see :class:`~repro.engine.memory.MemoryManager`.
+    ``memory_fraction``
+        Fraction of ``memory_total_bytes`` usable by the engine
+        (Spark's ``spark.memory.fraction``).
+    ``storage_fraction``
+        Fraction of the usable budget guaranteed to storage — execution
+        demand cannot shrink the cache below it (Spark's
+        ``spark.memory.storageFraction``).
+    ``oom_retry_backoff_s``
+        Base backoff before retrying a task killed by an injected OOM
+        (doubled per attempt); ``0`` disables sleeping.
     """
 
     map_side_combine: bool = True
@@ -60,6 +79,10 @@ class EngineConf:
     stage_max_failures: int = 4
     node_max_failures: int | None = None
     cache_capacity_bytes: int | None = None
+    memory_total_bytes: int | None = None
+    memory_fraction: float = 0.6
+    storage_fraction: float = 0.5
+    oom_retry_backoff_s: float = 0.01
 
 
 class Context:
@@ -97,12 +120,22 @@ class Context:
             default_parallelism if default_parallelism is not None
             else 8 * self.cluster.num_nodes)
         self.metrics = MetricsCollector()
+        #: unified execution/storage memory accounting (see
+        #: :mod:`repro.engine.memory`)
+        self.memory = MemoryManager(
+            total_bytes=self.conf.memory_total_bytes,
+            memory_fraction=self.conf.memory_fraction,
+            storage_fraction=self.conf.storage_fraction,
+            storage_cap_bytes=self.conf.cache_capacity_bytes,
+            metrics=self.metrics)
         self._cache = CacheManager(self.conf.cache_capacity_bytes,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics,
+                                   memory=self.memory)
         #: structured fault injection (see :mod:`repro.engine.faults`)
         self.faults = FaultInjector(fault_plan or FaultPlan(), self)
         self._shuffle_manager = ShuffleManager(self.cluster,
-                                               faults=self.faults)
+                                               faults=self.faults,
+                                               memory=self.memory)
         self._scheduler = DAGScheduler(self)
         self._rdd_counter = 0
         self._accumulators: list[Accumulator] = []

@@ -107,6 +107,10 @@ class RunStats:
     cache_bytes: int = 0
     #: one-shot network traffic of broadcast variables
     broadcast_bytes: int = 0
+    #: bytes spilled to simulated disk under memory pressure (shuffle
+    #: runs, demoted cache entries, spill-mode task working sets);
+    #: priced as a write plus a read-back against disk bandwidth
+    spill_bytes: int = 0
     #: max-node records / mean-node records (load imbalance), >= 1
     node_skew: float = 1.0
 
@@ -138,8 +142,9 @@ class RunStats:
             hadoop_jobs=metrics.hadoop.jobs_launched,
             hdfs_read_bytes=metrics.hadoop.hdfs_bytes_read,
             hdfs_write_bytes=metrics.hadoop.hdfs_bytes_written,
-            cache_bytes=sum(metrics.cache_stored_bytes.values()),
+            cache_bytes=sum(metrics.cache_bytes_written.values()),
             broadcast_bytes=metrics.broadcast_bytes,
+            spill_bytes=metrics.memory.spill_bytes,
             node_skew=skew,
         )
 
@@ -156,6 +161,7 @@ class RunStats:
             hdfs_write_bytes=self.hdfs_write_bytes + other.hdfs_write_bytes,
             cache_bytes=self.cache_bytes + other.cache_bytes,
             broadcast_bytes=self.broadcast_bytes + other.broadcast_bytes,
+            spill_bytes=self.spill_bytes + other.spill_bytes,
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -172,6 +178,7 @@ class RunStats:
             hdfs_write_bytes=max(0, self.hdfs_write_bytes - other.hdfs_write_bytes),
             cache_bytes=max(0, self.cache_bytes - other.cache_bytes),
             broadcast_bytes=max(0, self.broadcast_bytes - other.broadcast_bytes),
+            spill_bytes=max(0, self.spill_bytes - other.spill_bytes),
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -188,6 +195,7 @@ class RunStats:
             hdfs_write_bytes=int(self.hdfs_write_bytes * k),
             cache_bytes=int(self.cache_bytes * k),
             broadcast_bytes=int(self.broadcast_bytes * k),
+            spill_bytes=int(self.spill_bytes * k),
             node_skew=self.node_skew,
         )
 
@@ -206,6 +214,7 @@ class RunStats:
             hdfs_write_bytes=int(self.hdfs_write_bytes * factor),
             cache_bytes=int(self.cache_bytes * factor),
             broadcast_bytes=int(self.broadcast_bytes * factor),
+            spill_bytes=int(self.spill_bytes * factor),
         )
 
 
@@ -282,6 +291,11 @@ class CostModel:
                        + stats.hdfs_read_bytes)
             disk = traffic / (num_nodes * p.disk_bw_bytes_per_s)
             startup = stats.hadoop_jobs * p.hadoop_job_startup_s
+        if stats.spill_bytes:
+            # memory-pressure spills are written once and read back once
+            # against local disk, in either mode
+            disk += (stats.spill_bytes * 2
+                     / (num_nodes * p.disk_bw_bytes_per_s))
 
         return TimeBreakdown(
             compute_s=compute, network_s=network, round_latency_s=rounds,

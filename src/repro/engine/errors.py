@@ -54,6 +54,24 @@ class FetchFailedError(EngineError):
         self.missing_map_partitions = tuple(missing_map_partitions)
 
 
+class OutOfMemoryError(EngineError):
+    """A task's working set exceeded its node's injected memory budget
+    (:attr:`~repro.engine.faults.FaultPlan.oom_node_budgets`).
+
+    Retryable: the scheduler reacts by demoting the storage level of the
+    persisted RDDs feeding the task (RAW -> SER -> DISK) — or, when
+    nothing is left to demote, by re-running the task in spill mode —
+    and retrying with per-attempt backoff.
+    """
+
+    def __init__(self, message: str, node: int, requested_bytes: int,
+                 budget_bytes: int):
+        super().__init__(message)
+        self.node = node
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+
+
 class CacheEvictedError(EngineError):
     """A cached partition was requested after eviction and the RDD's
     lineage had been truncated, making recomputation impossible."""

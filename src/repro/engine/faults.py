@@ -108,6 +108,15 @@ class FaultPlan:
         exclusion and re-placement onto healthy nodes.
     ``node_kills``
         Deterministic :class:`NodeKillEvent`\\ s.
+    ``oom_node_budgets``
+        Per-node memory budget in bytes (``{node_id: budget}``).  A task
+        whose working-set footprint — records times the memory factor of
+        its storage level — exceeds its node's budget is killed with
+        :class:`~repro.engine.errors.OutOfMemoryError`.  The scheduler
+        recovers by demoting the persisted RDDs feeding the task
+        (RAW -> SER -> DISK, falling back to task spill mode) and
+        retrying with per-attempt backoff
+        (``EngineConf.oom_retry_backoff_s``).
     """
 
     seed: int = 0
@@ -119,6 +128,7 @@ class FaultPlan:
     straggler_delay_s: float = 0.0
     broken_nodes: tuple[int, ...] = ()
     node_kills: tuple[NodeKillEvent, ...] = ()
+    oom_node_budgets: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name in ("task_failure_prob", "fetch_failure_prob",
@@ -136,6 +146,11 @@ class FaultPlan:
             raise ValueError("straggler_delay_s must be >= 0")
         self.broken_nodes = tuple(self.broken_nodes)
         self.node_kills = tuple(self.node_kills)
+        self.oom_node_budgets = dict(self.oom_node_budgets)
+        for node, budget in self.oom_node_budgets.items():
+            if budget <= 0:
+                raise ValueError(
+                    f"oom_node_budgets[{node}] must be > 0, got {budget}")
 
     @property
     def is_null(self) -> bool:
@@ -144,7 +159,8 @@ class FaultPlan:
                 and self.fetch_failure_prob == 0.0
                 and self.straggler_prob == 0.0
                 and not self.broken_nodes
-                and not self.node_kills)
+                and not self.node_kills
+                and not self.oom_node_budgets)
 
 
 class FaultInjector:

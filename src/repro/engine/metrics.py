@@ -168,6 +168,57 @@ class FaultMetrics:
                     or self.stragglers_injected)
 
 
+@dataclass
+class MemoryMetrics:
+    """Accounting for the unified memory manager: pool peaks, spills,
+    storage-level demotions and OOM kills."""
+
+    #: high-water mark of the execution pool (shuffle combine buffers)
+    execution_peak_bytes: int = 0
+    #: high-water mark of the storage pool (memory-resident cache)
+    storage_peak_bytes: int = 0
+    #: sorted runs spilled by shuffle-side aggregation buffers
+    shuffle_spill_bytes: int = 0
+    shuffle_spill_count: int = 0
+    #: spilled shuffle runs read back during merge-on-read
+    spill_read_bytes: int = 0
+    #: cache entries demoted from memory to disk (MEMORY_AND_DISK*)
+    cache_spill_bytes: int = 0
+    cache_spill_count: int = 0
+    #: working sets streamed through disk by tasks running in spill mode
+    #: after an OOM with nothing left to demote
+    task_spill_bytes: int = 0
+    #: storage-level demotions (cache spills and OOM-driven RDD demotions)
+    demotions: int = 0
+    #: human-readable record of each demotion, in order
+    demotion_events: list[str] = field(default_factory=list)
+    #: tasks killed by an injected per-node OOM budget
+    oom_kills: int = 0
+    #: single cache entries larger than the whole storage budget that
+    #: stayed resident (memory-only levels cannot spill them)
+    oversized_entries: int = 0
+
+    @property
+    def spill_bytes(self) -> int:
+        """Total bytes written to simulated disk by spilling."""
+        return (self.shuffle_spill_bytes + self.cache_spill_bytes
+                + self.task_spill_bytes)
+
+    @property
+    def spill_count(self) -> int:
+        return self.shuffle_spill_count + self.cache_spill_count
+
+    @property
+    def any_activity(self) -> bool:
+        return bool(self.spill_bytes or self.demotions or self.oom_kills
+                    or self.oversized_entries)
+
+    def record_demotion(self, event: str) -> None:
+        """Count one storage-level demotion and remember what moved."""
+        self.demotions += 1
+        self.demotion_events.append(event)
+
+
 class MetricsCollector:
     """Accumulates job/stage metrics for one :class:`~repro.engine.Context`.
 
@@ -179,11 +230,16 @@ class MetricsCollector:
         self.jobs: list[JobMetrics] = []
         self.hadoop = HadoopMetrics()
         self.faults = FaultMetrics()
+        self.memory = MemoryMetrics()
         self._phase_stack: list[str] = ["Other"]
         #: bytes deserialized out of MEMORY_SER cache (ablation metric)
         self.cache_deserialized_bytes: int = 0
-        #: bytes stored into caches, by storage level name
+        #: *live* memory footprint of cached partitions, by storage level
+        #: name — decremented on eviction/unpersist/demotion/clear
         self.cache_stored_bytes: dict[str, int] = {}
+        #: *cumulative* bytes written into caches, by storage level name
+        #: (never decremented; the cost model's cache-write volume)
+        self.cache_bytes_written: dict[str, int] = {}
         #: bytes read back from DISK-level cached partitions
         self.cache_disk_read_bytes: int = 0
         #: one-shot network traffic of broadcast variables
@@ -288,6 +344,19 @@ class MetricsCollector:
             stored = ", ".join(f"{lvl}={b:,}B"
                                for lvl, b in self.cache_stored_bytes.items())
             lines.append(f"cache stored        : {stored}")
+        if self.cache_bytes_written:
+            written = ", ".join(f"{lvl}={b:,}B"
+                                for lvl, b in self.cache_bytes_written.items())
+            lines.append(f"cache written       : {written}")
+        mem = self.memory
+        if mem.any_activity or mem.storage_peak_bytes \
+                or mem.execution_peak_bytes:
+            lines.append(
+                f"memory              : peak storage "
+                f"{mem.storage_peak_bytes:,} B / execution "
+                f"{mem.execution_peak_bytes:,} B, spilled "
+                f"{mem.spill_bytes:,} B in {mem.spill_count} spills, "
+                f"{mem.demotions} demotions, {mem.oom_kills} OOM kills")
         if self.broadcast_count:
             lines.append(f"broadcasts          : {self.broadcast_count} "
                          f"({self.broadcast_bytes:,} B payload)")
@@ -321,8 +390,10 @@ class MetricsCollector:
         self.jobs.clear()
         self.hadoop = HadoopMetrics()
         self.faults = FaultMetrics()
+        self.memory = MemoryMetrics()
         self.cache_deserialized_bytes = 0
         self.cache_stored_bytes.clear()
+        self.cache_bytes_written.clear()
         self.cache_disk_read_bytes = 0
         self.broadcast_bytes = 0
         self.broadcast_count = 0

@@ -144,7 +144,9 @@ class RDD:
     # -- persistence ----------------------------------------------------
     def persist(self, level: StorageLevel = StorageLevel.MEMORY_RAW) -> "RDD":
         """Mark this RDD for caching at ``level`` (lazy; materialized the
-        first time a job computes its partitions)."""
+        first time a job computes its partitions).  ``MEMORY_AND_DISK``
+        levels demote to simulated disk instead of dropping entries when
+        the storage pool is over budget."""
         self.storage_level = level
         return self
 
@@ -858,21 +860,19 @@ class ShuffledRDD(RDD):
         agg = self._dep.aggregator
         if agg is None:
             return records
-        merged: dict = {}
+        # the reduce-side merge buffer books execution memory and spills
+        # sorted runs when a memory budget is configured; without spills
+        # the merge order is identical to a plain insertion-ordered dict
+        from .memory import SpillableAppendOnlyMap
+        merged = SpillableAppendOnlyMap(self.ctx.memory, agg)
         if self._dep.map_side_combine:
             # map side already produced combiners; merge combiners here
             for k, c in records:
-                if k in merged:
-                    merged[k] = agg.merge_combiners(merged[k], c)
-                else:
-                    merged[k] = c
+                merged.insert_combiner(k, c)
         else:
             for k, v in records:
-                if k in merged:
-                    merged[k] = agg.merge_value(merged[k], v)
-                else:
-                    merged[k] = agg.create_combiner(v)
-        return iter(merged.items())
+                merged.insert(k, v)
+        return iter(merged.merged_items())
 
 
 class CoGroupedRDD(RDD):

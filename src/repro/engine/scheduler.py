@@ -40,9 +40,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
-from .errors import FetchFailedError, JobExecutionError, TaskFailedError
+from .errors import (FetchFailedError, JobExecutionError, OutOfMemoryError,
+                     TaskFailedError)
+from .memory import LEVEL_MEMORY_FACTOR, SPILL_MODE_FACTOR, demote_level
 from .metrics import JobMetrics, StageMetrics
 from .rdd import (RDD, Dependency, NarrowDependency, ShuffleDependency)
+from .serialization import estimate_record_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import Context
@@ -84,6 +87,11 @@ class DAGScheduler:
         self.ctx = ctx
         self._next_stage_id = 0
         self._next_job_id = 0
+        #: ``(rdd_id, partition)`` of tasks forced into spill mode after
+        #: an OOM with no persisted ancestor left to demote: their
+        #: working set is streamed through disk (keyed by the stage's
+        #: RDD, which is stable across stage resubmissions)
+        self._spill_mode_tasks: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------
     # public entry point
@@ -301,9 +309,11 @@ class DAGScheduler:
                                        node)
                 # materialize inside the try so that faults raised lazily
                 # (mid-iteration) are still retried
-                return list(faults.wrap_task_iterator(
+                records = list(faults.wrap_task_iterator(
                     stage.rdd.iterator(partition, task),
                     stage.stage_id, partition, attempt))
+                self._enforce_memory_budget(stage, partition, node, records)
+                return records
             except (TaskFailedError, FetchFailedError):
                 raise
             except Exception as exc:  # noqa: BLE001 - retry any task fault
@@ -317,11 +327,99 @@ class DAGScheduler:
                         fault_metrics.nodes_excluded += 1
                 if attempt + 1 < max_attempts:
                     fault_metrics.tasks_retried += 1
+                    if isinstance(exc, OutOfMemoryError):
+                        # degrade before retrying: demote the persisted
+                        # RDDs feeding the task one storage level (or
+                        # fall back to spill mode), then back off
+                        self._relieve_memory_pressure(stage, partition)
+                        backoff = conf.oom_retry_backoff_s
+                        if backoff > 0:
+                            time.sleep(backoff * (2 ** attempt))
         raise TaskFailedError(
             f"task for partition {partition} of stage {stage.stage_id} "
             f"failed {max_attempts} times: {last_error}",
             partition=partition, attempts=max_attempts,
             stage_id=stage.stage_id)
+
+    # ------------------------------------------------------------------
+    # memory pressure (OOM fault injection)
+    # ------------------------------------------------------------------
+    def _enforce_memory_budget(self, stage: Stage, partition: int,
+                               node: int, records: list) -> None:
+        """Kill the task with :class:`OutOfMemoryError` when its
+        working-set footprint exceeds the node's injected budget.
+
+        The footprint is the records' estimated size times the memory
+        factor of the *lowest* storage level among the persisted RDDs in
+        the stage's narrow chain (demotion therefore shrinks it), or the
+        spill-mode factor when the task was degraded to streaming its
+        working set through disk.
+        """
+        budgets = self.ctx.faults.plan.oom_node_budgets
+        budget = budgets.get(node)
+        if budget is None:
+            return
+        raw_bytes = sum(estimate_record_size(r) for r in records)
+        spill_mode = (stage.rdd.rdd_id, partition) in self._spill_mode_tasks
+        if spill_mode:
+            factor = SPILL_MODE_FACTOR
+        else:
+            levels = [rdd.storage_level
+                      for rdd in self._narrow_chain(stage.rdd)
+                      if rdd.storage_level is not None]
+            factor = min((LEVEL_MEMORY_FACTOR[lvl] for lvl in levels),
+                         default=1.0)
+        footprint = int(raw_bytes * factor)
+        if footprint > budget:
+            mem = self.ctx.metrics.memory
+            mem.oom_kills += 1
+            raise OutOfMemoryError(
+                f"task for partition {partition} of stage "
+                f"{stage.stage_id} needs {footprint} B on node {node} "
+                f"(budget {budget} B)",
+                node=node, requested_bytes=footprint, budget_bytes=budget)
+        if spill_mode:
+            self.ctx.metrics.memory.task_spill_bytes += raw_bytes
+
+    def _relieve_memory_pressure(self, stage: Stage, partition: int) -> None:
+        """React to an OOM kill: demote every demotable persisted RDD in
+        the stage's narrow chain one storage level (dropping its cached
+        entries so it re-caches at the new level), or — when nothing is
+        left to demote — degrade the task itself to spill mode."""
+        mem = self.ctx.metrics.memory
+        demoted = False
+        for rdd in self._narrow_chain(stage.rdd):
+            level = rdd.storage_level
+            if level is None:
+                continue
+            new_level = demote_level(level)
+            if new_level is None:
+                continue
+            self.ctx._cache.unpersist(rdd.rdd_id)
+            rdd.storage_level = new_level
+            mem.record_demotion(
+                f"oom: rdd {rdd.rdd_id} ({rdd.name}) "
+                f"{level.value} -> {new_level.value}")
+            demoted = True
+        if not demoted:
+            self._spill_mode_tasks.add((stage.rdd.rdd_id, partition))
+
+    def _narrow_chain(self, rdd: RDD) -> list[RDD]:
+        """All RDDs reachable from ``rdd`` through narrow dependencies
+        (the data one of its tasks touches), including ``rdd`` itself."""
+        chain: list[RDD] = []
+        visited: set[int] = set()
+        stack = [rdd]
+        while stack:
+            current = stack.pop()
+            if current.rdd_id in visited:
+                continue
+            visited.add(current.rdd_id)
+            chain.append(current)
+            for dep in current.dependencies:
+                if isinstance(dep, NarrowDependency):
+                    stack.append(dep.rdd)
+        return chain
 
 
 class _CountingIterator:

@@ -33,6 +33,7 @@ from .serialization import estimate_record_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from .faults import FaultInjector
+    from .memory import MemoryManager
 
 
 @dataclass
@@ -59,9 +60,14 @@ class ShuffleManager:
     """Holds all shuffle outputs for one context, keyed by shuffle id."""
 
     def __init__(self, cluster: Cluster,
-                 faults: "FaultInjector | None" = None):
+                 faults: "FaultInjector | None" = None,
+                 memory: "MemoryManager | None" = None):
+        if memory is None:
+            from .memory import MemoryManager
+            memory = MemoryManager()  # unbounded: combine never spills
         self.cluster = cluster
         self.faults = faults
+        self.memory = memory
         self._shuffles: dict[int, dict[int, _MapOutput]] = {}
         #: shuffle id -> expected map-partition count (None when the
         #: shuffle was registered through the legacy argless API)
@@ -95,15 +101,17 @@ class ShuffleManager:
 
         With an ``aggregator``, values are combined per key before being
         written (map-side combine), reducing both bytes and records.
+        The combine buffer books execution memory and spills sorted runs
+        to disk when over budget (merged back before bucketing), so a
+        constrained context bounds the map task's footprint instead of
+        growing an unbounded dict.
         """
         if aggregator is not None:
-            combined: dict[Any, Any] = {}
+            from .memory import SpillableAppendOnlyMap
+            combined = SpillableAppendOnlyMap(self.memory, aggregator)
             for key, value in records:
-                if key in combined:
-                    combined[key] = aggregator.merge_value(combined[key], value)
-                else:
-                    combined[key] = aggregator.create_combiner(value)
-            records = combined.items()
+                combined.insert(key, value)
+            records = combined.merged_items()
 
         output = _MapOutput(
             map_partition=map_partition,

@@ -19,14 +19,24 @@ settings.register_profile(
 settings.load_profile(
     os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
-from repro.engine import Context
+from repro.engine import Context, EngineConf
 from repro.tensor import COOTensor, uniform_sparse
+
+
+def _default_conf() -> EngineConf | None:
+    """The CI memory-pressure job sets REPRO_CACHE_CAPACITY_BYTES to run
+    the whole suite with a constrained default cache; unset, contexts
+    get the stock unbounded configuration."""
+    cap = os.environ.get("REPRO_CACHE_CAPACITY_BYTES")
+    if cap is None:
+        return None
+    return EngineConf(cache_capacity_bytes=int(cap))
 
 
 @pytest.fixture
 def ctx():
     """A small 4-node spark-mode context."""
-    c = Context(num_nodes=4, default_parallelism=8)
+    c = Context(num_nodes=4, default_parallelism=8, conf=_default_conf())
     yield c
     c.stop()
 

@@ -1,0 +1,90 @@
+"""Graceful degradation of full CP-ALS runs under memory pressure.
+
+The acceptance bar for the memory manager: squeezing the cache budget
+below the tensor RDD's footprint (or injecting per-node OOM budgets)
+may cost demotions, disk spill and retries — but never a different
+answer.  Like the fault-injection suite, these tests honour
+``REPRO_FAULT_SEED`` so CI can sweep a seed matrix.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CstfCOO, CstfQCOO
+from repro.engine import Context, EngineConf, FaultPlan, StorageLevel
+from repro.tensor import random_factors, uniform_sparse
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return uniform_sparse((12, 10, 14), 220, rng=6 + SEED)
+
+
+@pytest.fixture(scope="module")
+def init(tensor):
+    return random_factors(tensor.shape, 2, 17 + SEED)
+
+
+def run(cls, tensor, init, conf=None, fault_plan=None,
+        level=StorageLevel.MEMORY_RAW):
+    with Context(num_nodes=4, default_parallelism=8, conf=conf,
+                 fault_plan=fault_plan) as ctx:
+        driver = cls(ctx)
+        driver.storage_level = level
+        result = driver.decompose(tensor, 2, max_iterations=3, tol=0.0,
+                                  initial_factors=init)
+        peak = ctx.metrics.memory.storage_peak_bytes
+        mem = ctx.metrics.memory
+    return result, peak, mem
+
+
+def assert_identical(res, ref):
+    assert np.array_equal(res.lambdas, ref.lambdas)
+    for a, b in zip(res.factors, ref.factors):
+        assert np.array_equal(a, b)
+    assert res.final_fit == ref.final_fit
+
+
+class TestConstrainedCache:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_squeezed_cache_is_bit_identical(self, cls, tensor, init):
+        ref, peak, free_mem = run(cls, tensor, init)
+        assert free_mem.spill_bytes == 0 and free_mem.demotions == 0
+        budget = max(1, peak // 4)
+        res, _, mem = run(
+            cls, tensor, init,
+            conf=EngineConf(cache_capacity_bytes=budget),
+            level=StorageLevel.MEMORY_AND_DISK)
+        assert mem.spill_bytes > 0
+        assert mem.demotions >= 1
+        assert_identical(res, ref)
+
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_memory_only_eviction_is_bit_identical(self, cls, tensor,
+                                                   init):
+        """Same squeeze at plain MEMORY_RAW: entries are evicted and
+        recomputed from lineage rather than demoted — still exact."""
+        ref, peak, _ = run(cls, tensor, init)
+        res, _, _ = run(
+            cls, tensor, init,
+            conf=EngineConf(cache_capacity_bytes=max(1, peak // 4)))
+        assert_identical(res, ref)
+
+
+class TestOOMInjection:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_oom_budget_kills_tasks_but_converges(self, cls, tensor,
+                                                  init):
+        ref, _, _ = run(cls, tensor, init)
+        plan = FaultPlan(seed=SEED,
+                         oom_node_budgets={n: 2_000 for n in range(4)})
+        res, _, mem = run(cls, tensor, init, fault_plan=plan)
+        assert mem.oom_kills >= 1
+        assert mem.demotions >= 1 or mem.task_spill_bytes > 0
+        assert_identical(res, ref)

@@ -170,6 +170,57 @@ class TestEvictionUnderPressure:
             assert ctx._cache.evictions > 0
             assert rdd.collect() == [x * 2 for x in range(200)]
 
+    def test_ser_eviction_recomputes_from_lineage(self):
+        """MEMORY_SER entries are memory-resident, so they are evicted
+        under pressure like raw ones and recompute from lineage."""
+        from repro.engine import EngineConf
+        calls = []
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=EngineConf(cache_capacity_bytes=500)) as ctx:
+            rdd = ctx.parallelize(list(range(200)), 4).map(
+                lambda x: calls.append(x) or x * 2).persist(
+                StorageLevel.MEMORY_SER)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert ctx._cache.evictions > 0
+            first = len(calls)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert len(calls) > first  # evicted partitions recomputed
+
+    def test_disk_level_immune_to_memory_pressure(self):
+        """DISK entries charge no storage memory: the same budget that
+        evicts MEMORY_SER leaves them untouched — reads come from
+        simulated disk, never a recompute."""
+        from repro.engine import EngineConf
+        calls = []
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=EngineConf(cache_capacity_bytes=500)) as ctx:
+            rdd = ctx.parallelize(list(range(200)), 4).map(
+                lambda x: calls.append(x) or x * 2).persist(
+                StorageLevel.DISK)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert ctx._cache.evictions == 0
+            first = len(calls)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert len(calls) == first  # served from disk, no recompute
+            assert ctx.metrics.cache_disk_read_bytes > 0
+
+    def test_and_disk_demotion_preserves_cache(self):
+        """MEMORY_AND_DISK under the same pressure demotes instead of
+        evicting — correct results with zero lineage recomputes."""
+        from repro.engine import EngineConf
+        calls = []
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=EngineConf(cache_capacity_bytes=500)) as ctx:
+            rdd = ctx.parallelize(list(range(200)), 4).map(
+                lambda x: calls.append(x) or x * 2).persist(
+                StorageLevel.MEMORY_AND_DISK)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert ctx._cache.evictions == 0
+            assert ctx.metrics.memory.demotions > 0
+            first = len(calls)
+            assert rdd.collect() == [x * 2 for x in range(200)]
+            assert len(calls) == first
+
 
 class TestHadoopModeCaching:
     def test_persist_is_noop(self, hadoop_ctx):
