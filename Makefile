@@ -1,14 +1,19 @@
 # CSTF reproduction — developer entry points
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test test-threads bench figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# the whole suite again, on the thread-pool executor backend
+test-threads:
+	REPRO_BACKEND=threads REPRO_BACKEND_WORKERS=4 $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -36,6 +36,7 @@ EXPERIMENT_INDEX = {
     "ablation_broadcast": "Ablation — factor replication",
     "ablation_combine": "Ablation — map-side combining",
     "ablation_dimtree": "Ablation — dimension-tree reuse",
+    "backend_scaling": "Backend scaling — serial vs thread-pool executors",
     "extension_variants": "Extension — all variants, Figure 2(a) panel",
     "extension_weak_scaling": "Extension — weak scaling",
     "extension_rank_sweep": "Extension — rank sensitivity",

@@ -73,6 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-node unified memory (execution + "
                           "storage); undersizing it forces shuffle "
                           "aggregation to spill")
+    dec.add_argument("--backend", choices=["serial", "threads"],
+                     default=None,
+                     help="executor backend running stage tasks: "
+                          "'serial' (one after another, the default) or "
+                          "'threads' (a thread pool; bit-identical "
+                          "results).  Defaults to $REPRO_BACKEND, then "
+                          "'serial'")
+    dec.add_argument("--backend-workers", type=int, default=None,
+                     metavar="N",
+                     help="worker count for pooled backends (default: "
+                          "$REPRO_BACKEND_WORKERS, then min(8, cpus))")
 
     comm = sub.add_parser("communication",
                           help="Figure 4: COO vs QCOO shuffle volume")
@@ -155,9 +166,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         rank=args.rank, measure_nodes=args.nodes,
         partitions=args.partitions or 4 * args.nodes, seed=args.seed)
     conf = None
-    if args.cache_budget is not None or args.memory_budget is not None:
+    if (args.cache_budget is not None or args.memory_budget is not None
+            or args.backend is not None
+            or args.backend_workers is not None):
         conf = EngineConf(cache_capacity_bytes=args.cache_budget,
-                          memory_total_bytes=args.memory_budget)
+                          memory_total_bytes=args.memory_budget,
+                          backend=args.backend,
+                          backend_workers=args.backend_workers)
     ctx = make_context(args.algorithm, config, conf=conf)
     driver = make_driver(args.algorithm, ctx, config)
     driver.regularization = args.regularization

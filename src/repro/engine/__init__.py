@@ -15,15 +15,18 @@ Quick example::
 """
 
 from .accumulator import Accumulator
+from .backends import (ExecutorBackend, SerialBackend, ThreadPoolBackend,
+                       create_backend)
 from .broadcast import Broadcast
 from .calibration import (CalibratedCostModel, CalibrationPoint,
                           TermMultipliers, calibrate)
 from .cluster import Cluster, Node
 from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
-from .errors import (CacheEvictedError, ContextStoppedError, EngineError,
-                     FetchFailedError, JobExecutionError, OutOfMemoryError,
-                     TaskFailedError)
+from .errors import (BackendError, CacheEvictedError, ContextStoppedError,
+                     EngineError, FetchFailedError, JobExecutionError,
+                     OutOfMemoryError, TaskFailedError)
+from .events import EngineEventBus, EngineListener, TimelineListener
 from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
                      NodeKillEvent)
 from .mapreduce import (HadoopRuntime, HDFSFile, JobResult,
@@ -38,9 +41,11 @@ from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
 from .rdd import RDD
 from .serialization import estimate_record_size, estimate_size
 from .storage import CacheManager, StorageLevel
+from .taskscheduler import TaskContext, TaskRunResult, TaskScheduler, TaskSet
 
 __all__ = [
     "Accumulator",
+    "BackendError",
     "Broadcast",
     "CalibratedCostModel",
     "CalibrationPoint",
@@ -53,6 +58,9 @@ __all__ = [
     "CostModel",
     "EngineConf",
     "EngineError",
+    "EngineEventBus",
+    "EngineListener",
+    "ExecutorBackend",
     "FaultInjector",
     "FaultMetrics",
     "FaultPlan",
@@ -80,14 +88,22 @@ __all__ = [
     "RangePartitioner",
     "RDD",
     "RunStats",
+    "SerialBackend",
     "ShuffleReadMetrics",
     "ShuffleWriteMetrics",
     "StageMetrics",
     "StorageLevel",
+    "TaskContext",
     "TaskFailedError",
+    "TaskRunResult",
+    "TaskScheduler",
+    "TaskSet",
     "TermMultipliers",
+    "ThreadPoolBackend",
     "TimeBreakdown",
+    "TimelineListener",
     "calibrate",
+    "create_backend",
     "demote_level",
     "estimate_record_size",
     "estimate_size",

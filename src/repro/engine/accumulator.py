@@ -6,30 +6,41 @@ without perturbing the dataflow.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Generic, TypeVar
 
 T = TypeVar("T", int, float)
 
 
 class Accumulator(Generic[T]):
-    """An additive counter tasks can ``add`` to and the driver reads."""
+    """An additive counter tasks can ``add`` to and the driver reads.
+
+    Updates are lock-protected: tasks on the thread-pool backend add
+    concurrently, and ``+=`` on a shared value is not atomic in Python.
+    Addition commutes, so the final value is backend-independent.
+    """
 
     def __init__(self, zero: T, name: str = ""):
         self._zero = zero
         self._value: T = zero
         self.name = name
+        self._lock = threading.Lock()
 
     def add(self, amount: T) -> None:
         """Add ``amount`` (called from tasks)."""
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> T:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         """Restore the initial value."""
-        self._value = self._zero
+        with self._lock:
+            self._value = self._zero
 
     def __repr__(self) -> str:
         return f"Accumulator(name={self.name!r}, value={self._value!r})"

@@ -1,0 +1,146 @@
+"""Pluggable executor backends: how a task set's thunks actually run.
+
+The :class:`~repro.engine.taskscheduler.TaskScheduler` builds one thunk
+per partition and hands the list to an :class:`ExecutorBackend`; the
+backend decides *where* and *with what concurrency* they execute.  Two
+implementations ship:
+
+``SerialBackend``
+    Runs thunks in partition order on the calling thread.  This is the
+    pre-refactor engine, bit for bit: the first raised exception aborts
+    the set immediately and later thunks never start.
+
+``ThreadPoolBackend``
+    Runs thunks on a shared ``ThreadPoolExecutor``.  MTTKRP inner loops
+    are numpy kernels that release the GIL, so threads buy real
+    parallelism without pickling task closures.  Results are returned
+    in partition order regardless of completion order (straggler-free
+    determinism); when attempts fail terminally, *all* thunks are still
+    awaited and the lowest-partition exception is raised, so the error
+    surfaced to the driver is deterministic too.
+
+Selection is resolved in this order: ``EngineConf.backend``, the
+``REPRO_BACKEND`` environment variable, then ``"serial"``.  Worker
+count: ``EngineConf.backend_workers``, ``REPRO_BACKEND_WORKERS``, then
+``min(8, cpu_count)``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from .errors import BackendError
+
+#: accepted spellings per backend
+_SERIAL_NAMES = ("serial", "sync", "local")
+_THREAD_NAMES = ("threads", "thread", "threadpool", "threaded")
+
+
+class ExecutorBackend(ABC):
+    """Executes a task set's thunks and returns per-partition results."""
+
+    #: canonical backend name (what ``Context.backend.name`` reports)
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def num_workers(self) -> int:
+        """Maximum number of concurrently running tasks."""
+
+    @abstractmethod
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Run every thunk; return their results in input order."""
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class SerialBackend(ExecutorBackend):
+    """In-order, in-thread execution — the reference semantics."""
+
+    name = "serial"
+
+    @property
+    def num_workers(self) -> int:
+        return 1
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        return [thunk() for thunk in thunks]
+
+
+class ThreadPoolBackend(ExecutorBackend):
+    """Concurrent execution on a thread pool, deterministic at the edges
+    (submission in partition order, results in partition order, lowest
+    failing partition's exception wins)."""
+
+    name = "threads"
+
+    def __init__(self, num_workers: int | None = None):
+        if num_workers is None:
+            num_workers = min(8, os.cpu_count() or 4)
+        if num_workers < 1:
+            raise BackendError(
+                f"backend_workers must be >= 1, got {num_workers}")
+        self._num_workers = num_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="repro-exec")
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def resolve_backend_spec(
+        name: str | None = None,
+        num_workers: int | None = None) -> tuple[str, int | None]:
+    """Fill unset backend name/worker-count from the environment
+    (``REPRO_BACKEND`` / ``REPRO_BACKEND_WORKERS``)."""
+    if name is None:
+        name = os.environ.get("REPRO_BACKEND") or None
+    if num_workers is None:
+        env_workers = os.environ.get("REPRO_BACKEND_WORKERS")
+        if env_workers:
+            try:
+                num_workers = int(env_workers)
+            except ValueError as exc:
+                raise BackendError(
+                    f"REPRO_BACKEND_WORKERS must be an integer, "
+                    f"got {env_workers!r}") from exc
+    return (name or "serial"), num_workers
+
+
+def create_backend(name: str | None = None,
+                   num_workers: int | None = None) -> ExecutorBackend:
+    """Instantiate the backend named by ``name`` (or the environment,
+    or the serial default).  Unknown names raise
+    :class:`~repro.engine.errors.BackendError`."""
+    name, num_workers = resolve_backend_spec(name, num_workers)
+    normalized = name.strip().lower()
+    if normalized in _SERIAL_NAMES:
+        return SerialBackend()
+    if normalized in _THREAD_NAMES:
+        return ThreadPoolBackend(num_workers)
+    raise BackendError(
+        f"unknown executor backend {name!r}; expected one of "
+        f"{', '.join(sorted(_SERIAL_NAMES + _THREAD_NAMES))}")

@@ -22,6 +22,8 @@ nodes, modelling the scheduler moving tasks to healthy executors.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 
 from .errors import EngineError
@@ -75,6 +77,10 @@ class Cluster:
             Node(i, self.cores_per_node, self.memory_gb_per_node)
             for i in range(self.num_nodes)
         ]
+        # liveness/placement are read on every task and mutated by
+        # kills/exclusions from any backend worker; reentrant because
+        # the mutators consult available_nodes
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # liveness
@@ -86,46 +92,55 @@ class Cluster:
 
     def is_available(self, node_id: int) -> bool:
         """True iff the node is alive and not excluded from scheduling."""
-        return (node_id not in self.dead_nodes
-                and node_id not in self.excluded_nodes)
+        with self._lock:
+            return (node_id not in self.dead_nodes
+                    and node_id not in self.excluded_nodes)
 
     @property
     def available_nodes(self) -> list[int]:
         """Sorted ids of nodes that may receive tasks."""
-        return [n.node_id for n in self.nodes
-                if self.is_available(n.node_id)]
+        with self._lock:
+            return [n.node_id for n in self.nodes
+                    if self.is_available(n.node_id)]
 
     def kill_node(self, node_id: int) -> None:
         """Mark a node dead.  The caller (``Context.kill_node``) is
         responsible for invalidating its shuffle outputs and cache."""
         self._check_node_id(node_id)
-        if node_id in self.dead_nodes:
-            return
-        if len(self.available_nodes) <= 1 and self.is_available(node_id):
-            raise EngineError(
-                f"cannot kill node {node_id}: it is the last available node")
-        self.dead_nodes.add(node_id)
+        with self._lock:
+            if node_id in self.dead_nodes:
+                return
+            if len(self.available_nodes) <= 1 \
+                    and self.is_available(node_id):
+                raise EngineError(
+                    f"cannot kill node {node_id}: it is the last "
+                    f"available node")
+            self.dead_nodes.add(node_id)
 
     def revive_node(self, node_id: int) -> None:
         """Bring a dead node back (empty — its old data stays lost)."""
         self._check_node_id(node_id)
-        self.dead_nodes.discard(node_id)
+        with self._lock:
+            self.dead_nodes.discard(node_id)
 
     def exclude_node(self, node_id: int) -> bool:
         """Blacklist a node from task placement.  Returns False (and does
         nothing) when exclusion would leave no available node."""
         self._check_node_id(node_id)
-        if node_id in self.excluded_nodes:
+        with self._lock:
+            if node_id in self.excluded_nodes:
+                return True
+            if len(self.available_nodes) <= 1 \
+                    and self.is_available(node_id):
+                return False
+            self.excluded_nodes.add(node_id)
             return True
-        if len(self.available_nodes) <= 1 and self.is_available(node_id):
-            return False
-        self.excluded_nodes.add(node_id)
-        return True
 
     def include_node(self, node_id: int) -> None:
         """Lift a node's exclusion."""
         self._check_node_id(node_id)
-        self.excluded_nodes.discard(node_id)
+        with self._lock:
+            self.excluded_nodes.discard(node_id)
 
     # ------------------------------------------------------------------
     # placement
@@ -138,13 +153,14 @@ class Cluster:
         the remaining available nodes — deterministic, so repeated runs
         under the same fault plan place identically.
         """
-        primary = partition % self.num_nodes
-        if self.is_available(primary):
-            return primary
-        available = self.available_nodes
-        if not available:
-            raise EngineError("no available nodes left in the cluster")
-        return available[partition % len(available)]
+        with self._lock:
+            primary = partition % self.num_nodes
+            if self.is_available(primary):
+                return primary
+            available = self.available_nodes
+            if not available:
+                raise EngineError("no available nodes left in the cluster")
+            return available[partition % len(available)]
 
     @property
     def total_cores(self) -> int:

@@ -19,9 +19,13 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from .accumulator import Accumulator
+from .backends import create_backend
 from .broadcast import Broadcast
 from .cluster import Cluster
 from .errors import ContextStoppedError
+from .events import (EngineEventBus, FaultMetricsListener,
+                     HadoopAccountingListener, MemoryEventListener,
+                     MetricsListener, NodeLost, TimelineListener)
 from .faults import FaultInjector, FaultPlan
 from .memory import MemoryManager
 from .metrics import MetricsCollector
@@ -30,6 +34,7 @@ from .rdd import RDD, ParallelCollectionRDD
 from .scheduler import DAGScheduler
 from .shuffle import ShuffleManager
 from .storage import CacheManager
+from .taskscheduler import TaskScheduler
 
 
 @dataclass
@@ -72,6 +77,16 @@ class EngineConf:
     ``oom_retry_backoff_s``
         Base backoff before retrying a task killed by an injected OOM
         (doubled per attempt); ``0`` disables sleeping.
+    ``backend``
+        Executor backend running each stage's tasks: ``"serial"`` (the
+        default — tasks run one after another on the driver thread) or
+        ``"threads"`` (a thread pool; numpy-heavy tasks overlap because
+        BLAS kernels release the GIL).  ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then ``"serial"``.
+        Both backends produce bit-identical results and metrics.
+    ``backend_workers``
+        Worker count for pooled backends; ``None`` defers to
+        ``REPRO_BACKEND_WORKERS``, then ``min(8, cpu_count)``.
     """
 
     map_side_combine: bool = True
@@ -83,6 +98,8 @@ class EngineConf:
     memory_fraction: float = 0.6
     storage_fraction: float = 0.5
     oom_retry_backoff_s: float = 0.01
+    backend: str | None = None
+    backend_workers: int | None = None
 
 
 class Context:
@@ -120,6 +137,10 @@ class Context:
             default_parallelism if default_parallelism is not None
             else 8 * self.cluster.num_nodes)
         self.metrics = MetricsCollector()
+        #: engine event bus: every scheduler-level lifecycle event flows
+        #: through it to the subscribed listeners (metrics, fault
+        #: accounting, memory accounting, the fault injector)
+        self.event_bus = EngineEventBus()
         #: unified execution/storage memory accounting (see
         #: :mod:`repro.engine.memory`)
         self.memory = MemoryManager(
@@ -132,11 +153,30 @@ class Context:
                                    metrics=self.metrics,
                                    memory=self.memory)
         #: structured fault injection (see :mod:`repro.engine.faults`)
-        self.faults = FaultInjector(fault_plan or FaultPlan(), self)
+        self.fault_plan = fault_plan or FaultPlan()
+        self.faults = FaultInjector(self.fault_plan, self)
         self._shuffle_manager = ShuffleManager(self.cluster,
                                                faults=self.faults,
                                                memory=self.memory)
+        #: executor backend (serial / thread pool) the task scheduler
+        #: runs stage task sets on
+        self.backend = create_backend(self.conf.backend,
+                                      self.conf.backend_workers)
+        self._task_scheduler = TaskScheduler(self, self.backend)
         self._scheduler = DAGScheduler(self)
+        #: live per-stage timeline (the cost model's event-bus feed)
+        self.timeline = TimelineListener()
+        # accounting listeners first (in posting order they must observe
+        # events before the fault injector, which may raise); the
+        # injector is subscribed LAST for the same reason
+        self.event_bus.subscribe(MetricsListener(self.metrics))
+        self.event_bus.subscribe(FaultMetricsListener(self.metrics))
+        self.event_bus.subscribe(MemoryEventListener(self.metrics))
+        if self.hadoop_mode:
+            self.event_bus.subscribe(
+                HadoopAccountingListener(self.metrics))
+        self.event_bus.subscribe(self.timeline)
+        self.event_bus.subscribe(self.faults)
         self._rdd_counter = 0
         self._accumulators: list[Accumulator] = []
         self._broadcast_counter = 0
@@ -230,10 +270,7 @@ class Context:
         outputs_lost, _records = \
             self._shuffle_manager.invalidate_node(node_id)
         self.cluster.kill_node(node_id)
-        faults = self.metrics.faults
-        faults.nodes_killed += 1
-        faults.map_outputs_lost += outputs_lost
-        faults.cached_partitions_lost += cached_lost
+        self.event_bus.post(NodeLost(node_id, outputs_lost, cached_lost))
 
     # ------------------------------------------------------------------
     def checkpoint(self, rdd: RDD, num_partitions: int | None = None,
@@ -310,6 +347,7 @@ class Context:
     def stop(self) -> None:
         """Release all engine state; the context is unusable afterwards."""
         self._stopped = True
+        self.backend.shutdown()
         self._shuffle_manager.clear()
         self._cache.clear()
 

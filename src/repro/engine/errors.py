@@ -72,6 +72,11 @@ class OutOfMemoryError(EngineError):
         self.budget_bytes = budget_bytes
 
 
+class BackendError(EngineError):
+    """An executor backend could not be resolved or configured (unknown
+    ``EngineConf.backend`` / ``REPRO_BACKEND`` name, bad worker count)."""
+
+
 class CacheEvictedError(EngineError):
     """A cached partition was requested after eviction and the RDD's
     lineage had been truncated, making recomputation impossible."""

@@ -23,19 +23,34 @@ engine hook points:
 * ``maybe_fail_fetch`` — called by the shuffle manager per fetched
   block to inject transient fetch failures.
 
-All randomness flows from one ``random.Random(plan.seed)``, and the
-engine is single-threaded, so a given plan replays identically.
+The injector is an :class:`~repro.engine.events.EngineListener`: the
+context subscribes it (last, after the accounting listeners) and the
+schedulers reach it by posting ``StageSubmitted`` / ``TaskStart``
+events, never by calling it directly.  Raising from an event handler
+fails the task attempt being started — the bus propagates listener
+exceptions by design.
+
+Every probabilistic decision draws from its own
+``random.Random(stable_hash((plan.seed, site)))`` where ``site``
+identifies the decision point — ``(stage, partition, attempt)`` for
+task faults and stragglers, ``(shuffle, map, reduce, occurrence)`` for
+fetch faults.  Decisions therefore do not depend on the order tasks
+happen to execute in, so a given plan replays identically under any
+executor backend, serial or threaded.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, TYPE_CHECKING
 
 from .errors import EngineError, FetchFailedError
+from .events import EngineListener, StageSubmitted, TaskStart
+from .partitioner import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import Context
@@ -163,24 +178,57 @@ class FaultPlan:
                 and not self.oom_node_budgets)
 
 
-class FaultInjector:
+class FaultInjector(EngineListener):
     """Executes a :class:`FaultPlan` against one context.
+
+    Subscribed to the engine event bus (last, so that accounting
+    listeners observe every event even when the injector raises):
+    ``StageSubmitted`` drives :meth:`on_stage_start` and ``TaskStart``
+    drives :meth:`on_task_attempt`.  Drivers still call
+    :meth:`on_iteration` directly — iteration boundaries are an
+    algorithm-level notion the engine has no event for.
 
     ``legacy_hook`` is the adapter for the historical
     ``ctx.fault_injector`` API: a bare callable
     ``(stage_id, partition, attempt) -> None`` that may raise to fail
     the task.  It is invoked from :meth:`on_task_attempt`, before the
     plan's own faults.
+
+    Thread safety: hooks are called concurrently by backend workers
+    (``wrap_task_iterator`` / ``maybe_fail_fetch`` run outside the bus
+    lock); all mutable state — attempt counters, per-task injection
+    caps, fired kills, fetch occurrence counters — is guarded by one
+    internal lock, and every random decision is derived from its call
+    site (see module docstring), so outcomes are independent of thread
+    interleaving.
     """
 
     def __init__(self, plan: FaultPlan, ctx: "Context"):
         self.plan = plan
         self._ctx = ctx
-        self._rng = random.Random(plan.seed)
         self.legacy_hook: Callable[[int, int, int], None] | None = None
+        self._lock = threading.RLock()
         self._task_attempts_started = 0
         self._injected_per_task: dict[tuple[int, int], int] = {}
         self._fired_kills: set[int] = set()
+        #: per-block fetch occurrence counters: the k-th read of a block
+        #: is an independent seeded decision, stable across backends
+        self._fetch_reads: dict[tuple[int, int, int], int] = {}
+
+    def _site_rng(self, *site) -> random.Random:
+        """A fresh RNG for one decision site, derived from the plan seed
+        and the site key — execution-order independent."""
+        return random.Random(stable_hash((self.plan.seed,) + site))
+
+    # ------------------------------------------------------------------
+    # event subscriptions
+    # ------------------------------------------------------------------
+    def on_stage_submitted(self, event: StageSubmitted) -> None:
+        self.on_stage_start(event.stage_id)
+
+    def on_task_start(self, event: TaskStart) -> None:
+        self.on_task_attempt(event.stage_id, event.partition,
+                             event.attempt, event.node)
 
     # ------------------------------------------------------------------
     # hooks
@@ -199,22 +247,28 @@ class FaultInjector:
     def on_task_attempt(self, stage_id: int, partition: int,
                         attempt: int, node: int) -> None:
         """Called before each task attempt runs; may raise to fail it."""
-        self._task_attempts_started += 1
+        with self._lock:
+            self._task_attempts_started += 1
+            started = self._task_attempts_started
         self._fire_kills(
             lambda ev: ev.after_tasks is not None
-            and self._task_attempts_started >= ev.after_tasks)
+            and started >= ev.after_tasks)
         if self.legacy_hook is not None:
             self.legacy_hook(stage_id, partition, attempt)
         plan = self.plan
         if node in plan.broken_nodes:
-            self._faults().injected_task_failures += 1
+            with self._lock:
+                self._faults().injected_task_failures += 1
             raise InjectedFaultError(
                 f"node {node} is broken (stage {stage_id}, "
                 f"partition {partition}, attempt {attempt})")
-        if plan.straggler_prob and self._rng.random() < plan.straggler_prob:
-            self._faults().stragglers_injected += 1
-            if plan.straggler_delay_s:
-                time.sleep(plan.straggler_delay_s)
+        if plan.straggler_prob:
+            rng = self._site_rng("straggler", stage_id, partition, attempt)
+            if rng.random() < plan.straggler_prob:
+                with self._lock:
+                    self._faults().stragglers_injected += 1
+                if plan.straggler_delay_s:
+                    time.sleep(plan.straggler_delay_s)
 
     def wrap_task_iterator(self, records: Iterable, stage_id: int,
                            partition: int, attempt: int) -> Iterable:
@@ -223,13 +277,16 @@ class FaultInjector:
         if not plan.task_failure_prob:
             return records
         key = (stage_id, partition)
-        if (self._injected_per_task.get(key, 0)
-                >= plan.max_injected_failures_per_task):
-            return records
-        if self._rng.random() >= plan.task_failure_prob:
-            return records
-        self._injected_per_task[key] = self._injected_per_task.get(key, 0) + 1
-        self._faults().injected_task_failures += 1
+        rng = self._site_rng("task", stage_id, partition, attempt)
+        with self._lock:
+            if (self._injected_per_task.get(key, 0)
+                    >= plan.max_injected_failures_per_task):
+                return records
+            if rng.random() >= plan.task_failure_prob:
+                return records
+            self._injected_per_task[key] = \
+                self._injected_per_task.get(key, 0) + 1
+            self._faults().injected_task_failures += 1
         message = (f"injected task failure (stage {stage_id}, "
                    f"partition {partition}, attempt {attempt})")
         if plan.task_failure_mode == "eager":
@@ -239,7 +296,7 @@ class FaultInjector:
             return eager()
         # lazy: die after a seeded number of records (or at stream end
         # for short partitions) — mid-iteration, as real map faults do
-        poison_after = self._rng.randrange(1, 8)
+        poison_after = rng.randrange(1, 8)
 
         def lazy() -> Iterator:
             for i, record in enumerate(records):
@@ -253,8 +310,15 @@ class FaultInjector:
                          reduce_partition: int) -> None:
         """Injected transient fetch failure for one shuffle block."""
         plan = self.plan
-        if plan.fetch_failure_prob \
-                and self._rng.random() < plan.fetch_failure_prob:
+        if not plan.fetch_failure_prob:
+            return
+        block = (shuffle_id, map_partition, reduce_partition)
+        with self._lock:
+            occurrence = self._fetch_reads.get(block, 0)
+            self._fetch_reads[block] = occurrence + 1
+        rng = self._site_rng("fetch", shuffle_id, map_partition,
+                             reduce_partition, occurrence)
+        if rng.random() < plan.fetch_failure_prob:
             raise FetchFailedError(
                 f"injected fetch failure: shuffle {shuffle_id} map "
                 f"partition {map_partition} -> reduce partition "
@@ -267,8 +331,10 @@ class FaultInjector:
         return self._ctx.metrics.faults
 
     def _fire_kills(self, should_fire: Callable[[NodeKillEvent], bool]) -> None:
-        for i, event in enumerate(self.plan.node_kills):
-            if i in self._fired_kills or not should_fire(event):
-                continue
-            self._fired_kills.add(i)
+        with self._lock:
+            due = [(i, event)
+                   for i, event in enumerate(self.plan.node_kills)
+                   if i not in self._fired_kills and should_fire(event)]
+            self._fired_kills.update(i for i, _ in due)
+        for _, event in due:
             self._ctx.kill_node(event.node_id)

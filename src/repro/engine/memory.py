@@ -36,6 +36,8 @@ bit-level reproducibility) unless a spill actually happens.
 
 from __future__ import annotations
 
+import threading
+
 from typing import Any, Callable, TYPE_CHECKING
 
 from .partitioner import stable_hash
@@ -113,6 +115,13 @@ class MemoryManager:
         self.metrics = metrics
         self.storage_used = 0
         self.execution_used = 0
+        #: one lock shared with the CacheManager.  The pools and the
+        #: cache call into each other in both directions (``put`` ->
+        #: ``charge_storage``; ``try_acquire_execution`` -> reclaimer ->
+        #: ``reclaim``), so two separate locks would deadlock under
+        #: concurrent tasks — sharing one makes every cross-call a
+        #: reentrant acquisition instead.
+        self.lock = threading.RLock()
         #: callback ``(nbytes) -> freed`` registered by the CacheManager;
         #: spills/evicts LRU storage so execution can grow
         self._storage_reclaimer: Callable[[int], int] | None = None
@@ -135,27 +144,32 @@ class MemoryManager:
         Always succeeds — storage admission is shrink-after-insert (the
         cache manager calls :meth:`storage_excess` and demotes/evicts
         right after)."""
-        self.storage_used += nbytes
-        mm = self._memory_metrics
-        if mm is not None and self.storage_used > mm.storage_peak_bytes:
-            mm.storage_peak_bytes = self.storage_used
+        with self.lock:
+            self.storage_used += nbytes
+            mm = self._memory_metrics
+            if mm is not None:
+                mm.update_peak("storage_peak_bytes", self.storage_used)
 
     def release_storage(self, nbytes: int) -> None:
         """Return ``nbytes`` of storage memory to the pool."""
-        self.storage_used = max(0, self.storage_used - nbytes)
+        with self.lock:
+            self.storage_used = max(0, self.storage_used - nbytes)
 
     def storage_excess(self) -> int:
         """Bytes the storage pool must free to be within budget."""
-        excess = 0
-        if self.storage_cap_bytes is not None:
-            excess = self.storage_used - self.storage_cap_bytes
-        if self.usable_bytes is not None:
-            over = (self.storage_used + self.execution_used
-                    - self.usable_bytes)
-            # execution never forces storage below its guaranteed floor
-            over = min(over, self.storage_used - self.storage_floor_bytes)
-            excess = max(excess, over)
-        return max(0, excess)
+        with self.lock:
+            excess = 0
+            if self.storage_cap_bytes is not None:
+                excess = self.storage_used - self.storage_cap_bytes
+            if self.usable_bytes is not None:
+                over = (self.storage_used + self.execution_used
+                        - self.usable_bytes)
+                # execution never forces storage below its guaranteed
+                # floor
+                over = min(over,
+                           self.storage_used - self.storage_floor_bytes)
+                excess = max(excess, over)
+            return max(0, excess)
 
     # ------------------------------------------------------------------
     # execution pool
@@ -165,25 +179,31 @@ class MemoryManager:
         the registered reclaimer) down to its floor if needed.  Returns
         ``False`` when the budget cannot cover the request — the caller
         (a spillable buffer) must spill."""
-        if self.usable_bytes is not None:
-            free = self.usable_bytes - self.execution_used - self.storage_used
-            if free < nbytes and self._storage_reclaimer is not None:
-                reclaimable = self.storage_used - self.storage_floor_bytes
-                if reclaimable > 0:
-                    self._storage_reclaimer(min(nbytes - free, reclaimable))
-                    free = (self.usable_bytes - self.execution_used
-                            - self.storage_used)
-            if free < nbytes:
-                return False
-        self.execution_used += nbytes
-        mm = self._memory_metrics
-        if mm is not None and self.execution_used > mm.execution_peak_bytes:
-            mm.execution_peak_bytes = self.execution_used
-        return True
+        with self.lock:
+            if self.usable_bytes is not None:
+                free = (self.usable_bytes - self.execution_used
+                        - self.storage_used)
+                if free < nbytes and self._storage_reclaimer is not None:
+                    reclaimable = (self.storage_used
+                                   - self.storage_floor_bytes)
+                    if reclaimable > 0:
+                        self._storage_reclaimer(
+                            min(nbytes - free, reclaimable))
+                        free = (self.usable_bytes - self.execution_used
+                                - self.storage_used)
+                if free < nbytes:
+                    return False
+            self.execution_used += nbytes
+            mm = self._memory_metrics
+            if mm is not None:
+                mm.update_peak("execution_peak_bytes",
+                               self.execution_used)
+            return True
 
     def release_execution(self, nbytes: int) -> None:
         """Return ``nbytes`` of execution memory to the pool."""
-        self.execution_used = max(0, self.execution_used - nbytes)
+        with self.lock:
+            self.execution_used = max(0, self.execution_used - nbytes)
 
 
 class SpillableAppendOnlyMap:
@@ -253,8 +273,8 @@ class SpillableAppendOnlyMap:
         self._runs.append(blob)
         mm = self._memory._memory_metrics
         if mm is not None:
-            mm.shuffle_spill_bytes += len(blob)
-            mm.shuffle_spill_count += 1
+            mm.add("shuffle_spill_bytes", len(blob))
+            mm.add("shuffle_spill_count")
         self._memory.release_execution(self._acquired)
         self._acquired = 0
         self._pending = 0
@@ -284,7 +304,7 @@ class SpillableAppendOnlyMap:
                     out[key] = combiner
             mm = self._memory._memory_metrics
             if mm is not None:
-                mm.spill_read_bytes += read_back
+                mm.add("spill_read_bytes", read_back)
             return list(out.items())
         finally:
             self._memory.release_execution(self._acquired)

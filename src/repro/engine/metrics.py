@@ -17,6 +17,8 @@ attributed to that label.
 
 from __future__ import annotations
 
+import threading
+
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -85,6 +87,20 @@ class StageMetrics:
     def add_node_records(self, node: int, n: int) -> None:
         """Attribute ``n`` processed records to ``node``."""
         self.records_per_node[node] = self.records_per_node.get(node, 0) + n
+
+    def merge_task(self, other: "StageMetrics") -> None:
+        """Fold one task attempt's scratch metrics into this stage
+        record.  Every counter is additive, so merging per-attempt
+        scratches in any completion order yields the same totals as the
+        old scheme where tasks mutated the shared object directly."""
+        self.input_records += other.input_records
+        self.output_records += other.output_records
+        self.shuffle_read.merge(other.shuffle_read)
+        self.shuffle_write.merge(other.shuffle_write)
+        for node, n in other.records_per_node.items():
+            self.add_node_records(node, n)
+        self.cache_hit_partitions += other.cache_hit_partitions
+        self.cache_miss_partitions += other.cache_miss_partitions
 
 
 @dataclass
@@ -171,7 +187,15 @@ class FaultMetrics:
 @dataclass
 class MemoryMetrics:
     """Accounting for the unified memory manager: pool peaks, spills,
-    storage-level demotions and OOM kills."""
+    storage-level demotions and OOM kills.
+
+    Update paths are lock-protected: counters are fed concurrently by
+    backend worker threads (through the memory pools, the cache manager
+    and the event-bus listeners), and plain ``+=`` on a shared field is
+    a lost-update race under the thread backend.  Writers go through
+    :meth:`add` / :meth:`update_peak` / :meth:`record_demotion`; bare
+    reads of a single counter are safe (atomic attribute loads).
+    """
 
     #: high-water mark of the execution pool (shuffle combine buffers)
     execution_peak_bytes: int = 0
@@ -198,6 +222,21 @@ class MemoryMetrics:
     #: stayed resident (memory-only levels cannot spill them)
     oversized_entries: int = 0
 
+    def __post_init__(self) -> None:
+        # not a dataclass field: excluded from __eq__/__repr__
+        self._lock = threading.Lock()
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the named counter field."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def update_peak(self, counter: str, value: int) -> None:
+        """Atomically raise the named high-water mark to ``value``."""
+        with self._lock:
+            if value > getattr(self, counter):
+                setattr(self, counter, value)
+
     @property
     def spill_bytes(self) -> int:
         """Total bytes written to simulated disk by spilling."""
@@ -215,8 +254,9 @@ class MemoryMetrics:
 
     def record_demotion(self, event: str) -> None:
         """Count one storage-level demotion and remember what moved."""
-        self.demotions += 1
-        self.demotion_events.append(event)
+        with self._lock:
+            self.demotions += 1
+            self.demotion_events.append(event)
 
 
 class MetricsCollector:

@@ -1,6 +1,14 @@
 """DAG scheduler: splits lineage into stages at shuffle boundaries and
-executes them, exactly mirroring Spark's two-level (job -> stage -> task)
-execution model.
+drives their execution, exactly mirroring Spark's two-level
+(job -> stage -> task) execution model.
+
+This is the top layer of the execution stack::
+
+    DAGScheduler         (this module: stage graph, lineage recovery,
+        |                 retry-by-demotion memory policy)
+    TaskScheduler        (task sets, placement, per-task retries)
+        |
+    ExecutorBackend      (serial or thread-pool task execution)
 
 Key behaviours reproduced from Spark:
 
@@ -14,7 +22,8 @@ Key behaviours reproduced from Spark:
 * failed tasks are retried up to ``conf.task_max_failures`` times, with
   per-node failure counting: a node that keeps failing tasks is excluded
   (Spark's blacklisting, ``conf.node_max_failures``) and the failed
-  partition's tasks are re-placed onto healthy nodes;
+  partition's tasks are re-placed onto healthy nodes (both handled by the
+  :class:`~repro.engine.taskscheduler.TaskScheduler`);
 * a :class:`~repro.engine.errors.FetchFailedError` (a reduce task found
   its shuffle incomplete, e.g. because the writer node died) is *not*
   retried in place — the scheduler resubmits the missing parent
@@ -23,6 +32,12 @@ Key behaviours reproduced from Spark:
 * a terminal :class:`~repro.engine.errors.TaskFailedError` is wrapped in
   :class:`~repro.engine.errors.JobExecutionError` carrying the stage id
   and partition.
+
+Cross-cutting instrumentation (job/stage metrics, fault accounting,
+Hadoop-mode HDFS charging, fault injection) is *not* called from here:
+the scheduler posts typed events on the context's
+:class:`~repro.engine.events.EngineEventBus` and the services subscribe
+(see :mod:`repro.engine.events`).
 
 "Shuffle rounds" (the unit the paper counts in Table 4: a join is one
 round even when both inputs move, and a ``reduceByKey`` is one round) are
@@ -35,6 +50,7 @@ preserves the paper's Table 4 semantics under fault injection.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from dataclasses import dataclass, field
@@ -42,23 +58,19 @@ from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .errors import (FetchFailedError, JobExecutionError, OutOfMemoryError,
                      TaskFailedError)
+from .events import (FetchFailed, JobEnd, JobShuffleRounds, JobStart,
+                     OOMKill, RDDDemoted, StageCompleted, StageSubmitted,
+                     StagesResubmitted, TaskSpill)
 from .memory import LEVEL_MEMORY_FACTOR, SPILL_MODE_FACTOR, demote_level
-from .metrics import JobMetrics, StageMetrics
-from .rdd import (RDD, Dependency, NarrowDependency, ShuffleDependency)
+from .metrics import StageMetrics
+from .rdd import RDD, NarrowDependency, ShuffleDependency
 from .serialization import estimate_record_size
+from .taskscheduler import TaskContext, TaskSet, _CountingIterator
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import Context
 
-
-@dataclass
-class TaskContext:
-    """Handed to every RDD ``compute``: identifies the running task and
-    carries the metrics sink for its stage."""
-
-    partition: int
-    stage_metrics: StageMetrics
-    attempt: int = 0
+__all__ = ["DAGScheduler", "MemoryPressurePolicy", "Stage", "TaskContext"]
 
 
 @dataclass
@@ -80,6 +92,109 @@ class Stage:
         return self.rdd.num_partitions
 
 
+class MemoryPressurePolicy:
+    """Retry-by-demotion under injected per-node memory budgets.
+
+    ``admit`` gates every successful task attempt: a working set whose
+    footprint exceeds the node's budget is killed with
+    :class:`OutOfMemoryError`.  ``relieve`` reacts before the retry by
+    demoting the persisted RDDs feeding the task one storage level
+    (RAW -> SER -> DISK), or — when nothing is left to demote —
+    degrading the task to spill mode (its working set streams through
+    disk at :data:`~repro.engine.memory.SPILL_MODE_FACTOR`).
+
+    Accounting flows through ``OOMKill`` / ``TaskSpill`` /
+    ``RDDDemoted`` events, never by mutating metrics directly.
+    """
+
+    def __init__(self, ctx: "Context"):
+        self.ctx = ctx
+        self._lock = threading.Lock()
+        #: ``(rdd_id, partition)`` of tasks forced into spill mode after
+        #: an OOM with no persisted ancestor left to demote (keyed by
+        #: the stage's RDD, which is stable across stage resubmissions)
+        self._spill_mode_tasks: set[tuple[int, int]] = set()
+
+    def admit(self, stage: Stage, partition: int, node: int,
+              records: list) -> None:
+        """Kill the attempt with :class:`OutOfMemoryError` when its
+        working-set footprint exceeds the node's injected budget.
+
+        The footprint is the records' estimated size times the memory
+        factor of the *lowest* storage level among the persisted RDDs in
+        the stage's narrow chain (demotion therefore shrinks it), or the
+        spill-mode factor when the task was degraded to streaming its
+        working set through disk.
+        """
+        budget = self.ctx.fault_plan.oom_node_budgets.get(node)
+        if budget is None:
+            return
+        raw_bytes = sum(estimate_record_size(r) for r in records)
+        with self._lock:
+            spill_mode = (stage.rdd.rdd_id,
+                          partition) in self._spill_mode_tasks
+        if spill_mode:
+            factor = SPILL_MODE_FACTOR
+        else:
+            levels = [rdd.storage_level
+                      for rdd in self._narrow_chain(stage.rdd)
+                      if rdd.storage_level is not None]
+            factor = min((LEVEL_MEMORY_FACTOR[lvl] for lvl in levels),
+                         default=1.0)
+        footprint = int(raw_bytes * factor)
+        if footprint > budget:
+            self.ctx.event_bus.post(OOMKill(
+                stage.stage_id, partition, node, footprint, budget))
+            raise OutOfMemoryError(
+                f"task for partition {partition} of stage "
+                f"{stage.stage_id} needs {footprint} B on node {node} "
+                f"(budget {budget} B)",
+                node=node, requested_bytes=footprint, budget_bytes=budget)
+        if spill_mode:
+            self.ctx.event_bus.post(TaskSpill(
+                stage.stage_id, partition, raw_bytes))
+
+    def relieve(self, stage: Stage, partition: int) -> None:
+        """React to an OOM kill: demote every demotable persisted RDD in
+        the stage's narrow chain one storage level (dropping its cached
+        entries so it re-caches at the new level), or — when nothing is
+        left to demote — degrade the task itself to spill mode."""
+        with self._lock:
+            demoted = False
+            for rdd in self._narrow_chain(stage.rdd):
+                level = rdd.storage_level
+                if level is None:
+                    continue
+                new_level = demote_level(level)
+                if new_level is None:
+                    continue
+                self.ctx._cache.unpersist(rdd.rdd_id)
+                rdd.storage_level = new_level
+                self.ctx.event_bus.post(RDDDemoted(
+                    rdd.rdd_id, rdd.name, level, new_level))
+                demoted = True
+            if not demoted:
+                self._spill_mode_tasks.add((stage.rdd.rdd_id, partition))
+
+    @staticmethod
+    def _narrow_chain(rdd: RDD) -> list[RDD]:
+        """All RDDs reachable from ``rdd`` through narrow dependencies
+        (the data one of its tasks touches), including ``rdd`` itself."""
+        chain: list[RDD] = []
+        visited: set[int] = set()
+        stack = [rdd]
+        while stack:
+            current = stack.pop()
+            if current.rdd_id in visited:
+                continue
+            visited.add(current.rdd_id)
+            chain.append(current)
+            for dep in current.dependencies:
+                if isinstance(dep, NarrowDependency):
+                    stack.append(dep.rdd)
+        return chain
+
+
 class DAGScheduler:
     """Builds and runs the stage graph for each action."""
 
@@ -87,11 +202,7 @@ class DAGScheduler:
         self.ctx = ctx
         self._next_stage_id = 0
         self._next_job_id = 0
-        #: ``(rdd_id, partition)`` of tasks forced into spill mode after
-        #: an OOM with no persisted ancestor left to demote: their
-        #: working set is streamed through disk (keyed by the stage's
-        #: RDD, which is stable across stage resubmissions)
-        self._spill_mode_tasks: set[tuple[int, int]] = set()
+        self._memory_policy = MemoryPressurePolicy(ctx)
 
     # ------------------------------------------------------------------
     # public entry point
@@ -101,26 +212,33 @@ class DAGScheduler:
                 description: str) -> list[Any]:
         """Execute ``partition_func`` over every partition of ``rdd`` and
         return the per-partition results in order."""
-        job = self.ctx.metrics.start_job(self._next_job_id, description)
+        bus = self.ctx.event_bus
+        job_id = self._next_job_id
         self._next_job_id += 1
-
+        phase = self.ctx.metrics.current_phase
+        bus.post(JobStart(job_id, description))
+        succeeded = False
         try:
             final_stage = Stage(self._bump_stage_id(), rdd, None)
             final_stage.parents = self._parent_stages(rdd, {})
             executed_deps: list[ShuffleDependency] = []
-            self._run_parents(final_stage, job, executed_deps, set())
+            self._run_parents(final_stage, job_id, phase, executed_deps,
+                              set())
 
             # count paper-style shuffle rounds: group new deps by consumer
             consumers = {dep.consumer_rdd_id for dep in executed_deps}
-            job.shuffle_rounds = len(consumers)
-            if self.ctx.hadoop_mode:
-                self.ctx.metrics.hadoop.jobs_launched += len(consumers)
+            bus.post(JobShuffleRounds(job_id, len(consumers)))
 
-            return self._run_result_stage(final_stage, partition_func, job)
+            results = self._run_result_stage(final_stage, partition_func,
+                                             job_id, phase)
+            succeeded = True
+            return results
         except TaskFailedError as exc:
             raise JobExecutionError(
-                f"job {job.job_id} ({description}) aborted: {exc}",
+                f"job {job_id} ({description}) aborted: {exc}",
                 stage_id=exc.stage_id, partition=exc.partition) from exc
+        finally:
+            bus.post(JobEnd(job_id, succeeded))
 
     # ------------------------------------------------------------------
     # stage graph construction
@@ -165,101 +283,87 @@ class DAGScheduler:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _run_parents(self, stage: Stage, job: JobMetrics,
+    def _run_parents(self, stage: Stage, job_id: int, phase: str,
                      executed: list[ShuffleDependency],
                      done: set[int], recomputation: bool = False) -> None:
         for parent in stage.parents:
             if parent.stage_id in done:
                 continue
-            self._run_parents(parent, job, executed, done, recomputation)
+            self._run_parents(parent, job_id, phase, executed, done,
+                              recomputation)
             # a racing sibling may have written this shuffle meanwhile
             dep = parent.shuffle_dep
             assert dep is not None
             if not self.ctx._shuffle_manager.is_written(
                     dep.shuffle_id, dep.rdd.num_partitions):
-                self._run_shuffle_map_stage(parent, job, recomputation)
+                self._run_shuffle_map_stage(parent, job_id, phase,
+                                            recomputation)
                 executed.append(dep)
             done.add(parent.stage_id)
 
-    def _run_shuffle_map_stage(self, stage: Stage, job: JobMetrics,
+    def _run_shuffle_map_stage(self, stage: Stage, job_id: int, phase: str,
                                recomputation: bool = False) -> None:
         dep = stage.shuffle_dep
         assert dep is not None
-        cluster = self.ctx.cluster
+        bus = self.ctx.event_bus
         aggregator = dep.aggregator if dep.map_side_combine else None
+        name = f"shuffleMap {stage.rdd.name}"
         fetch_failures = 0
         while True:
-            self.ctx.faults.on_stage_start(stage.stage_id)
+            bus.post(StageSubmitted(stage.stage_id, name, stage.num_tasks))
             metrics = StageMetrics(
-                stage_id=stage.stage_id, job_id=job.job_id,
-                phase=job.phase, is_shuffle_map=True,
-                name=f"shuffleMap {stage.rdd.name}",
-                num_tasks=stage.num_tasks)
+                stage_id=stage.stage_id, job_id=job_id, phase=phase,
+                is_shuffle_map=True, name=name, num_tasks=stage.num_tasks)
+            task_set = TaskSet(stage=stage, metrics=metrics,
+                               policy=self._memory_policy,
+                               shuffle_dep=dep, aggregator=aggregator)
             stage_start = time.perf_counter()
             try:
-                for partition in range(stage.num_tasks):
-                    records = self._run_task(stage, partition, metrics)
-                    before = metrics.shuffle_write.records_written
-                    self.ctx._shuffle_manager.write(
-                        dep.shuffle_id, partition, records, dep.partitioner,
-                        metrics.shuffle_write, aggregator)
-                    written = metrics.shuffle_write.records_written - before
-                    metrics.add_node_records(
-                        cluster.node_of_partition(partition), written)
-                    metrics.output_records += written
+                results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
                 fetch_failures += 1
-                self._recover_from_fetch_failure(stage, job, exc,
-                                                 fetch_failures)
+                self._recover_from_fetch_failure(stage, job_id, phase,
+                                                 exc, fetch_failures)
                 continue
+            for result in results:
+                metrics.add_node_records(result.node, result.count)
+                metrics.output_records += result.count
             metrics.duration_s = time.perf_counter() - stage_start
-            job.stages.append(metrics)
-            if recomputation:
-                self.ctx.metrics.faults.records_recomputed += \
-                    metrics.shuffle_write.records_written
-            if self.ctx.hadoop_mode:
-                # MapReduce materializes job boundaries through HDFS:
-                # charge a read of the map input and a write of the map
-                # output.
-                hadoop = self.ctx.metrics.hadoop
-                hadoop.hdfs_bytes_written += metrics.shuffle_write.bytes_written
-                hadoop.hdfs_bytes_read += metrics.shuffle_write.bytes_written
-                hadoop.hdfs_records_written += \
-                    metrics.shuffle_write.records_written
+            bus.post(StageCompleted(job_id, metrics, recomputation))
             return
 
     def _run_result_stage(self, stage: Stage,
                           partition_func: Callable[[int, Iterable], Any],
-                          job: JobMetrics) -> list[Any]:
-        cluster = self.ctx.cluster
+                          job_id: int, phase: str) -> list[Any]:
+        bus = self.ctx.event_bus
+        name = f"result {stage.rdd.name}"
         fetch_failures = 0
         while True:
-            self.ctx.faults.on_stage_start(stage.stage_id)
+            bus.post(StageSubmitted(stage.stage_id, name, stage.num_tasks))
             metrics = StageMetrics(
-                stage_id=stage.stage_id, job_id=job.job_id,
-                phase=job.phase, is_shuffle_map=False,
-                name=f"result {stage.rdd.name}", num_tasks=stage.num_tasks)
-            results: list[Any] = []
+                stage_id=stage.stage_id, job_id=job_id, phase=phase,
+                is_shuffle_map=False, name=name,
+                num_tasks=stage.num_tasks)
+            task_set = TaskSet(stage=stage, metrics=metrics,
+                               policy=self._memory_policy,
+                               process=partition_func)
             stage_start = time.perf_counter()
             try:
-                for partition in range(stage.num_tasks):
-                    records = self._run_task(stage, partition, metrics)
-                    counted = _CountingIterator(records)
-                    results.append(partition_func(partition, counted))
-                    metrics.add_node_records(
-                        cluster.node_of_partition(partition), counted.count)
-                    metrics.output_records += counted.count
+                results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
                 fetch_failures += 1
-                self._recover_from_fetch_failure(stage, job, exc,
-                                                 fetch_failures)
+                self._recover_from_fetch_failure(stage, job_id, phase,
+                                                 exc, fetch_failures)
                 continue
+            for result in results:
+                metrics.add_node_records(result.node, result.count)
+                metrics.output_records += result.count
             metrics.duration_s = time.perf_counter() - stage_start
-            job.stages.append(metrics)
-            return results
+            bus.post(StageCompleted(job_id, metrics))
+            return [result.value for result in results]
 
-    def _recover_from_fetch_failure(self, stage: Stage, job: JobMetrics,
-                                    exc: FetchFailedError,
+    def _recover_from_fetch_failure(self, stage: Stage, job_id: int,
+                                    phase: str, exc: FetchFailedError,
                                     fetch_failures: int) -> None:
         """React to a reduce-side fetch failure: give up once the stage's
         recovery budget is exhausted, otherwise resubmit the missing
@@ -267,8 +371,8 @@ class DAGScheduler:
         the stage from its first task (Spark re-runs only lost tasks;
         re-running the whole stage is the deterministic in-process
         equivalent — outputs are overwritten idempotently)."""
-        faults = self.ctx.metrics.faults
-        faults.fetch_failures += 1
+        self.ctx.event_bus.post(FetchFailed(
+            stage.stage_id, exc.shuffle_id, exc.reduce_partition))
         if fetch_failures >= self.ctx.conf.stage_max_failures:
             raise JobExecutionError(
                 f"stage {stage.stage_id} aborted after {fetch_failures} "
@@ -280,159 +384,7 @@ class DAGScheduler:
         # state: exactly the stages whose map outputs are now missing
         stage.parents = self._parent_stages(stage.rdd, {})
         resubmitted: list[ShuffleDependency] = []
-        self._run_parents(stage, job, resubmitted, set(),
+        self._run_parents(stage, job_id, phase, resubmitted, set(),
                           recomputation=True)
-        faults.stages_resubmitted += len(resubmitted)
-
-    def _run_task(self, stage: Stage, partition: int,
-                  metrics: StageMetrics) -> Iterable:
-        """Run one task with retries; returns the partition's records.
-
-        Failed attempts are counted against the node the task ran on;
-        once a node accumulates ``conf.node_max_failures`` failures it is
-        excluded from placement and the partition's next attempt runs on
-        a healthy node.  Fetch failures propagate to the stage level —
-        retrying in place cannot recover lost shuffle outputs.
-        """
-        conf = self.ctx.conf
-        cluster = self.ctx.cluster
-        faults = self.ctx.faults
-        fault_metrics = self.ctx.metrics.faults
-        max_attempts = conf.task_max_failures
-        last_error: Exception | None = None
-        for attempt in range(max_attempts):
-            node = cluster.node_of_partition(partition)
-            task = TaskContext(partition=partition, stage_metrics=metrics,
-                               attempt=attempt)
-            try:
-                faults.on_task_attempt(stage.stage_id, partition, attempt,
-                                       node)
-                # materialize inside the try so that faults raised lazily
-                # (mid-iteration) are still retried
-                records = list(faults.wrap_task_iterator(
-                    stage.rdd.iterator(partition, task),
-                    stage.stage_id, partition, attempt))
-                self._enforce_memory_budget(stage, partition, node, records)
-                return records
-            except (TaskFailedError, FetchFailedError):
-                raise
-            except Exception as exc:  # noqa: BLE001 - retry any task fault
-                last_error = exc
-                fault_metrics.task_failures += 1
-                node_failures = fault_metrics.record_node_failure(node)
-                if conf.node_max_failures is not None \
-                        and node_failures >= conf.node_max_failures \
-                        and cluster.is_available(node):
-                    if cluster.exclude_node(node):
-                        fault_metrics.nodes_excluded += 1
-                if attempt + 1 < max_attempts:
-                    fault_metrics.tasks_retried += 1
-                    if isinstance(exc, OutOfMemoryError):
-                        # degrade before retrying: demote the persisted
-                        # RDDs feeding the task one storage level (or
-                        # fall back to spill mode), then back off
-                        self._relieve_memory_pressure(stage, partition)
-                        backoff = conf.oom_retry_backoff_s
-                        if backoff > 0:
-                            time.sleep(backoff * (2 ** attempt))
-        raise TaskFailedError(
-            f"task for partition {partition} of stage {stage.stage_id} "
-            f"failed {max_attempts} times: {last_error}",
-            partition=partition, attempts=max_attempts,
-            stage_id=stage.stage_id)
-
-    # ------------------------------------------------------------------
-    # memory pressure (OOM fault injection)
-    # ------------------------------------------------------------------
-    def _enforce_memory_budget(self, stage: Stage, partition: int,
-                               node: int, records: list) -> None:
-        """Kill the task with :class:`OutOfMemoryError` when its
-        working-set footprint exceeds the node's injected budget.
-
-        The footprint is the records' estimated size times the memory
-        factor of the *lowest* storage level among the persisted RDDs in
-        the stage's narrow chain (demotion therefore shrinks it), or the
-        spill-mode factor when the task was degraded to streaming its
-        working set through disk.
-        """
-        budgets = self.ctx.faults.plan.oom_node_budgets
-        budget = budgets.get(node)
-        if budget is None:
-            return
-        raw_bytes = sum(estimate_record_size(r) for r in records)
-        spill_mode = (stage.rdd.rdd_id, partition) in self._spill_mode_tasks
-        if spill_mode:
-            factor = SPILL_MODE_FACTOR
-        else:
-            levels = [rdd.storage_level
-                      for rdd in self._narrow_chain(stage.rdd)
-                      if rdd.storage_level is not None]
-            factor = min((LEVEL_MEMORY_FACTOR[lvl] for lvl in levels),
-                         default=1.0)
-        footprint = int(raw_bytes * factor)
-        if footprint > budget:
-            mem = self.ctx.metrics.memory
-            mem.oom_kills += 1
-            raise OutOfMemoryError(
-                f"task for partition {partition} of stage "
-                f"{stage.stage_id} needs {footprint} B on node {node} "
-                f"(budget {budget} B)",
-                node=node, requested_bytes=footprint, budget_bytes=budget)
-        if spill_mode:
-            self.ctx.metrics.memory.task_spill_bytes += raw_bytes
-
-    def _relieve_memory_pressure(self, stage: Stage, partition: int) -> None:
-        """React to an OOM kill: demote every demotable persisted RDD in
-        the stage's narrow chain one storage level (dropping its cached
-        entries so it re-caches at the new level), or — when nothing is
-        left to demote — degrade the task itself to spill mode."""
-        mem = self.ctx.metrics.memory
-        demoted = False
-        for rdd in self._narrow_chain(stage.rdd):
-            level = rdd.storage_level
-            if level is None:
-                continue
-            new_level = demote_level(level)
-            if new_level is None:
-                continue
-            self.ctx._cache.unpersist(rdd.rdd_id)
-            rdd.storage_level = new_level
-            mem.record_demotion(
-                f"oom: rdd {rdd.rdd_id} ({rdd.name}) "
-                f"{level.value} -> {new_level.value}")
-            demoted = True
-        if not demoted:
-            self._spill_mode_tasks.add((stage.rdd.rdd_id, partition))
-
-    def _narrow_chain(self, rdd: RDD) -> list[RDD]:
-        """All RDDs reachable from ``rdd`` through narrow dependencies
-        (the data one of its tasks touches), including ``rdd`` itself."""
-        chain: list[RDD] = []
-        visited: set[int] = set()
-        stack = [rdd]
-        while stack:
-            current = stack.pop()
-            if current.rdd_id in visited:
-                continue
-            visited.add(current.rdd_id)
-            chain.append(current)
-            for dep in current.dependencies:
-                if isinstance(dep, NarrowDependency):
-                    stack.append(dep.rdd)
-        return chain
-
-
-class _CountingIterator:
-    """Wraps an iterable, counting consumed records."""
-
-    def __init__(self, it: Iterable):
-        self._it = iter(it)
-        self.count = 0
-
-    def __iter__(self) -> "_CountingIterator":
-        return self
-
-    def __next__(self) -> Any:
-        item = next(self._it)
-        self.count += 1
-        return item
+        self.ctx.event_bus.post(StagesResubmitted(
+            stage.stage_id, len(resubmitted)))

@@ -19,9 +19,18 @@ task that later finds its shuffle incomplete raises
 by resubmitting the parent shuffle-map stage from lineage.  A
 :class:`~repro.engine.faults.FaultInjector` may additionally inject
 transient fetch failures per block.
+
+Thread safety: map tasks on different backend workers write
+concurrently and reduce tasks read concurrently; the output registry is
+guarded by an internal lock.  Combining and bucketing (the expensive
+part) happen *outside* the lock, and reads iterate map outputs in
+sorted map-partition order so fetched record order — and therefore
+every downstream reduction — is independent of write interleaving.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
@@ -68,6 +77,7 @@ class ShuffleManager:
         self.cluster = cluster
         self.faults = faults
         self.memory = memory
+        self._lock = threading.RLock()
         self._shuffles: dict[int, dict[int, _MapOutput]] = {}
         #: shuffle id -> expected map-partition count (None when the
         #: shuffle was registered through the legacy argless API)
@@ -78,17 +88,19 @@ class ShuffleManager:
         """Register a new shuffle and return its id.  When the map-side
         partition count is declared, reduce-side reads verify the
         shuffle is complete and raise ``FetchFailedError`` otherwise."""
-        sid = self._next_shuffle_id
-        self._next_shuffle_id += 1
-        self._shuffles[sid] = {}
-        self._num_maps[sid] = num_map_partitions
-        return sid
+        with self._lock:
+            sid = self._next_shuffle_id
+            self._next_shuffle_id += 1
+            self._shuffles[sid] = {}
+            self._num_maps[sid] = num_map_partitions
+            return sid
 
     def is_written(self, shuffle_id: int, num_map_partitions: int) -> bool:
         """True iff every map task of the shuffle already wrote output."""
-        outputs = self._shuffles.get(shuffle_id)
-        return (outputs is not None
-                and len(outputs) >= num_map_partitions)
+        with self._lock:
+            outputs = self._shuffles.get(shuffle_id)
+            return (outputs is not None
+                    and len(outputs) >= num_map_partitions)
 
     # ------------------------------------------------------------------
     # map side
@@ -130,7 +142,9 @@ class ShuffleManager:
             n_bytes += size
         # dropped shuffles (drop_shuffle_outputs) may be re-written when
         # lineage is recomputed; re-register lazily
-        self._shuffles.setdefault(shuffle_id, {})[map_partition] = output
+        with self._lock:
+            self._shuffles.setdefault(shuffle_id, {})[map_partition] = \
+                output
         write_metrics.bytes_written += n_bytes
         write_metrics.records_written += n_records
 
@@ -146,30 +160,39 @@ class ShuffleManager:
         outputs are incomplete (a writer node died and its blocks were
         invalidated) or when the fault plan injects a fetch failure.
         """
-        outputs = self._shuffles.get(shuffle_id)
-        if outputs is None:
-            if shuffle_id not in self._num_maps:
-                raise KeyError(f"unknown shuffle id {shuffle_id}")
-            # registered but dropped (gc'd or removed): recoverable —
-            # the scheduler recomputes the map stage from lineage
-            expected = self._num_maps[shuffle_id]
-            missing = tuple(range(expected)) if expected else ()
-            raise FetchFailedError(
-                f"shuffle {shuffle_id} has no map outputs (dropped or "
-                f"lost) for reduce partition {reduce_partition}",
-                shuffle_id=shuffle_id, reduce_partition=reduce_partition,
-                missing_map_partitions=missing)
-        expected = self._num_maps.get(shuffle_id)
-        if expected is not None and len(outputs) < expected:
-            missing = tuple(sorted(set(range(expected)) - set(outputs)))
-            raise FetchFailedError(
-                f"shuffle {shuffle_id} is missing map outputs "
-                f"{list(missing)} for reduce partition {reduce_partition}",
-                shuffle_id=shuffle_id, reduce_partition=reduce_partition,
-                missing_map_partitions=missing)
+        with self._lock:
+            outputs = self._shuffles.get(shuffle_id)
+            if outputs is None:
+                if shuffle_id not in self._num_maps:
+                    raise KeyError(f"unknown shuffle id {shuffle_id}")
+                # registered but dropped (gc'd or removed): recoverable —
+                # the scheduler recomputes the map stage from lineage
+                expected = self._num_maps[shuffle_id]
+                missing = tuple(range(expected)) if expected else ()
+                raise FetchFailedError(
+                    f"shuffle {shuffle_id} has no map outputs (dropped "
+                    f"or lost) for reduce partition {reduce_partition}",
+                    shuffle_id=shuffle_id,
+                    reduce_partition=reduce_partition,
+                    missing_map_partitions=missing)
+            expected = self._num_maps.get(shuffle_id)
+            if expected is not None and len(outputs) < expected:
+                missing = tuple(sorted(set(range(expected))
+                                       - set(outputs)))
+                raise FetchFailedError(
+                    f"shuffle {shuffle_id} is missing map outputs "
+                    f"{list(missing)} for reduce partition "
+                    f"{reduce_partition}",
+                    shuffle_id=shuffle_id,
+                    reduce_partition=reduce_partition,
+                    missing_map_partitions=missing)
+            # snapshot in sorted map-partition order: fetch order (and
+            # thus reduce-side record order) must not depend on write
+            # interleaving or on recovery re-insertion order
+            snapshot = sorted(outputs.items())
         reduce_node = self.cluster.node_of_partition(reduce_partition)
         fetched: list = []
-        for map_partition, output in outputs.items():
+        for map_partition, output in snapshot:
             block = output.buckets.get(reduce_partition)
             if not block:
                 continue
@@ -194,22 +217,26 @@ class ShuffleManager:
         ``FetchFailedError`` and trigger lineage resubmission."""
         outputs_lost = 0
         records_lost = 0
-        for shuffle_outputs in self._shuffles.values():
-            doomed = [p for p, out in shuffle_outputs.items()
-                      if out.node == node_id]
-            for p in doomed:
-                output = shuffle_outputs.pop(p)
-                outputs_lost += 1
-                records_lost += sum(len(b) for b in output.buckets.values())
+        with self._lock:
+            for shuffle_outputs in self._shuffles.values():
+                doomed = [p for p, out in shuffle_outputs.items()
+                          if out.node == node_id]
+                for p in doomed:
+                    output = shuffle_outputs.pop(p)
+                    outputs_lost += 1
+                    records_lost += sum(
+                        len(b) for b in output.buckets.values())
         return outputs_lost, records_lost
 
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard one shuffle's map outputs."""
-        self._shuffles.pop(shuffle_id, None)
+        with self._lock:
+            self._shuffles.pop(shuffle_id, None)
 
     def clear(self) -> None:
         """Discard all map outputs (recomputed from lineage on demand).
 
         The declared map-partition counts are metadata, not data, and
         survive — recomputed shuffles re-register their outputs."""
-        self._shuffles.clear()
+        with self._lock:
+            self._shuffles.clear()

@@ -1,0 +1,241 @@
+"""Task scheduler: the middle layer between the DAG scheduler and the
+executor backends.
+
+The :class:`~repro.engine.scheduler.DAGScheduler` decides *what* runs
+(the stage graph, lineage recovery, the retry-by-demotion policy); the
+:class:`TaskScheduler` decides *how one stage's tasks run*: it builds a
+:class:`TaskSet`, places every task on a node via the cluster, runs the
+per-task retry loop (fault admission, per-node failure counting and
+exclusion, OOM relief), and hands the per-partition thunks to the
+configured :class:`~repro.engine.backends.ExecutorBackend`.
+
+Determinism contract (what makes ``ThreadPoolBackend`` bit-identical to
+``SerialBackend``): results are returned in partition order regardless
+of completion order; every task attempt mutates only a private scratch
+:class:`~repro.engine.metrics.StageMetrics` that is merged additively
+into the stage's record (integer counters commute); and all shared
+engine state the tasks touch (cache, shuffle outputs, memory pools,
+fault injector) is internally locked with order-independent semantics.
+
+Instrumentation flows through the
+:class:`~repro.engine.events.EngineEventBus` (``TaskStart`` /
+``TaskEnd`` / ``TaskFailure`` / ``NodeExcluded``); the fault injector
+subscribes to ``TaskStart`` and may raise from it to fail the attempt.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+from .errors import FetchFailedError, OutOfMemoryError, TaskFailedError
+from .events import NodeExcluded, TaskEnd, TaskFailure, TaskStart
+from .metrics import StageMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .backends import ExecutorBackend
+    from .context import Context
+    from .rdd import ShuffleDependency
+    from .scheduler import MemoryPressurePolicy, Stage
+    from .shuffle import Aggregator
+
+
+@dataclass
+class TaskContext:
+    """Handed to every RDD ``compute``: identifies the running task and
+    carries the metrics sink for its stage (a per-attempt scratch that
+    the task scheduler merges into the stage's record)."""
+
+    partition: int
+    stage_metrics: StageMetrics
+    attempt: int = 0
+
+
+@dataclass
+class TaskRunResult:
+    """Outcome of one successfully completed task."""
+
+    partition: int
+    #: node the task's output is attributed to (resolved after the task
+    #: ran, so a mid-task node kill re-places attribution correctly)
+    node: int
+    #: records the task emitted (shuffle records written, or result
+    #: records consumed by the partition function)
+    count: int
+    #: the partition function's return value (result stages only)
+    value: Any = None
+
+
+@dataclass
+class TaskSet:
+    """One stage execution's worth of tasks plus their shared sinks.
+
+    ``shuffle_dep`` set: shuffle-map tasks (each task writes its records
+    into the dependency's shuffle).  ``process`` set: result tasks (each
+    task feeds its records through the job's partition function).
+    """
+
+    stage: "Stage"
+    metrics: StageMetrics
+    policy: "MemoryPressurePolicy"
+    shuffle_dep: "ShuffleDependency | None" = None
+    aggregator: "Aggregator | None" = None
+    process: Callable[[int, Iterable], Any] | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    @property
+    def is_shuffle_map(self) -> bool:
+        return self.shuffle_dep is not None
+
+    def merge_scratch(self, scratch: StageMetrics) -> None:
+        """Fold one attempt's scratch metrics into the stage record.
+        Failed attempts merge too — their partial reads/cache hits are
+        real work, exactly as when tasks mutated the shared object."""
+        with self._lock:
+            self.metrics.merge_task(scratch)
+
+
+class TaskScheduler:
+    """Runs task sets against one executor backend."""
+
+    def __init__(self, ctx: "Context", backend: "ExecutorBackend"):
+        self.ctx = ctx
+        self.backend = backend
+        self._exclusion_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run_task_set(self, task_set: TaskSet) -> list[TaskRunResult]:
+        """Execute every partition of the set on the backend; returns
+        results in partition order.  Raises the (deterministically
+        chosen) failing task's error when the set cannot complete."""
+        thunks = [
+            (lambda p=p: self._run_task(task_set, p))
+            for p in range(task_set.stage.num_tasks)
+        ]
+        return self.backend.run(thunks)
+
+    # ------------------------------------------------------------------
+    def _run_task(self, ts: TaskSet, partition: int) -> TaskRunResult:
+        """One task's retry loop (runs on a backend worker).
+
+        Failed attempts are counted against the node the task ran on;
+        once a node accumulates ``conf.node_max_failures`` failures it
+        is excluded from placement and the next attempt runs on a
+        healthy node.  Fetch failures propagate to the stage level —
+        retrying in place cannot recover lost shuffle outputs.
+        """
+        ctx = self.ctx
+        conf = ctx.conf
+        cluster = ctx.cluster
+        bus = ctx.event_bus
+        stage = ts.stage
+        max_attempts = conf.task_max_failures
+        last_error: Exception | None = None
+        for attempt in range(max_attempts):
+            node = cluster.node_of_partition(partition)
+            scratch = StageMetrics(
+                stage_id=ts.metrics.stage_id, job_id=ts.metrics.job_id,
+                phase=ts.metrics.phase,
+                is_shuffle_map=ts.metrics.is_shuffle_map,
+                name=ts.metrics.name)
+            task = TaskContext(partition=partition, stage_metrics=scratch,
+                               attempt=attempt)
+            try:
+                # the fault injector subscribes to TaskStart and may
+                # raise from it; materialize inside the try so faults
+                # raised lazily (mid-iteration) are still retried
+                bus.post(TaskStart(stage.stage_id, partition, attempt,
+                                   node))
+                records = list(ctx.faults.wrap_task_iterator(
+                    stage.rdd.iterator(partition, task),
+                    stage.stage_id, partition, attempt))
+                ts.policy.admit(stage, partition, node, records)
+            except (TaskFailedError, FetchFailedError):
+                ts.merge_scratch(scratch)
+                raise
+            except Exception as exc:  # noqa: BLE001 - retry any task fault
+                ts.merge_scratch(scratch)
+                last_error = exc
+                will_retry = attempt + 1 < max_attempts
+                bus.post(TaskFailure(stage.stage_id, partition, attempt,
+                                     node, exc, will_retry))
+                self._maybe_exclude(node)
+                if will_retry and isinstance(exc, OutOfMemoryError):
+                    # degrade before retrying: demote the persisted RDDs
+                    # feeding the task one storage level (or fall back
+                    # to spill mode), then back off
+                    ts.policy.relieve(stage, partition)
+                    backoff = conf.oom_retry_backoff_s
+                    if backoff > 0:
+                        time.sleep(backoff * (2 ** attempt))
+                continue
+            # the attempt's compute succeeded: the output side (shuffle
+            # write / partition function) is not retried — its errors
+            # propagate raw, matching the old stage-loop structure
+            try:
+                if ts.shuffle_dep is not None:
+                    dep = ts.shuffle_dep
+                    before = scratch.shuffle_write.records_written
+                    ctx._shuffle_manager.write(
+                        dep.shuffle_id, partition, records,
+                        dep.partitioner, scratch.shuffle_write,
+                        ts.aggregator)
+                    count = scratch.shuffle_write.records_written - before
+                    value = None
+                else:
+                    assert ts.process is not None
+                    counted = _CountingIterator(records)
+                    value = ts.process(partition, counted)
+                    count = counted.count
+                # re-resolve placement after execution: output of a task
+                # that outlived its node belongs to the replacement node
+                node = cluster.node_of_partition(partition)
+            finally:
+                ts.merge_scratch(scratch)
+            bus.post(TaskEnd(stage.stage_id, partition, attempt, node,
+                             count))
+            return TaskRunResult(partition=partition, node=node,
+                                 count=count, value=value)
+        raise TaskFailedError(
+            f"task for partition {partition} of stage {stage.stage_id} "
+            f"failed {max_attempts} times: {last_error}",
+            partition=partition, attempts=max_attempts,
+            stage_id=stage.stage_id)
+
+    # ------------------------------------------------------------------
+    def _maybe_exclude(self, node: int) -> None:
+        """Blacklist ``node`` once its failure count (kept in the fault
+        metrics, which the ``TaskFailure`` listener just updated —
+        dispatch is synchronous) crosses ``conf.node_max_failures``."""
+        conf = self.ctx.conf
+        if conf.node_max_failures is None:
+            return
+        cluster = self.ctx.cluster
+        with self._exclusion_lock:
+            failures = self.ctx.metrics.faults.failures_per_node.get(
+                node, 0)
+            if failures < conf.node_max_failures \
+                    or not cluster.is_available(node):
+                return
+            if cluster.exclude_node(node):
+                self.ctx.event_bus.post(NodeExcluded(node, failures))
+
+
+class _CountingIterator:
+    """Wraps an iterable, counting consumed records."""
+
+    def __init__(self, it: Iterable):
+        self._it = iter(it)
+        self.count = 0
+
+    def __iter__(self) -> "_CountingIterator":
+        return self
+
+    def __next__(self) -> Any:
+        item = next(self._it)
+        self.count += 1
+        return item

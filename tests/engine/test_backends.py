@@ -1,0 +1,135 @@
+"""Executor backends: resolution, execution contract, context wiring.
+
+Both backends must run every thunk, return results in submission
+(partition) order, and surface the lowest-index failure — that ordering
+contract is what makes the thread pool bit-identical to serial
+execution at the scheduler level.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import (BackendError, Context, EngineConf,
+                          SerialBackend, ThreadPoolBackend, create_backend)
+from repro.engine.backends import resolve_backend_spec
+
+
+class TestResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert isinstance(create_backend(None, None), SerialBackend)
+
+    @pytest.mark.parametrize("name", ["serial", "sync", "local", "SERIAL"])
+    def test_serial_aliases(self, name):
+        assert isinstance(create_backend(name, None), SerialBackend)
+
+    @pytest.mark.parametrize("name",
+                             ["threads", "thread", "threadpool", "Threaded"])
+    def test_thread_aliases(self, name):
+        backend = create_backend(name, 2)
+        try:
+            assert isinstance(backend, ThreadPoolBackend)
+            assert backend.num_workers == 2
+        finally:
+            backend.shutdown()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BackendError, match="unknown"):
+            create_backend("mpi", None)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", "3")
+        name, workers = resolve_backend_spec(None, None)
+        assert name == "threads" and workers == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        name, _ = resolve_backend_spec("serial", None)
+        assert name == "serial"
+
+    def test_bad_env_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", "many")
+        with pytest.raises(BackendError):
+            resolve_backend_spec("threads", None)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(BackendError):
+            create_backend("threads", 0)
+
+
+class TestExecutionContract:
+    @pytest.fixture(params=["serial", "threads"])
+    def backend(self, request):
+        b = create_backend(request.param,
+                           4 if request.param == "threads" else None)
+        yield b
+        b.shutdown()
+
+    def test_results_in_submission_order(self, backend):
+        thunks = [lambda i=i: i * i for i in range(16)]
+        assert backend.run(thunks) == [i * i for i in range(16)]
+
+    def test_lowest_index_exception_wins(self, backend):
+        def make(i):
+            def thunk():
+                if i in (3, 9):
+                    raise ValueError(f"thunk {i}")
+                return i
+            return thunk
+
+        with pytest.raises(ValueError, match="thunk 3"):
+            backend.run([make(i) for i in range(12)])
+
+    def test_empty_run(self, backend):
+        assert backend.run([]) == []
+
+    def test_threads_actually_overlap(self):
+        backend = create_backend("threads", 4)
+        try:
+            barrier = threading.Barrier(4, timeout=10)
+
+            def rendezvous():
+                # only reachable if 4 thunks run concurrently
+                barrier.wait()
+                return True
+
+            assert backend.run([rendezvous] * 4) == [True] * 4
+        finally:
+            backend.shutdown()
+
+
+class TestContextWiring:
+    def test_conf_selects_backend(self):
+        with Context(num_nodes=2,
+                     conf=EngineConf(backend="threads",
+                                     backend_workers=2)) as ctx:
+            assert isinstance(ctx.backend, ThreadPoolBackend)
+            assert ctx.backend.num_workers == 2
+            out = ctx.parallelize(range(100), 8) \
+                .map(lambda x: (x % 5, x)) \
+                .reduce_by_key(lambda a, b: a + b).collect_as_map()
+        assert out == {0: 950, 1: 970, 2: 990, 3: 1010, 4: 1030}
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        monkeypatch.setenv("REPRO_BACKEND_WORKERS", "2")
+        with Context(num_nodes=2) as ctx:
+            assert isinstance(ctx.backend, ThreadPoolBackend)
+
+    def test_stop_shuts_the_pool_down(self):
+        ctx = Context(num_nodes=2,
+                      conf=EngineConf(backend="threads",
+                                      backend_workers=2))
+        ctx.parallelize(range(10), 4).collect()
+        ctx.stop()
+        with pytest.raises(RuntimeError):
+            ctx.backend.run([lambda: 1])
+
+    def test_backend_name_property(self):
+        with Context(num_nodes=2) as ctx:
+            assert ctx.backend.name == "serial"
