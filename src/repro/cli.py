@@ -84,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="worker count for pooled backends (default: "
                           "$REPRO_BACKEND_WORKERS, then min(8, cpus))")
+    dec.add_argument("--kernel", choices=["record", "vectorized"],
+                     default=None,
+                     help="partition-level MTTKRP kernel: 'vectorized' "
+                          "(ndarray batches, the default) or 'record' "
+                          "(per-record closures; bit-identical "
+                          "results).  Defaults to $REPRO_KERNEL, then "
+                          "'vectorized'")
 
     comm = sub.add_parser("communication",
                           help="Figure 4: COO vs QCOO shuffle volume")
@@ -168,11 +175,13 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     conf = None
     if (args.cache_budget is not None or args.memory_budget is not None
             or args.backend is not None
-            or args.backend_workers is not None):
+            or args.backend_workers is not None
+            or args.kernel is not None):
         conf = EngineConf(cache_capacity_bytes=args.cache_budget,
                           memory_total_bytes=args.memory_budget,
                           backend=args.backend,
-                          backend_workers=args.backend_workers)
+                          backend_workers=args.backend_workers,
+                          kernel=args.kernel)
     ctx = make_context(args.algorithm, config, conf=conf)
     driver = make_driver(args.algorithm, ctx, config)
     driver.regularization = args.regularization

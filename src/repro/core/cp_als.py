@@ -194,6 +194,39 @@ class CPALSDriver:
         with self.ctx.metrics.phase("setup"):
             tensor_rdd = self._distribute_tensor(tensor)
 
+        # everything past this point holds persisted state (the tensor
+        # RDD, factor RDDs, subclass queue RDDs, broadcasts) that must
+        # be released even when an iteration dies mid-flight — e.g. a
+        # JobExecutionError from an exhausted fault-retry budget.
+        # Without the finally, a failed decompose left those entries
+        # pinned in the cache manager for the life of the context.
+        factor_rdds: list[RDD] = []
+        try:
+            return self._decompose_loop(
+                tensor, tensor_rdd, factor_rdds, rank, max_iterations,
+                tol, seed, initial_factors, init, compute_fit,
+                gc_shuffles, checkpoint_every, checkpoint_store,
+                snapshot, order, norm_x)
+        finally:
+            self._teardown()
+            for rdd in factor_rdds:
+                rdd.unpersist()
+            tensor_rdd.unpersist()
+
+    def _decompose_loop(self, tensor: COOTensor, tensor_rdd: RDD,
+                        factor_rdds: list[RDD], rank: int,
+                        max_iterations: int, tol: float,
+                        seed: int | None,
+                        initial_factors: Sequence[np.ndarray] | None,
+                        init: str, compute_fit: bool, gc_shuffles: bool,
+                        checkpoint_every: int | None,
+                        checkpoint_store: CheckpointStore | None,
+                        snapshot: CPCheckpoint | None, order: int,
+                        norm_x: float) -> CPDecomposition:
+        """The ALS loop proper; ``decompose`` owns resource cleanup and
+        fills ``factor_rdds`` in place so the finally block sees every
+        persisted factor even on mid-iteration failure."""
+        with self.ctx.metrics.phase("setup"):
             if snapshot is not None:
                 init_mats = snapshot.factors
                 if len(init_mats) != order:
@@ -221,8 +254,9 @@ class CPALSDriver:
                 from ..tensor.init import initial_factors as make_init
                 init_mats = make_init(tensor, rank, init, seed)
 
-            factor_rdds = [self._distribute_factor(f) for f in init_mats]
-            grams = GramCache(factor_rdds, rank)
+            factor_rdds.extend(
+                self._distribute_factor(f) for f in init_mats)
+            grams = GramCache(factor_rdds, rank, kernel=self.ctx.kernel)
             self._setup(tensor_rdd, tensor, factor_rdds, rank)
 
         lambdas = np.ones(rank)
@@ -296,11 +330,6 @@ class CPALSDriver:
 
         factors = [self._collect_factor(rdd, size, rank)
                    for rdd, size in zip(factor_rdds, tensor.shape)]
-        self._teardown()
-        for rdd in factor_rdds:
-            rdd.unpersist()
-        tensor_rdd.unpersist()
-
         return CPDecomposition(
             lambdas=lambdas, factors=factors, fit_history=fit_history,
             iterations=iterations, algorithm=self.name, converged=converged)

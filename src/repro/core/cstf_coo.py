@@ -49,6 +49,9 @@ class CstfCOO(CPALSDriver):
                 f"got {factor_strategy!r}")
         super().__init__(ctx, num_partitions, **kwargs)
         self.factor_strategy = factor_strategy
+        #: broadcasts created by the broadcast strategy that have not
+        #: been destroyed yet (see :meth:`_mttkrp_broadcast`)
+        self._live_broadcasts: list = []
 
     def join_order(self, order: int, mode: int) -> list[int]:
         """Modes joined for a mode-``mode`` MTTKRP, in order."""
@@ -69,19 +72,13 @@ class CstfCOO(CPALSDriver):
 
         # join with the first factor and fold the tensor value into the
         # accumulator:  (k, ((idx, val), C_row)) -> (next_key, (idx, acc))
+        kernel = self.ctx.kernel
         current = keyed.join(factor_rdds[first], self.num_partitions)
         for pos, join_mode in enumerate(modes):
             next_mode = modes[pos + 1] if pos + 1 < len(modes) else mode
-            if pos == 0:
-                def rekey(kv, _next=next_mode):
-                    (idx, val), row = kv[1]
-                    return (idx[_next], (idx, val * row))
-            else:
-                def rekey(kv, _next=next_mode):
-                    (idx, acc), row = kv[1]
-                    return (idx[_next], (idx, acc * row))
-            current = current.map(rekey).set_name(
-                f"coo-acc-mode{join_mode}")
+            current = kernel.coo_rekey(
+                current, next_mode, first=(pos == 0)
+            ).set_name(f"coo-acc-mode{join_mode}")
             if next_mode != mode:
                 current = current.join(
                     factor_rdds[next_mode], self.num_partitions)
@@ -89,35 +86,49 @@ class CstfCOO(CPALSDriver):
         # STAGE 3: drop the index tuple and sum rows per output index
         partials = current.map_values(lambda pair: pair[1]).set_name(
             "coo-partials")
-        return partials.reduce_by_key(
-            lambda a, b: a + b, self.num_partitions
-        ).set_name(f"mttkrp-{mode}")
+        return kernel.sum_rows_by_key(
+            partials, self.num_partitions).set_name(f"mttkrp-{mode}")
 
     def _mttkrp_broadcast(self, mode: int, tensor_rdd: RDD,
                           factor_rdds: list[RDD], rank: int) -> RDD:
         """Replicate the fixed factors to every node and reduce locally:
-        one shuffle round total, at the cost of full factor replication."""
+        one shuffle round total, at the cost of full factor replication.
+
+        Broadcast lifecycle: the previous mode's broadcasts are
+        destroyed *here*, lagged by one MTTKRP — by the time the next
+        mode starts, the previous m_rdd has been materialized by the
+        driver's solve step, and downstream consumers (fit included)
+        read its shuffle output, never the map side that captured the
+        broadcasts.  This mirrors Spark's unsafe ``destroy()``: a
+        post-hoc lineage recompute of a destroyed-broadcast stage would
+        fail, which is the documented contract.  Whatever is still live
+        at the end of the decomposition is destroyed by ``_teardown``.
+        """
+        for bc in self._live_broadcasts:
+            bc.destroy()
+        self._live_broadcasts.clear()
         order = len(factor_rdds)
         broadcasts = {
             m: self.ctx.broadcast(dict(factor_rdds[m].collect()))
             for m in range(order) if m != mode
         }
+        self._live_broadcasts.extend(broadcasts.values())
 
-        def contribute(rec, _mode=mode, _bc=broadcasts):
-            idx, val = rec
-            acc = None
-            for m, bc in _bc.items():
-                row = bc.value[idx[m]]
-                acc = row * val if acc is None else acc * row
-            return (idx[_mode], acc)
+        kernel = self.ctx.kernel
+        contrib = kernel.broadcast_contributions(tensor_rdd, broadcasts,
+                                                 mode)
+        return kernel.sum_rows_by_key(
+            contrib, self.num_partitions
+        ).set_name(f"mttkrp-{mode}-broadcast")
 
-        m_rdd = (tensor_rdd.map(contribute)
-                 .reduce_by_key(lambda a, b: a + b, self.num_partitions)
-                 .set_name(f"mttkrp-{mode}-broadcast"))
-        # materialisation happens in the driver's next action; defer the
-        # broadcast destruction to then by piggybacking on the RDD — the
-        # engine is in-process, so simply keep them alive via closure.
-        return m_rdd
+    def _teardown(self) -> None:
+        """Release per-decomposition state: any broadcasts the final
+        MTTKRP left alive (previously leaked for the whole context
+        lifetime)."""
+        for bc in self._live_broadcasts:
+            bc.destroy()
+        self._live_broadcasts.clear()
+        super()._teardown()
 
     def shuffles_per_mttkrp(self, order: int) -> int:
         """Table 4: N shuffle rounds per MTTKRP (N-1 joins + 1 reduce);

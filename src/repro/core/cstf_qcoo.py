@@ -23,8 +23,6 @@ the mode-1 overhead visible in Figure 5.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..engine.rdd import RDD
 from ..tensor.coo import COOTensor
 from .cp_als import CPALSDriver
@@ -123,18 +121,11 @@ class CstfQCOO(CPALSDriver):
             "qcoo-queue").persist(self.storage_level)
 
         # STAGE 3: reduce each record's queue to one scaled row, then sum
-        def reduce_queue(value):
-            (idx, val), queue = value
-            acc = queue[0]
-            for row in queue[1:]:
-                acc = acc * row
-            return val * acc
-
-        partials = next_queue.map_values(reduce_queue).set_name(
+        kernel = self.ctx.kernel
+        partials = kernel.qcoo_reduce(next_queue).set_name(
             "qcoo-partials")
-        m_rdd = partials.reduce_by_key(
-            lambda a, b: a + b, self.num_partitions
-        ).set_name(f"mttkrp-{mode}")
+        m_rdd = kernel.sum_rows_by_key(
+            partials, self.num_partitions).set_name(f"mttkrp-{mode}")
 
         # the rotated RDD replaces the old queue; the old one is dropped
         # once the new one is materialized by the driver's next action

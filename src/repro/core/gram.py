@@ -16,10 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.rdd import RDD
+from ..kernels.base import Kernel
 from ..tensor.ops import hadamard
 
 
-def gram_of_rdd(factor_rdd: RDD, rank: int) -> np.ndarray:
+def gram_of_rdd(factor_rdd: RDD, rank: int,
+                kernel: Kernel | None = None) -> np.ndarray:
     """``A^T A`` of a distributed factor ``RDD[(index, row)]``.
 
     One pass: each partition accumulates the outer products of its rows;
@@ -33,17 +35,15 @@ def gram_of_rdd(factor_rdd: RDD, rank: int) -> np.ndarray:
     that history into the gram's low bits — breaking the bit-for-bit
     guarantee checkpoint/resume makes.  Partition *contents* are fixed
     by the hash partitioner, so sorting makes the sum canonical.
-    """
-    def seq(acc: np.ndarray, kv: tuple) -> np.ndarray:
-        row = kv[1]
-        acc += np.outer(row, row)
-        return acc
 
-    canonical = factor_rdd.map_partitions(
-        lambda it: sorted(it, key=lambda kv: kv[0]),
-        preserves_partitioning=True)
-    return canonical.tree_aggregate(
-        np.zeros((rank, rank)), seq, lambda a, b: a + b)
+    The accumulation itself is delegated to ``kernel`` (record-at-a-time
+    fold or vectorized batch); the record kernel is used when none is
+    given, preserving the historical call signature.
+    """
+    if kernel is None:
+        from ..kernels import RecordKernel
+        kernel = RecordKernel()
+    return kernel.gram(factor_rdd, rank)
 
 
 class GramCache:
@@ -56,14 +56,16 @@ class GramCache:
     indexed array is equivalent and clearer).
     """
 
-    def __init__(self, factor_rdds: list[RDD], rank: int):
+    def __init__(self, factor_rdds: list[RDD], rank: int,
+                 kernel: Kernel | None = None):
         self.rank = rank
+        self.kernel = kernel
         self.grams: list[np.ndarray] = [
-            gram_of_rdd(rdd, rank) for rdd in factor_rdds]
+            gram_of_rdd(rdd, rank, kernel) for rdd in factor_rdds]
 
     def refresh(self, mode: int, factor_rdd: RDD) -> np.ndarray:
         """Recompute mode ``mode``'s gram after its factor update."""
-        self.grams[mode] = gram_of_rdd(factor_rdd, self.rank)
+        self.grams[mode] = gram_of_rdd(factor_rdd, self.rank, self.kernel)
         return self.grams[mode]
 
     def refresh_all(self, factor_rdds: list[RDD]) -> None:

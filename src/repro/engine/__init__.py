@@ -25,7 +25,7 @@ from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
 from .errors import (BackendError, CacheEvictedError, ContextStoppedError,
                      EngineError, FetchFailedError, JobExecutionError,
-                     OutOfMemoryError, TaskFailedError)
+                     KernelError, OutOfMemoryError, TaskFailedError)
 from .events import EngineEventBus, EngineListener, TimelineListener
 from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
                      NodeKillEvent)
@@ -77,6 +77,7 @@ __all__ = [
     "HashPartitioner",
     "JobExecutionError",
     "JobMetrics",
+    "KernelError",
     "LEVEL_MEMORY_FACTOR",
     "MemoryManager",
     "MemoryMetrics",

@@ -35,6 +35,11 @@ class Broadcast(Generic[T]):
         ctx.metrics.broadcast_count += 1
 
     @property
+    def destroyed(self) -> bool:
+        """True once :meth:`destroy` has released the value."""
+        return self._destroyed
+
+    @property
     def value(self) -> T:
         if self._destroyed:
             raise RuntimeError(

@@ -87,6 +87,15 @@ class EngineConf:
     ``backend_workers``
         Worker count for pooled backends; ``None`` defers to
         ``REPRO_BACKEND_WORKERS``, then ``min(8, cpu_count)``.
+    ``kernel``
+        Partition-level compute kernel for the CP-ALS drivers:
+        ``"vectorized"`` (the default — each partition's records are
+        batched into contiguous ndarrays and reduced with one
+        broadcasted Hadamard product plus a deterministic segmented
+        sum) or ``"record"`` (one Python closure call per record; the
+        bit-comparison oracle).  ``None`` defers to the
+        ``REPRO_KERNEL`` environment variable, then ``"vectorized"``.
+        Both kernels produce bit-identical decompositions.
     """
 
     map_side_combine: bool = True
@@ -100,6 +109,7 @@ class EngineConf:
     oom_retry_backoff_s: float = 0.01
     backend: str | None = None
     backend_workers: int | None = None
+    kernel: str | None = None
 
 
 class Context:
@@ -162,6 +172,13 @@ class Context:
         #: runs stage task sets on
         self.backend = create_backend(self.conf.backend,
                                       self.conf.backend_workers)
+        #: partition-level compute kernel the CP-ALS drivers dispatch
+        #: through (record oracle / vectorized ndarray batches); the
+        #: import is deferred here because ``repro.kernels`` imports
+        #: engine error types
+        from ..kernels import create_kernel
+        self.kernel = create_kernel(self.conf.kernel,
+                                    metrics=self.metrics)
         self._task_scheduler = TaskScheduler(self, self.backend)
         self._scheduler = DAGScheduler(self)
         #: live per-stage timeline (the cost model's event-bus feed)
@@ -180,6 +197,7 @@ class Context:
         self._rdd_counter = 0
         self._accumulators: list[Accumulator] = []
         self._broadcast_counter = 0
+        self._broadcasts: list[Broadcast] = []
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -320,7 +338,15 @@ class Context:
             raise ContextStoppedError("context has been stopped")
         bid = self._broadcast_counter
         self._broadcast_counter += 1
-        return Broadcast(self, value, bid)
+        bc = Broadcast(self, value, bid)
+        self._broadcasts.append(bc)
+        return bc
+
+    def live_broadcasts(self) -> list[Broadcast]:
+        """Broadcasts created on this context that have not been
+        ``destroy()``ed — the leak-detection hook the driver teardown
+        tests assert on."""
+        return [bc for bc in self._broadcasts if not bc.destroyed]
 
     # ------------------------------------------------------------------
     # housekeeping

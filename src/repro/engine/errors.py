@@ -77,6 +77,11 @@ class BackendError(EngineError):
     ``EngineConf.backend`` / ``REPRO_BACKEND`` name, bad worker count)."""
 
 
+class KernelError(EngineError):
+    """A compute kernel could not be resolved (unknown
+    ``EngineConf.kernel`` / ``REPRO_KERNEL`` name)."""
+
+
 class CacheEvictedError(EngineError):
     """A cached partition was requested after eviction and the RDD's
     lineage had been truncated, making recomputation impossible."""

@@ -256,6 +256,19 @@ class SpillableAppendOnlyMap:
             data[key] = combiner
             self._book(estimate_record_size((key, combiner)))
 
+    def insert_batch(self, records) -> None:
+        """Combine a whole batch through the aggregator's
+        ``combine_batch`` fast path, then merge the per-key combiners.
+
+        The batch combiner emits each key once (in first-occurrence
+        order), so on an empty buffer the inserts below never merge and
+        the resulting dict order matches the record-at-a-time path
+        exactly; memory booking and spill behaviour are those of
+        :meth:`insert_combiner`.
+        """
+        for key, combiner in self._agg.combine_batch(list(records)):
+            self.insert_combiner(key, combiner)
+
     def _book(self, nbytes: int) -> None:
         self._pending += nbytes
         if self._pending < self.ACQUIRE_CHUNK_BYTES:

@@ -289,6 +289,18 @@ class MetricsCollector:
         #: storage, see Context.checkpoint)
         self.checkpoint_bytes_written: int = 0
         self.checkpoint_records_written: int = 0
+        #: ndarray batches processed by the vectorized kernel (a record
+        #: kernel run leaves both at zero); fed concurrently by backend
+        #: worker threads, hence the lock
+        self.kernel_batches: int = 0
+        self.kernel_batch_records: int = 0
+        self._kernel_lock = threading.Lock()
+
+    def add_kernel_batch(self, records: int) -> None:
+        """Count one vectorized-kernel partition batch of ``records``."""
+        with self._kernel_lock:
+            self.kernel_batches += 1
+            self.kernel_batch_records += records
 
     # ------------------------------------------------------------------
     # phases
@@ -409,6 +421,10 @@ class MetricsCollector:
             lines.append(
                 f"checkpoints         : {self.checkpoint_records_written:,} "
                 f"records, {self.checkpoint_bytes_written:,} B")
+        if self.kernel_batches:
+            lines.append(
+                f"kernel batches      : {self.kernel_batches:,} "
+                f"({self.kernel_batch_records:,} records)")
         if self.faults.any_activity:
             f = self.faults
             lines.append(
@@ -439,3 +455,5 @@ class MetricsCollector:
         self.broadcast_count = 0
         self.checkpoint_bytes_written = 0
         self.checkpoint_records_written = 0
+        self.kernel_batches = 0
+        self.kernel_batch_records = 0

@@ -377,21 +377,33 @@ class RDD:
     def combine_by_key(self, create_combiner: Callable, merge_value: Callable,
                        merge_combiners: Callable,
                        num_partitions: int | None = None,
-                       map_side_combine: bool = True) -> "RDD":
+                       map_side_combine: bool = True,
+                       combine_batch: Callable | None = None) -> "RDD":
         """General per-key aggregation (the primitive under
-        ``reduceByKey``/``aggregateByKey``/``groupByKey``)."""
+        ``reduceByKey``/``aggregateByKey``/``groupByKey``).
+
+        ``combine_batch`` is an optional whole-partition fast path (see
+        :class:`~repro.engine.shuffle.Aggregator`): the caller warrants
+        it produces exactly what streaming the records through
+        ``create_combiner``/``merge_value`` would.
+        """
         partitioner = self._default_partitioner(num_partitions)
-        aggregator = Aggregator(create_combiner, merge_value, merge_combiners)
+        aggregator = Aggregator(create_combiner, merge_value,
+                                merge_combiners, combine_batch)
         if self.partitioner == partitioner:
             # already partitioned: combine within partitions, no shuffle
-            def combine_locally(_split: int, it: Iterable) -> Iterator:
-                acc: dict = {}
-                for k, v in it:
-                    if k in acc:
-                        acc[k] = merge_value(acc[k], v)
-                    else:
-                        acc[k] = create_combiner(v)
-                return iter(acc.items())
+            if combine_batch is not None:
+                def combine_locally(_split: int, it: Iterable) -> Iterator:
+                    return iter(combine_batch(list(it)))
+            else:
+                def combine_locally(_split: int, it: Iterable) -> Iterator:
+                    acc: dict = {}
+                    for k, v in it:
+                        if k in acc:
+                            acc[k] = merge_value(acc[k], v)
+                        else:
+                            acc[k] = create_combiner(v)
+                    return iter(acc.items())
             return MapPartitionsRDD(self, combine_locally,
                                     preserves_partitioning=True
                                     ).set_name("combineByKey(local)")
@@ -865,7 +877,11 @@ class ShuffledRDD(RDD):
         # the merge order is identical to a plain insertion-ordered dict
         from .memory import SpillableAppendOnlyMap
         merged = SpillableAppendOnlyMap(self.ctx.memory, agg)
-        if self._dep.map_side_combine:
+        if agg.combine_batch is not None:
+            # batch fast path: valid for both raw values and map-side
+            # combiners (the contract requires them to batch the same)
+            merged.insert_batch(records)
+        elif self._dep.map_side_combine:
             # map side already produced combiners; merge combiners here
             for k, c in records:
                 merged.insert_combiner(k, c)

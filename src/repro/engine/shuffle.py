@@ -47,11 +47,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class Aggregator:
-    """Map-side combine specification for key-value shuffles."""
+    """Map-side combine specification for key-value shuffles.
+
+    ``combine_batch``, when set, is an ndarray-batch fast path: it takes
+    a whole partition's ``(key, value)`` records and returns the
+    combined ``(key, combiner)`` pairs.  It must reproduce the record
+    path exactly — per-key merges folded left-to-right in record order,
+    output keys in first-occurrence order — and is only valid when
+    ``create_combiner`` is the identity and ``merge_value`` coincides
+    with ``merge_combiners`` (so pre-combined and raw inputs batch the
+    same way).
+    """
 
     create_combiner: Callable[[Any], Any]
     merge_value: Callable[[Any, Any], Any]
     merge_combiners: Callable[[Any, Any], Any]
+    combine_batch: Callable[[list], list] | None = None
 
 
 @dataclass
@@ -121,8 +132,11 @@ class ShuffleManager:
         if aggregator is not None:
             from .memory import SpillableAppendOnlyMap
             combined = SpillableAppendOnlyMap(self.memory, aggregator)
-            for key, value in records:
-                combined.insert(key, value)
+            if aggregator.combine_batch is not None:
+                combined.insert_batch(records)
+            else:
+                for key, value in records:
+                    combined.insert(key, value)
             records = combined.merged_items()
 
         output = _MapOutput(

@@ -1,0 +1,64 @@
+"""``repro.kernels`` — partition-level compute kernels for CP-ALS.
+
+The drivers' dataflow (joins, shuffles, caching) is kernel-independent;
+what a :class:`Kernel` decides is how each partition's records are
+*computed*: one Python closure call per record (:class:`RecordKernel`,
+the bit-comparison oracle) or one batched numpy expression per
+partition (:class:`VectorizedKernel`, the default).
+
+Selection is resolved in this order: ``EngineConf.kernel``, the
+``REPRO_KERNEL`` environment variable, then ``"vectorized"``.  Both
+kernels produce bit-identical decompositions — the determinism suite
+(``tests/core/test_kernels.py``) enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..engine.errors import KernelError
+from .base import Kernel
+from .record import RecordKernel
+from .segsum import combine_rows_batch, fold_rows, segmented_left_fold
+from .vectorized import VectorizedKernel
+
+#: accepted spellings per kernel
+_RECORD_NAMES = ("record", "scalar", "reference")
+_VECTORIZED_NAMES = ("vectorized", "vector", "numpy", "batched")
+
+
+def resolve_kernel_spec(name: str | None = None) -> str:
+    """Fill an unset kernel name from the environment
+    (``REPRO_KERNEL``), defaulting to ``"vectorized"``."""
+    if name is None:
+        name = os.environ.get("REPRO_KERNEL") or None
+    return name or "vectorized"
+
+
+def create_kernel(name: str | None = None,
+                  metrics=None) -> Kernel:
+    """Instantiate the kernel named by ``name`` (or the environment, or
+    the vectorized default).  Unknown names raise :class:`KernelError`.
+    ``metrics`` receives the vectorized kernel's batch counters."""
+    resolved = resolve_kernel_spec(name)
+    normalized = resolved.strip().lower()
+    if normalized in _RECORD_NAMES:
+        return RecordKernel()
+    if normalized in _VECTORIZED_NAMES:
+        return VectorizedKernel(metrics)
+    raise KernelError(
+        f"unknown kernel {resolved!r}; expected one of "
+        f"{', '.join(sorted(_RECORD_NAMES + _VECTORIZED_NAMES))}")
+
+
+__all__ = [
+    "Kernel",
+    "KernelError",
+    "RecordKernel",
+    "VectorizedKernel",
+    "combine_rows_batch",
+    "create_kernel",
+    "fold_rows",
+    "resolve_kernel_spec",
+    "segmented_left_fold",
+]

@@ -1,0 +1,93 @@
+"""The partition-level compute kernel interface.
+
+The CSTF drivers express every MTTKRP as dataflow (joins, re-keying,
+queue reductions, a per-key sum) and hand the *arithmetic* of each step
+to a :class:`Kernel`.  Two implementations ship:
+
+* :class:`~repro.kernels.record.RecordKernel` — per-record closures,
+  the engine's original semantics and the bit-comparison oracle;
+* :class:`~repro.kernels.vectorized.VectorizedKernel` — batches each
+  partition into contiguous numpy arrays and replaces the per-record
+  Python dispatch with broadcasted Hadamard products and deterministic
+  segmented sums.
+
+Both must produce bit-identical results; the contract every method pair
+honours is spelled out in ``docs/architecture.md`` (Kernels section).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.broadcast import Broadcast
+    from ..engine.rdd import RDD
+
+
+class Kernel(ABC):
+    """Partition-level arithmetic strategy for the CP-ALS dataflows.
+
+    Methods take and return RDDs (or driver-side arrays for
+    :meth:`gram`); the dataflow shape — what shuffles, what joins, what
+    is cached — is identical across kernels.  Only how each partition's
+    records are *computed* differs.
+    """
+
+    #: canonical kernel name (what ``Context.kernel.name`` reports)
+    name: str = "abstract"
+
+    @abstractmethod
+    def coo_rekey(self, joined: "RDD", next_mode: int,
+                  first: bool) -> "RDD":
+        """Fold a joined factor row into each COO record's accumulator
+        and re-key by ``next_mode``'s index.
+
+        Input records are ``(key, ((idx, acc), row))`` where ``acc`` is
+        the tensor value (``first=True``, scalar) or the running
+        Hadamard accumulator (row vector); output records are
+        ``(idx[next_mode], (idx, acc * row))``.  Drops the partitioner
+        (re-keying invalidates it), like ``RDD.map``.
+        """
+
+    @abstractmethod
+    def broadcast_contributions(self, tensor_rdd: "RDD",
+                                broadcasts: "dict[int, Broadcast]",
+                                mode: int) -> "RDD":
+        """Per-nonzero MTTKRP contributions from replicated factors.
+
+        For each tensor record ``(idx, val)``, multiplies the broadcast
+        factor rows of every fixed mode (in ``broadcasts`` iteration
+        order) and scales by ``val``, emitting
+        ``(idx[mode], contribution_row)``.
+        """
+
+    @abstractmethod
+    def qcoo_reduce(self, queue_rdd: "RDD") -> "RDD":
+        """QCOO STAGE 3: reduce each record's factor-row queue.
+
+        ``(key, ((idx, val), queue))`` becomes ``(key, val * (queue[0] *
+        queue[1] * ...))`` with the Hadamard products evaluated in queue
+        order.  Preserves the partitioner, like ``RDD.map_values``.
+        """
+
+    @abstractmethod
+    def sum_rows_by_key(self, rdd: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        """Sum row vectors per key (the MTTKRP's final ``reduceByKey``).
+
+        Per key, rows are folded left-to-right in record order; output
+        keys appear in first-occurrence order.  Honours the context's
+        ``map_side_combine`` configuration.
+        """
+
+    @abstractmethod
+    def gram(self, factor_rdd: "RDD", rank: int) -> np.ndarray:
+        """``A^T A`` of a distributed factor ``RDD[(index, row)]``.
+
+        Partition partials accumulate outer products in index-sorted
+        order starting from a zero matrix; the driver folds the partials
+        in partition order with a leading zero matrix.
+        """

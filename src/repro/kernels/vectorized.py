@@ -1,0 +1,143 @@
+"""The vectorized kernel: ndarray batches per partition.
+
+Each partition's records are gathered into contiguous numpy arrays —
+stacked factor rows, a value vector, output indices — so the MTTKRP
+arithmetic runs as one broadcasted Hadamard product per join step plus a
+deterministic sort-then-segmented-sum reduce, instead of one Python
+dispatch per nonzero.  The result is bit-identical to the record kernel
+because every elementwise product batches exactly (``vals[:, None] *
+rows`` multiplies the same pairs of doubles as ``val * row`` per
+record), and the segmented sum (:mod:`repro.kernels.segsum`) replays the
+record path's per-key left folds and first-occurrence key order.
+
+The per-key sum routes through ``RDD.combine_by_key``'s
+``combine_batch`` fast path, so map-side combining still books memory
+in (and spills through) the shuffle's ``SpillableAppendOnlyMap``.
+Batch counts are recorded on the metrics collector
+(``kernel_batches`` / ``kernel_batch_records``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TYPE_CHECKING
+
+import numpy as np
+
+from .base import Kernel
+from .segsum import combine_rows_batch, fold_rows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.broadcast import Broadcast
+    from ..engine.metrics import MetricsCollector
+    from ..engine.rdd import RDD
+
+
+class VectorizedKernel(Kernel):
+    """Batched numpy arithmetic, bit-identical to the record kernel."""
+
+    name = "vectorized"
+
+    def __init__(self, metrics: "MetricsCollector | None" = None):
+        self._metrics = metrics
+
+    def _count(self, records: int) -> None:
+        if self._metrics is not None:
+            self._metrics.add_kernel_batch(records)
+
+    # ------------------------------------------------------------------
+    def coo_rekey(self, joined: "RDD", next_mode: int,
+                  first: bool) -> "RDD":
+        def batch(it: Iterable, _next=next_mode) -> Iterator:
+            records = list(it)
+            if not records:
+                return iter(())
+            n = len(records)
+            rows = np.stack([kv[1][1] for kv in records])
+            if first:
+                vals = np.fromiter((kv[1][0][1] for kv in records),
+                                   dtype=np.float64, count=n)
+                out = vals[:, None] * rows
+            else:
+                accs = np.stack([kv[1][0][1] for kv in records])
+                out = accs * rows
+            self._count(n)
+            return iter([(kv[1][0][0][_next], (kv[1][0][0], out[i]))
+                         for i, kv in enumerate(records)])
+        # drops the partitioner, matching the record path's RDD.map
+        return joined.map_partitions(batch)
+
+    def broadcast_contributions(self, tensor_rdd: "RDD",
+                                broadcasts: "dict[int, Broadcast]",
+                                mode: int) -> "RDD":
+        def batch(it: Iterable, _mode=mode, _bc=broadcasts) -> Iterator:
+            records = list(it)
+            if not records:
+                return iter(())
+            n = len(records)
+            vals = np.fromiter((rec[1] for rec in records),
+                               dtype=np.float64, count=n)
+            acc = None
+            for m, bc in _bc.items():
+                factor = bc.value
+                rows = np.stack([factor[rec[0][m]] for rec in records])
+                acc = rows * vals[:, None] if acc is None else acc * rows
+            self._count(n)
+            return iter([(rec[0][_mode], acc[i])
+                         for i, rec in enumerate(records)])
+        return tensor_rdd.map_partitions(batch)
+
+    def qcoo_reduce(self, queue_rdd: "RDD") -> "RDD":
+        def batch(it: Iterable) -> Iterator:
+            records = list(it)
+            if not records:
+                return iter(())
+            n = len(records)
+            vals = np.fromiter((kv[1][0][1] for kv in records),
+                               dtype=np.float64, count=n)
+            queue_len = len(records[0][1][1])
+            acc = np.stack([kv[1][1][0] for kv in records])
+            for pos in range(1, queue_len):
+                acc = acc * np.stack([kv[1][1][pos] for kv in records])
+            out = vals[:, None] * acc
+            self._count(n)
+            return iter([(kv[0], out[i])
+                         for i, kv in enumerate(records)])
+        # keys are untouched: keep the partitioner, like map_values
+        return queue_rdd.map_partitions(batch,
+                                        preserves_partitioning=True)
+
+    def sum_rows_by_key(self, rdd: "RDD",
+                        num_partitions: int | None = None) -> "RDD":
+        metrics = self._metrics
+
+        def batch(records):
+            return combine_rows_batch(records, metrics)
+
+        return rdd.combine_by_key(
+            lambda v: v, lambda a, b: a + b, lambda a, b: a + b,
+            num_partitions,
+            map_side_combine=rdd.ctx.conf.map_side_combine,
+            combine_batch=batch)
+
+    def gram(self, factor_rdd: "RDD", rank: int) -> np.ndarray:
+        def partial(_p: int, it: Iterable) -> np.ndarray:
+            items = sorted(it, key=lambda kv: kv[0])
+            if not items:
+                return np.zeros((rank, rank))
+            rows = np.stack([kv[1] for kv in items])
+            outers = (rows[:, :, None] * rows[:, None, :]).reshape(
+                len(items), rank * rank)
+            # the record path folds into a zero matrix in place; lead
+            # with an explicit zero row so even the signs of zeros match
+            lead = np.concatenate(
+                [np.zeros((1, rank * rank)), outers])
+            self._count(len(items))
+            return fold_rows(lead).reshape(rank, rank)
+
+        import functools
+        partials = factor_rdd.ctx._scheduler.run_job(
+            factor_rdd, partial, f"gram {factor_rdd.name}")
+        # same driver-side fold structure as aggregate(): zero-led, in
+        # partition order
+        return functools.reduce(lambda a, b: a + b, partials,
+                                np.zeros((rank, rank)))

@@ -1,0 +1,267 @@
+"""Kernel-layer determinism and driver resource-leak regressions.
+
+The vectorized kernel must be a pure throughput knob: every CP-ALS
+decomposition it produces — COO and QCOO, 3rd- and 4th-order, clean and
+under the fault-seed matrix, straight through or checkpoint/resumed —
+has to be bit-identical to the record kernel's.  Alongside the
+determinism suite live the driver leak regressions this PR fixed: the
+broadcast-strategy MTTKRP now destroys its broadcasts, and a decompose
+that dies mid-iteration no longer pins persisted RDDs in the cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CstfCOO, CstfQCOO, InMemoryCheckpointStore
+from repro.engine import (Context, EngineConf, FaultPlan, JobExecutionError,
+                          KernelError)
+from repro.kernels import (RecordKernel, VectorizedKernel,
+                           combine_rows_batch, create_kernel, fold_rows,
+                           resolve_kernel_spec, segmented_left_fold)
+from repro.tensor import random_factors, uniform_sparse
+
+SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+KERNELS = ("record", "vectorized")
+
+
+@pytest.fixture(scope="module")
+def tensor3():
+    return uniform_sparse((12, 10, 14), 220, rng=6)
+
+
+@pytest.fixture(scope="module")
+def init3(tensor3):
+    return random_factors(tensor3.shape, 2, 17)
+
+
+@pytest.fixture(scope="module")
+def tensor4():
+    return uniform_sparse((8, 10, 6, 7), 150, rng=11)
+
+
+@pytest.fixture(scope="module")
+def init4(tensor4):
+    return random_factors(tensor4.shape, 2, 23)
+
+
+def run(cls, tensor, init, kernel, fault_plan=None, driver_kwargs=None,
+        decompose_kwargs=None, **conf_kwargs):
+    conf = EngineConf(kernel=kernel, **conf_kwargs)
+    kwargs = dict(decompose_kwargs or {})
+    if init is not None:  # resume_from excludes initial_factors
+        kwargs["initial_factors"] = init
+    with Context(num_nodes=4, default_parallelism=8, conf=conf,
+                 fault_plan=fault_plan) as ctx:
+        assert ctx.kernel.name == kernel
+        result = cls(ctx, **(driver_kwargs or {})).decompose(
+            tensor, 2, max_iterations=3, tol=0.0, **kwargs)
+        batches = ctx.metrics.kernel_batches
+        return result, batches
+
+
+def assert_bit_identical(a, b):
+    assert np.array_equal(a.lambdas, b.lambdas)
+    assert len(a.factors) == len(b.factors)
+    for fa, fb in zip(a.factors, b.factors):
+        assert np.array_equal(fa, fb)
+    assert a.fit_history == b.fit_history
+
+
+# ----------------------------------------------------------------------
+# segmented-sum unit tests against a dict-fold oracle
+# ----------------------------------------------------------------------
+class TestSegsum:
+    def dict_fold(self, pairs):
+        acc = {}
+        for k, v in pairs:
+            acc[k] = acc[k] + v if k in acc else v
+        return acc
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 8])
+    def test_matches_dict_fold_bitwise(self, width):
+        rng = np.random.default_rng(100 + width)
+        keys = rng.integers(0, 9, size=64).astype(np.int64)
+        rows = rng.standard_normal((64, width)) * 10.0 ** rng.integers(
+            -3, 4, size=(64, 1))
+        oracle = self.dict_fold(zip(keys.tolist(), rows))
+        out_keys, out_rows = segmented_left_fold(keys, rows)
+        # first-occurrence emission order, same as dict insertion order
+        assert out_keys.tolist() == list(oracle)
+        for i, k in enumerate(out_keys.tolist()):
+            assert out_rows[i].tobytes() == oracle[k].tobytes()
+
+    def test_singleton_keys_pass_through(self):
+        keys = np.array([7, 3, 5], dtype=np.int64)
+        rows = np.array([[1.1, 2.2], [3.3, 4.4], [5.5, 6.6]])
+        out_keys, out_rows = segmented_left_fold(keys, rows)
+        assert out_keys.tolist() == [7, 3, 5]
+        assert out_rows.tobytes() == rows.tobytes()
+
+    def test_fold_rows_is_strict_left_fold(self):
+        rng = np.random.default_rng(5)
+        for width in (1, 2, 5):
+            rows = rng.standard_normal((17, width)) * 1e6
+            expected = rows[0]
+            for r in rows[1:]:
+                expected = expected + r
+            assert fold_rows(rows).tobytes() == expected.tobytes()
+
+    def test_combine_rows_batch_emits_plain_int_keys(self):
+        out = combine_rows_batch([(np.int64(3), np.array([1.0])),
+                                  (3, np.array([2.0]))])
+        assert len(out) == 1 and type(out[0][0]) is int
+
+
+# ----------------------------------------------------------------------
+# kernel selection / configuration
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_default_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_kernel_spec(None) == "vectorized"
+        assert isinstance(create_kernel(None), VectorizedKernel)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "record")
+        assert resolve_kernel_spec(None) == "record"
+        assert isinstance(create_kernel(None), RecordKernel)
+        # explicit conf wins over the environment
+        assert isinstance(create_kernel("vectorized"), VectorizedKernel)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KernelError):
+            create_kernel("simd")
+
+    def test_context_resolves_conf(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        with Context(num_nodes=2, conf=EngineConf(kernel="record")) as ctx:
+            assert ctx.kernel.name == "record"
+        with Context(num_nodes=2) as ctx:
+            assert ctx.kernel.name == "vectorized"
+
+    def test_record_kernel_counts_no_batches(self, tensor3, init3):
+        _, batches = run(CstfCOO, tensor3, init3, "record")
+        assert batches == 0
+
+    def test_vectorized_kernel_counts_batches(self, tensor3, init3):
+        _, batches = run(CstfCOO, tensor3, init3, "vectorized")
+        assert batches > 0
+
+
+# ----------------------------------------------------------------------
+# bit-identity: vectorized vs record
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_third_order(self, cls, tensor3, init3):
+        record, _ = run(cls, tensor3, init3, "record")
+        vector, _ = run(cls, tensor3, init3, "vectorized")
+        assert_bit_identical(record, vector)
+
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_fourth_order(self, cls, tensor4, init4):
+        record, _ = run(cls, tensor4, init4, "record")
+        vector, _ = run(cls, tensor4, init4, "vectorized")
+        assert_bit_identical(record, vector)
+
+    def test_broadcast_strategy(self, tensor3, init3):
+        kwargs = {"factor_strategy": "broadcast"}
+        record, _ = run(CstfCOO, tensor3, init3, "record",
+                        driver_kwargs=kwargs)
+        vector, _ = run(CstfCOO, tensor3, init3, "vectorized",
+                        driver_kwargs=kwargs)
+        assert_bit_identical(record, vector)
+
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_under_injected_faults(self, cls, tensor3, init3):
+        plan = FaultPlan(seed=SEED, task_failure_prob=0.05)
+        record, _ = run(cls, tensor3, init3, "record", fault_plan=plan)
+        vector, _ = run(cls, tensor3, init3, "vectorized",
+                        fault_plan=plan)
+        assert_bit_identical(record, vector)
+
+    @pytest.mark.parametrize("seed", [SEED, SEED + 10, SEED + 20])
+    def test_fault_seed_matrix(self, tensor3, init3, seed):
+        plan = FaultPlan(seed=seed, task_failure_prob=0.03)
+        record, _ = run(CstfCOO, tensor3, init3, "record",
+                        fault_plan=plan)
+        vector, _ = run(CstfCOO, tensor3, init3, "vectorized",
+                        fault_plan=plan)
+        assert_bit_identical(record, vector)
+
+    def test_checkpoint_resume_crosses_kernels(self, tensor3, init3):
+        """An uninterrupted record-kernel run must equal a vectorized
+        run resumed from a mid-run snapshot (and vice versa)."""
+        record, _ = run(CstfCOO, tensor3, init3, "record")
+        store = InMemoryCheckpointStore()
+        run(CstfCOO, tensor3, init3, "vectorized",
+            decompose_kwargs={"checkpoint_every": 1,
+                              "checkpoint_store": store})
+        resumed, _ = run(
+            CstfCOO, tensor3, None, "vectorized",
+            decompose_kwargs={"checkpoint_store": store,
+                              "resume_from": 0})
+        assert_bit_identical(record, resumed)
+
+    def test_gram_identical(self, tensor3):
+        factor = random_factors(tensor3.shape, 1, 3)[0]
+        with Context(num_nodes=3, default_parallelism=6) as ctx:
+            rdd = ctx.parallelize_pairs(
+                [(i, factor[i].copy()) for i in range(factor.shape[0])])
+            rec = RecordKernel().gram(rdd, 1)
+            vec = VectorizedKernel().gram(rdd, 1)
+        # rank 1 exercises the width-1 pairwise-summation guard
+        assert rec.tobytes() == vec.tobytes()
+
+
+# ----------------------------------------------------------------------
+# driver resource-leak regressions
+# ----------------------------------------------------------------------
+class TestLeaks:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_broadcasts_destroyed_after_decompose(self, kernel, tensor3,
+                                                  init3):
+        """Regression: the broadcast strategy used to create one
+        broadcast per fixed mode per MTTKRP and never destroy any."""
+        with Context(num_nodes=4, default_parallelism=8,
+                     conf=EngineConf(kernel=kernel)) as ctx:
+            driver = CstfCOO(ctx, factor_strategy="broadcast")
+            driver.decompose(tensor3, 2, max_iterations=3, tol=0.0,
+                             initial_factors=init3)
+            assert ctx.metrics.broadcast_count > 0
+            assert ctx.live_broadcasts() == []
+
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    def test_failed_decompose_releases_cache(self, cls, tensor3, init3):
+        """Regression: a JobExecutionError escaping mid-iteration used
+        to leak the persisted tensor, queue and factor RDDs."""
+        with Context(num_nodes=4, default_parallelism=8,
+                     conf=EngineConf(task_max_failures=2)) as ctx:
+            def hook(stage_id, partition, attempt):
+                if stage_id >= 8 and partition == 0:
+                    raise RuntimeError("injected mid-iteration fault")
+            ctx.fault_injector = hook
+            with pytest.raises(JobExecutionError):
+                cls(ctx).decompose(tensor3, 2, max_iterations=3,
+                                   tol=0.0, initial_factors=init3)
+            assert len(ctx._cache._entries) == 0
+
+    def test_failed_broadcast_decompose_destroys_broadcasts(
+            self, tensor3, init3):
+        with Context(num_nodes=4, default_parallelism=8,
+                     conf=EngineConf(task_max_failures=2)) as ctx:
+            def hook(stage_id, partition, attempt):
+                if stage_id >= 8 and partition == 0:
+                    raise RuntimeError("injected mid-iteration fault")
+            ctx.fault_injector = hook
+            driver = CstfCOO(ctx, factor_strategy="broadcast")
+            with pytest.raises(JobExecutionError):
+                driver.decompose(tensor3, 2, max_iterations=3, tol=0.0,
+                                 initial_factors=init3)
+            assert ctx.live_broadcasts() == []
+            assert len(ctx._cache._entries) == 0
