@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: install test test-threads bench figures examples clean
+.PHONY: install test test-threads lint bench figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,18 @@ test:
 # the whole suite again, on the thread-pool executor backend
 test-threads:
 	REPRO_BACKEND=threads REPRO_BACKEND_WORKERS=4 $(PYTHON) -m pytest tests/
+
+# style lint (ruff, skipped with a notice when not installed) plus the
+# project's own dataflow linter over the library, examples and fixtures
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples benchmarks; \
+	else \
+		echo "ruff not installed (pip install ruff); skipping style pass"; \
+	fi
+	$(PYTHON) -m repro lint src examples
+	$(PYTHON) -m repro lint --racecheck --run examples/engine_tour.py
+	$(PYTHON) -m repro lint --run tests/lint/fixtures/clean_program.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

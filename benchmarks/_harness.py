@@ -17,16 +17,14 @@ from __future__ import annotations
 
 import os
 import pathlib
-from dataclasses import replace
 from functools import lru_cache
 
 from repro.analysis import MeasurementConfig
 from repro.analysis.communication import (CommunicationReport,
                                           PhaseCommunication, phases_of)
-from repro.analysis.experiments import (DRIVERS, NODE_COUNTS,
-                                        execution_mode, make_context,
-                                        make_driver, paper_scale)
-from repro.datasets import get_spec, make_dataset
+from repro.analysis.experiments import (NODE_COUNTS, execution_mode,
+                                        make_context, make_driver, paper_scale)
+from repro.datasets import make_dataset
 from repro.engine import CostModel, MetricsCollector, RunStats
 
 BENCH_NNZ = int(os.environ.get("REPRO_BENCH_NNZ", "20000"))

@@ -11,7 +11,6 @@ the factors stop being small relative to the nonzeros.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CstfCOO

@@ -11,7 +11,6 @@ quantifies the gap between the paper's bound and combiner reality.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CstfCOO

@@ -11,7 +11,6 @@ scales with tensor order.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CstfCOO, CstfDimTree, CstfQCOO

@@ -13,7 +13,6 @@ checks both produce identical mathematics.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CstfQCOO

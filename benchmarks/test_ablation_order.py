@@ -10,7 +10,6 @@ matched synthetic tensors of orders 3-5.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table, qcoo_join_saving
 from repro.core import CstfCOO, CstfQCOO

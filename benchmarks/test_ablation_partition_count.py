@@ -12,9 +12,8 @@ count at a fixed 8-node cluster and measures the two opposing effects:
 
 from __future__ import annotations
 
-import pytest
 
-from repro.analysis import MeasurementConfig, format_table
+from repro.analysis import format_table
 from repro.core import CstfCOO
 from repro.engine import Context, RunStats
 

@@ -10,12 +10,9 @@ like delicious.  This bench measures the imbalance both ways.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.analysis import format_table
-from repro.engine import (Cluster, Context, HashPartitioner,
-                          RangePartitioner)
+from repro.engine import Context, HashPartitioner, RangePartitioner
 
 from _harness import CONFIG, report, tensor_for
 

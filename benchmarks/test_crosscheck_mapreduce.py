@@ -12,7 +12,6 @@ models is wrong.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import format_table
 from repro.baselines import BigtensorCP, BigtensorMapReduce

@@ -9,7 +9,6 @@ goes — informing users running high-rank decompositions.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core import CstfCOO, CstfQCOO

@@ -8,7 +8,6 @@ design space on the paper's own workload (delicious3d, 4-32 nodes).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import NODE_COUNTS, format_series
 from repro.core import CstfCOO
@@ -16,7 +15,6 @@ from repro.engine import Context, CostModel, RunStats
 from repro.datasets import get_spec
 
 from _harness import CONFIG, report, runtime_sweep, tensor_for
-from _harness import measured_run
 
 DATASET = "delicious3d"
 

@@ -10,15 +10,12 @@ variants upward, QCOO less steeply because it runs fewer rounds.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_series
 from repro.engine import CostModel
-from repro.analysis.experiments import paper_scale
 
 from _harness import CONFIG, per_iteration, report, tensor_for
 
-from repro.datasets import get_spec
 
 NODE_COUNTS = (4, 8, 16, 32)
 DATASET = "nell1"

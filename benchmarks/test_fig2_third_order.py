@@ -16,7 +16,6 @@ rescale -> cost model) and asserts the paper's shape claims:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import (NODE_COUNTS, format_series,
                             format_speedups, line_chart)

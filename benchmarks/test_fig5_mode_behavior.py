@@ -12,7 +12,6 @@ Paper claims reproduced:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import bar_chart, format_table
 from repro.analysis.experiments import phase_stats, execution_mode

@@ -14,7 +14,6 @@ benches, so this is pure aggregation.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.datasets import FOURTH_ORDER, THIRD_ORDER

@@ -8,7 +8,6 @@ and asserts they equal the paper's closed forms.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table, theoretical_cost
 from repro.analysis.complexity import measured_mttkrp_rounds

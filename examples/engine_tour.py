@@ -11,7 +11,9 @@ Run:  python examples/engine_tour.py
 
 from __future__ import annotations
 
-from repro.engine import Context, HashPartitioner, StorageLevel
+import threading
+
+from repro.engine import Context, HashPartitioner
 
 
 def main() -> None:
@@ -47,12 +49,19 @@ def main() -> None:
               f"(broadcast payload {weights.size_bytes} B)")
 
         # fault tolerance: a task that dies once is retried invisibly
+        # (the shared flag is lock-guarded: task closures run
+        # concurrently under the threads backend, and `repro lint`
+        # flags unsynchronized writes to captured state)
         state = {"failed": False}
+        state_lock = threading.Lock()
 
         def flaky(x):
-            if x == 1000 and not state["failed"]:
-                state["failed"] = True
-                raise RuntimeError("transient executor failure")
+            if x == 1000:
+                with state_lock:
+                    if not state["failed"]:
+                        state["failed"] = True
+                        raise RuntimeError(
+                            "transient executor failure")
             return x
 
         assert ctx.parallelize(range(2001), 8).map(flaky).count() == 2001
@@ -63,6 +72,13 @@ def main() -> None:
         print(joined.to_debug_string())
         print("\nengine metrics digest:")
         print(ctx.metrics.summary())
+
+        # release the handles we created: cached partitions and
+        # broadcast replicas are pinned until told otherwise, and the
+        # lifecycle auditor (`repro lint --run`) reports anything
+        # still live at teardown
+        per_user.unpersist()
+        weights.destroy()
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import Context, CstfQCOO
-from repro.tensor import COOTensor, random_factors, zipf_sparse
+from repro.tensor import COOTensor, zipf_sparse
 
 
 def grow_date_mode(base: COOTensor, new_slices: int, nnz: int,

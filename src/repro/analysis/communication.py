@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..datasets.synthetic import DEFAULT_NNZ, make_dataset
-from ..engine.metrics import MetricsCollector, ShuffleReadMetrics
+from ..datasets.synthetic import make_dataset
+from ..engine.metrics import MetricsCollector
 from .experiments import (MeasurementConfig, make_context, make_driver)
 
 

@@ -9,7 +9,7 @@ benchmark suite, callable as ``python -m repro report``.
 
 from __future__ import annotations
 
-from ..datasets.registry import FOURTH_ORDER, THIRD_ORDER, get_spec
+from ..datasets.registry import FOURTH_ORDER, THIRD_ORDER
 from ..datasets.synthetic import make_dataset
 from .communication import qcoo_savings
 from .complexity import measured_mttkrp_rounds, theoretical_cost

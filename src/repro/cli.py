@@ -148,6 +148,23 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--nnz", type=int, default=6000)
     rep.add_argument("--out", metavar="FILE",
                      help="write to a file instead of stdout")
+
+    lint = sub.add_parser(
+        "lint", help="dataflow lint: closure, leak, and race checks")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to scan statically")
+    lint.add_argument("--run", metavar="PROG",
+                      help="execute PROG under the dynamic lint "
+                           "session (closure + lifecycle hooks)")
+    lint.add_argument("--args", nargs=argparse.REMAINDER, default=[],
+                      help="arguments passed through to PROG")
+    lint.add_argument("--racecheck", action="store_true",
+                      help="with --run: install the lockset race "
+                           "detector for the program's lifetime")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit findings as JSON")
     return parser
 
 
@@ -315,6 +332,34 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintReport, LintSession, run_program, scan_paths
+    report = LintReport()
+    if not args.paths and not args.run:
+        print("repro lint: nothing to do (give PATHs to scan and/or "
+              "--run PROG)", file=sys.stderr)
+        return 2
+    if args.paths:
+        scan_paths(args.paths, report)
+    if args.run:
+        session = LintSession(lockset=args.racecheck)
+        with session:
+            run_program(args.run, list(args.args), session=session)
+        report.merge(session.report)
+        if session.monitor is not None:
+            print(f"racecheck: {session.monitor.summary()}",
+                  file=sys.stderr)
+    if args.as_json:
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    if report.errors():
+        return 1
+    if args.strict and report.warnings():
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -332,6 +377,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_ranksweep(args)
     if args.command == "advise":
         return _cmd_advise(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "report":
         from .analysis.report import generate_report
         text = generate_report(MeasurementConfig(target_nnz=args.nnz))

@@ -32,7 +32,6 @@ from ..engine.partitioner import HashPartitioner
 from ..engine.rdd import RDD
 from ..engine.storage import StorageLevel
 from ..tensor.coo import COOTensor
-from ..tensor.dense import random_factors
 from .checkpoint import CheckpointStore, CPCheckpoint
 from .gram import GramCache
 from .result import CPDecomposition, IterationStats

@@ -6,9 +6,9 @@ without perturbing the dataflow.
 
 from __future__ import annotations
 
-import threading
-
 from typing import Generic, TypeVar
+
+from . import linthooks
 
 T = TypeVar("T", int, float)
 
@@ -25,21 +25,24 @@ class Accumulator(Generic[T]):
         self._zero = zero
         self._value: T = zero
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = linthooks.make_lock(f"Accumulator({name!r})")
 
     def add(self, amount: T) -> None:
         """Add ``amount`` (called from tasks)."""
         with self._lock:
+            linthooks.access(self, "_value", write=True)
             self._value += amount
 
     @property
     def value(self) -> T:
         with self._lock:
+            linthooks.access(self, "_value", write=False)
             return self._value
 
     def reset(self) -> None:
         """Restore the initial value."""
         with self._lock:
+            linthooks.access(self, "_value", write=True)
             self._value = self._zero
 
     def __repr__(self) -> str:

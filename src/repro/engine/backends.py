@@ -33,6 +33,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from . import linthooks
 from .errors import BackendError
 
 #: accepted spellings per backend
@@ -94,6 +95,7 @@ class ThreadPoolBackend(ExecutorBackend):
         return self._num_workers
 
     def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+        linthooks.pooled_run(self.name, self._num_workers, len(thunks))
         futures = [self._pool.submit(thunk) for thunk in thunks]
         results: list[Any] = []
         first_error: BaseException | None = None

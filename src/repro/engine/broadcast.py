@@ -11,7 +11,7 @@ size`` of one-shot network traffic and full replication memory.
 
 from __future__ import annotations
 
-from typing import Any, Generic, TypeVar, TYPE_CHECKING
+from typing import Generic, TypeVar, TYPE_CHECKING
 
 from .serialization import estimate_size
 

@@ -22,10 +22,9 @@ nodes, modelling the scheduler moving tasks to healthy executors.
 
 from __future__ import annotations
 
-import threading
-
 from dataclasses import dataclass, field
 
+from . import linthooks
 from .errors import EngineError
 
 
@@ -80,7 +79,7 @@ class Cluster:
         # liveness/placement are read on every task and mutated by
         # kills/exclusions from any backend worker; reentrant because
         # the mutators consult available_nodes
-        self._lock = threading.RLock()
+        self._lock = linthooks.make_rlock("Cluster")
 
     # ------------------------------------------------------------------
     # liveness
@@ -93,6 +92,7 @@ class Cluster:
     def is_available(self, node_id: int) -> bool:
         """True iff the node is alive and not excluded from scheduling."""
         with self._lock:
+            linthooks.access(self, "liveness", write=False)
             return (node_id not in self.dead_nodes
                     and node_id not in self.excluded_nodes)
 
@@ -115,12 +115,14 @@ class Cluster:
                 raise EngineError(
                     f"cannot kill node {node_id}: it is the last "
                     f"available node")
+            linthooks.access(self, "liveness", write=True)
             self.dead_nodes.add(node_id)
 
     def revive_node(self, node_id: int) -> None:
         """Bring a dead node back (empty — its old data stays lost)."""
         self._check_node_id(node_id)
         with self._lock:
+            linthooks.access(self, "liveness", write=True)
             self.dead_nodes.discard(node_id)
 
     def exclude_node(self, node_id: int) -> bool:
@@ -133,6 +135,7 @@ class Cluster:
             if len(self.available_nodes) <= 1 \
                     and self.is_available(node_id):
                 return False
+            linthooks.access(self, "liveness", write=True)
             self.excluded_nodes.add(node_id)
             return True
 
@@ -140,6 +143,7 @@ class Cluster:
         """Lift a node's exclusion."""
         self._check_node_id(node_id)
         with self._lock:
+            linthooks.access(self, "liveness", write=True)
             self.excluded_nodes.discard(node_id)
 
     # ------------------------------------------------------------------
@@ -154,6 +158,7 @@ class Cluster:
         under the same fault plan place identically.
         """
         with self._lock:
+            linthooks.access(self, "liveness", write=False)
             primary = partition % self.num_nodes
             if self.is_available(primary):
                 return primary

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from . import linthooks
 from .accumulator import Accumulator
 from .backends import create_backend
 from .broadcast import Broadcast
@@ -198,7 +199,12 @@ class Context:
         self._accumulators: list[Accumulator] = []
         self._broadcast_counter = 0
         self._broadcasts: list[Broadcast] = []
+        #: rdd_id -> display name of every RDD currently marked
+        #: persisted (maintained by ``RDD.persist``/``unpersist``); the
+        #: lifecycle auditor's ledger of cache handles
+        self._persisted_rdds: dict[int, str] = {}
         self._stopped = False
+        linthooks.context_created(self)
 
     # ------------------------------------------------------------------
     @property
@@ -349,6 +355,27 @@ class Context:
         return [bc for bc in self._broadcasts if not bc.destroyed]
 
     # ------------------------------------------------------------------
+    def _register_persist(self, rdd: "RDD") -> None:
+        """Record a persist handle (called by ``RDD.persist``)."""
+        self._persisted_rdds[rdd.rdd_id] = rdd.name
+
+    def _register_unpersist(self, rdd_id: int) -> None:
+        """Release a persist handle (called by ``RDD.unpersist``)."""
+        self._persisted_rdds.pop(rdd_id, None)
+
+    def live_persisted(self) -> list[tuple[int, str, int]]:
+        """Persisted RDDs whose partitions are still materialized in the
+        cache: ``(rdd_id, name, cached_bytes)`` triples.  The cache-leak
+        analogue of :meth:`live_broadcasts` — everything listed here is
+        memory pinned until ``unpersist()`` or context stop."""
+        out = []
+        for rdd_id, name in sorted(self._persisted_rdds.items()):
+            nbytes = self._cache.rdd_size_bytes(rdd_id)
+            if nbytes > 0:
+                out.append((rdd_id, name, nbytes))
+        return out
+
+    # ------------------------------------------------------------------
     # housekeeping
     # ------------------------------------------------------------------
     def drop_shuffle_outputs(self) -> None:
@@ -372,6 +399,10 @@ class Context:
 
     def stop(self) -> None:
         """Release all engine state; the context is unusable afterwards."""
+        if not self._stopped:
+            # the lifecycle auditor must see the cache before it is
+            # cleared; in strict mode this may raise LintError
+            linthooks.context_stopping(self)
         self._stopped = True
         self.backend.shutdown()
         self._shuffle_manager.clear()

@@ -24,7 +24,7 @@ Semantics implemented:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 from .cluster import Cluster

@@ -36,10 +36,9 @@ bit-level reproducibility) unless a spill actually happens.
 
 from __future__ import annotations
 
-import threading
-
 from typing import Any, Callable, TYPE_CHECKING
 
+from . import linthooks
 from .partitioner import stable_hash
 from .serialization import (deserialize_partition, estimate_record_size,
                             serialize_partition)
@@ -121,7 +120,7 @@ class MemoryManager:
         #: ``reclaim``), so two separate locks would deadlock under
         #: concurrent tasks — sharing one makes every cross-call a
         #: reentrant acquisition instead.
-        self.lock = threading.RLock()
+        self.lock = linthooks.make_rlock("MemoryManager")
         #: callback ``(nbytes) -> freed`` registered by the CacheManager;
         #: spills/evicts LRU storage so execution can grow
         self._storage_reclaimer: Callable[[int], int] | None = None
@@ -145,6 +144,7 @@ class MemoryManager:
         cache manager calls :meth:`storage_excess` and demotes/evicts
         right after)."""
         with self.lock:
+            linthooks.access(self, "storage_used", write=True)
             self.storage_used += nbytes
             mm = self._memory_metrics
             if mm is not None:
@@ -153,11 +153,13 @@ class MemoryManager:
     def release_storage(self, nbytes: int) -> None:
         """Return ``nbytes`` of storage memory to the pool."""
         with self.lock:
+            linthooks.access(self, "storage_used", write=True)
             self.storage_used = max(0, self.storage_used - nbytes)
 
     def storage_excess(self) -> int:
         """Bytes the storage pool must free to be within budget."""
         with self.lock:
+            linthooks.access(self, "storage_used", write=False)
             excess = 0
             if self.storage_cap_bytes is not None:
                 excess = self.storage_used - self.storage_cap_bytes
@@ -180,6 +182,7 @@ class MemoryManager:
         ``False`` when the budget cannot cover the request — the caller
         (a spillable buffer) must spill."""
         with self.lock:
+            linthooks.access(self, "execution_used", write=True)
             if self.usable_bytes is not None:
                 free = (self.usable_bytes - self.execution_used
                         - self.storage_used)
@@ -203,6 +206,7 @@ class MemoryManager:
     def release_execution(self, nbytes: int) -> None:
         """Return ``nbytes`` of execution memory to the pool."""
         with self.lock:
+            linthooks.access(self, "execution_used", write=True)
             self.execution_used = max(0, self.execution_used - nbytes)
 
 

@@ -17,11 +17,11 @@ attributed to that label.
 
 from __future__ import annotations
 
-import threading
-
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from . import linthooks
 
 
 @dataclass
@@ -224,16 +224,18 @@ class MemoryMetrics:
 
     def __post_init__(self) -> None:
         # not a dataclass field: excluded from __eq__/__repr__
-        self._lock = threading.Lock()
+        self._lock = linthooks.make_lock("MemoryMetrics")
 
     def add(self, counter: str, amount: int = 1) -> None:
         """Atomically add ``amount`` to the named counter field."""
         with self._lock:
+            linthooks.access(self, counter, write=True)
             setattr(self, counter, getattr(self, counter) + amount)
 
     def update_peak(self, counter: str, value: int) -> None:
         """Atomically raise the named high-water mark to ``value``."""
         with self._lock:
+            linthooks.access(self, counter, write=True)
             if value > getattr(self, counter):
                 setattr(self, counter, value)
 
@@ -255,6 +257,7 @@ class MemoryMetrics:
     def record_demotion(self, event: str) -> None:
         """Count one storage-level demotion and remember what moved."""
         with self._lock:
+            linthooks.access(self, "demotions", write=True)
             self.demotions += 1
             self.demotion_events.append(event)
 
@@ -294,11 +297,12 @@ class MetricsCollector:
         #: worker threads, hence the lock
         self.kernel_batches: int = 0
         self.kernel_batch_records: int = 0
-        self._kernel_lock = threading.Lock()
+        self._kernel_lock = linthooks.make_lock("MetricsCollector.kernel")
 
     def add_kernel_batch(self, records: int) -> None:
         """Count one vectorized-kernel partition batch of ``records``."""
         with self._kernel_lock:
+            linthooks.access(self, "kernel_batches", write=True)
             self.kernel_batches += 1
             self.kernel_batch_records += records
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
 
+from . import linthooks
 from .errors import EngineError
 from .partitioner import HashPartitioner, Partitioner
 from .shuffle import Aggregator
@@ -148,6 +149,7 @@ class RDD:
         levels demote to simulated disk instead of dropping entries when
         the storage pool is over budget."""
         self.storage_level = level
+        self.ctx._register_persist(self)
         return self
 
     def cache(self) -> "RDD":
@@ -158,6 +160,7 @@ class RDD:
         """Drop cached partitions of this RDD."""
         self.storage_level = None
         self.ctx._cache.unpersist(self.rdd_id)
+        self.ctx._register_unpersist(self.rdd_id)
         return self
 
     def is_fully_cached(self) -> bool:
@@ -390,6 +393,11 @@ class RDD:
         partitioner = self._default_partitioner(num_partitions)
         aggregator = Aggregator(create_combiner, merge_value,
                                 merge_combiners, combine_batch)
+        if linthooks.session_active():
+            for fn in (create_combiner, merge_value, merge_combiners,
+                       combine_batch):
+                if fn is not None:
+                    linthooks.closure_created(fn, "combineByKey")
         if self.partitioner == partitioner:
             # already partitioned: combine within partitions, no shuffle
             if combine_batch is not None:
@@ -844,6 +852,9 @@ class MapPartitionsRDD(RDD):
             parent.partitioner if preserves_partitioning else None)
         self._parent = parent
         self._f = f
+        # the partition function usually wraps a user closure in its
+        # cells; the closure analyzer unwraps the chain
+        linthooks.closure_created(f, "mapPartitions")
 
     def compute(self, split: int, task: "TaskContext") -> Iterable:
         """Apply the stage function to the parent partition."""

@@ -65,7 +65,7 @@ from .memory import LEVEL_MEMORY_FACTOR, SPILL_MODE_FACTOR, demote_level
 from .metrics import StageMetrics
 from .rdd import RDD, NarrowDependency, ShuffleDependency
 from .serialization import estimate_record_size
-from .taskscheduler import TaskContext, TaskSet, _CountingIterator
+from .taskscheduler import TaskContext, TaskSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import Context

@@ -30,11 +30,10 @@ every downstream reduction — is independent of write interleaving.
 
 from __future__ import annotations
 
-import threading
-
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
+from . import linthooks
 from .cluster import Cluster
 from .errors import FetchFailedError
 from .metrics import ShuffleReadMetrics, ShuffleWriteMetrics
@@ -88,7 +87,7 @@ class ShuffleManager:
         self.cluster = cluster
         self.faults = faults
         self.memory = memory
-        self._lock = threading.RLock()
+        self._lock = linthooks.make_rlock("ShuffleManager")
         self._shuffles: dict[int, dict[int, _MapOutput]] = {}
         #: shuffle id -> expected map-partition count (None when the
         #: shuffle was registered through the legacy argless API)
@@ -100,6 +99,7 @@ class ShuffleManager:
         partition count is declared, reduce-side reads verify the
         shuffle is complete and raise ``FetchFailedError`` otherwise."""
         with self._lock:
+            linthooks.access(self, "_shuffles", write=True)
             sid = self._next_shuffle_id
             self._next_shuffle_id += 1
             self._shuffles[sid] = {}
@@ -109,6 +109,7 @@ class ShuffleManager:
     def is_written(self, shuffle_id: int, num_map_partitions: int) -> bool:
         """True iff every map task of the shuffle already wrote output."""
         with self._lock:
+            linthooks.access(self, "_shuffles", write=False)
             outputs = self._shuffles.get(shuffle_id)
             return (outputs is not None
                     and len(outputs) >= num_map_partitions)
@@ -157,6 +158,7 @@ class ShuffleManager:
         # dropped shuffles (drop_shuffle_outputs) may be re-written when
         # lineage is recomputed; re-register lazily
         with self._lock:
+            linthooks.access(self, "_shuffles", write=True)
             self._shuffles.setdefault(shuffle_id, {})[map_partition] = \
                 output
         write_metrics.bytes_written += n_bytes
@@ -175,6 +177,7 @@ class ShuffleManager:
         invalidated) or when the fault plan injects a fetch failure.
         """
         with self._lock:
+            linthooks.access(self, "_shuffles", write=False)
             outputs = self._shuffles.get(shuffle_id)
             if outputs is None:
                 if shuffle_id not in self._num_maps:
@@ -232,6 +235,7 @@ class ShuffleManager:
         outputs_lost = 0
         records_lost = 0
         with self._lock:
+            linthooks.access(self, "_shuffles", write=True)
             for shuffle_outputs in self._shuffles.values():
                 doomed = [p for p, out in shuffle_outputs.items()
                           if out.node == node_id]
@@ -245,6 +249,7 @@ class ShuffleManager:
     def remove_shuffle(self, shuffle_id: int) -> None:
         """Discard one shuffle's map outputs."""
         with self._lock:
+            linthooks.access(self, "_shuffles", write=True)
             self._shuffles.pop(shuffle_id, None)
 
     def clear(self) -> None:
@@ -253,4 +258,5 @@ class ShuffleManager:
         The declared map-partition counts are metadata, not data, and
         survive — recomputed shuffles re-register their outputs."""
         with self._lock:
+            linthooks.access(self, "_shuffles", write=True)
             self._shuffles.clear()

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from . import linthooks
 from .errors import CacheEvictedError
 from .serialization import (deserialize_partition, estimate_size,
                             serialize_partition)
@@ -143,6 +144,7 @@ class CacheManager:
         """Cache ``records`` for ``(rdd_id, partition)`` at ``level``."""
         key = (rdd_id, partition)
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=True)
             if key in self._entries:
                 self._remove(key)
             if level.serialized_in_memory or level is StorageLevel.DISK:
@@ -177,6 +179,7 @@ class CacheManager:
         """
         key = (rdd_id, partition)
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=False)
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -198,12 +201,14 @@ class CacheManager:
     def contains(self, rdd_id: int, partition: int) -> bool:
         """True iff the partition is currently cached."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=False)
             return (rdd_id, partition) in self._entries
 
     def has_all_partitions(self, rdd_id: int, num_partitions: int) -> bool:
         """True iff every partition of ``rdd_id`` is cached — the scheduler
         then prunes lineage walks at this RDD."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=False)
             return all((rdd_id, p) in self._entries
                        for p in range(num_partitions))
 
@@ -215,6 +220,7 @@ class CacheManager:
         entries were stored under.  Returns partitions dropped; affected
         RDDs recompute them from lineage on the next read."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=True)
             doomed = [key for key in self._entries
                       if cluster.node_of_partition(key[1]) == node_id]
             for key in doomed:
@@ -224,6 +230,7 @@ class CacheManager:
     def unpersist(self, rdd_id: int) -> int:
         """Drop all partitions of ``rdd_id``; returns bytes freed."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=True)
             freed = 0
             for key in [k for k in self._entries if k[0] == rdd_id]:
                 freed += self._entries[key].size_bytes
@@ -233,6 +240,7 @@ class CacheManager:
     def clear(self) -> None:
         """Drop every cached partition."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=True)
             for key in list(self._entries):
                 self._remove(key)
 
@@ -240,6 +248,7 @@ class CacheManager:
     def rdd_size_bytes(self, rdd_id: int) -> int:
         """Total cached footprint of one RDD (memory + disk)."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=False)
             return sum(e.size_bytes
                        for (rid, _), e in self._entries.items()
                        if rid == rdd_id)
@@ -247,6 +256,7 @@ class CacheManager:
     def deser_seconds(self, rdd_id: int) -> float:
         """Cumulative CPU seconds spent deserializing one RDD's cache."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=False)
             return sum(e.deser_seconds
                        for (rid, _), e in self._entries.items()
                        if rid == rdd_id)
@@ -257,6 +267,7 @@ class CacheManager:
         pool (registered as the memory manager's storage reclaimer) by
         demoting/evicting LRU-first.  Returns bytes actually freed."""
         with self.memory.lock:
+            linthooks.access(self, "_entries", write=True)
             freed = 0
             for key in list(self._entries):
                 if freed >= nbytes:

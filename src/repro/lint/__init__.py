@@ -1,0 +1,40 @@
+"""Static + dynamic analysis for engine programs (``repro lint``).
+
+Three passes behind one report model:
+
+- :mod:`~repro.lint.closures` — closure capture analyzer (runtime
+  function objects; nondeterminism, engine-handle capture, large
+  captures, unsynchronized shared-state mutation).
+- :mod:`~repro.lint.lifecycle` — broadcast/persist handle leak audit at
+  context teardown.
+- :mod:`~repro.lint.lockset` — Eraser-style race detector over the
+  engine's annotated shared structures.
+- :mod:`~repro.lint.static` — file-level scan applying the closure
+  checks to RDD-operation call sites without executing anything.
+
+Dynamic passes hang off :mod:`repro.engine.linthooks`;
+:class:`~repro.lint.runner.LintSession` installs them and
+:func:`~repro.lint.runner.run_program` executes a target script under
+the session.  ``python -m repro lint`` is the CLI front end.
+"""
+
+from .closures import LARGE_CAPTURE_BYTES, analyze_callable
+from .lifecycle import audit_context
+from .lockset import LocksetMonitor
+from .model import Finding, LintError, LintReport
+from .runner import LintSession, run_program
+from .static import scan_paths, scan_source
+
+__all__ = [
+    "LARGE_CAPTURE_BYTES",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "LintSession",
+    "LocksetMonitor",
+    "analyze_callable",
+    "audit_context",
+    "run_program",
+    "scan_paths",
+    "scan_source",
+]

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import (DRIVERS, MeasurementConfig, mode_runtime_series,
-                            per_iteration_stats, phase_stats,
-                            run_and_measure, runtime_series)
+from repro.analysis import (MeasurementConfig, mode_runtime_series,
+                            per_iteration_stats, phase_stats, run_and_measure,
+                            runtime_series)
 from repro.analysis.experiments import execution_mode, make_context, paper_scale
 from repro.datasets import make_dataset
 

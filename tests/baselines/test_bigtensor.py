@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import BigtensorCP, local_cp_als
 from repro.core import CstfCOO
 from repro.engine import Context
-from repro.tensor import random_factors, uniform_sparse
+from repro.tensor import random_factors
 from repro.analysis.complexity import measured_mttkrp_rounds
 
 

@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import local_cp_als
-from repro.tensor import (COOTensor, congruence, cp_reconstruct,
-                          random_factors, uniform_sparse)
+from repro.tensor import COOTensor, congruence, cp_reconstruct, random_factors
 
 
 class TestLocalALS:

@@ -20,7 +20,32 @@ settings.load_profile(
     os.environ.get("REPRO_HYPOTHESIS_PROFILE", "default"))
 
 from repro.engine import Context, EngineConf
+from repro.lint import audit_context
 from repro.tensor import COOTensor, uniform_sparse
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "lint_leaks_ok: this test intentionally leaves broadcasts or "
+        "persisted RDDs live at teardown (it is *about* holding "
+        "handles); the shared ctx fixtures skip their lifecycle audit")
+
+
+def _audit_or_fail(request, c: Context) -> None:
+    """The lifecycle-auditor teardown invariant: any broadcast or
+    persisted-RDD handle still live when a test finishes is a leak the
+    test must either release or explicitly claim with the
+    ``lint_leaks_ok`` marker.  Must run before ``stop()`` — stopping
+    clears the evidence."""
+    if request.node.get_closest_marker("lint_leaks_ok") is not None:
+        return
+    findings = audit_context(c)
+    if findings:
+        c.stop()
+        pytest.fail(
+            "test leaked engine handles (release them or mark the test "
+            "lint_leaks_ok):\n" + findings.render_text(), pytrace=False)
 
 
 def _default_conf() -> EngineConf | None:
@@ -34,19 +59,21 @@ def _default_conf() -> EngineConf | None:
 
 
 @pytest.fixture
-def ctx():
-    """A small 4-node spark-mode context."""
+def ctx(request):
+    """A small 4-node spark-mode context (lifecycle-audited)."""
     c = Context(num_nodes=4, default_parallelism=8, conf=_default_conf())
     yield c
+    _audit_or_fail(request, c)
     c.stop()
 
 
 @pytest.fixture
-def hadoop_ctx():
-    """A small 4-node hadoop-mode context."""
+def hadoop_ctx(request):
+    """A small 4-node hadoop-mode context (lifecycle-audited)."""
     c = Context(num_nodes=4, default_parallelism=8,
                 execution_mode="hadoop")
     yield c
+    _audit_or_fail(request, c)
     c.stop()
 
 

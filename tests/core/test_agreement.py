@@ -12,8 +12,7 @@ from hypothesis import strategies as st
 from repro.baselines import BigtensorCP, local_cp_als
 from repro.core import CstfCOO, CstfQCOO
 from repro.engine import Context
-from repro.tensor import (congruence, low_rank_sparse, random_factors,
-                          uniform_sparse)
+from repro.tensor import congruence, random_factors, uniform_sparse
 
 
 def run(cls, tensor, init, iterations=3, **ctx_kw):

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import CstfCOO, CstfQCOO
 from repro.engine import Context
-from repro.tensor import COOTensor, low_rank_sparse, random_factors
+from repro.tensor import COOTensor, random_factors
 
 
 class TestValidation:

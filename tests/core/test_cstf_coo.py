@@ -22,6 +22,9 @@ def run_single_mttkrp(ctx, tensor, factors, mode, rank=None):
     out = np.zeros((tensor.shape[mode], rank))
     for i, row in m_rdd.collect():
         out[i] = row
+    tensor_rdd.unpersist()
+    for f_rdd in factor_rdds:
+        f_rdd.unpersist()
     return out
 
 

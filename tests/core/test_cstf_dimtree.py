@@ -8,7 +8,7 @@ import pytest
 from repro.baselines import local_cp_als
 from repro.core import CstfCOO, CstfDimTree
 from repro.core.cstf_dimtree import build_tree
-from repro.engine import Context, RunStats
+from repro.engine import Context
 from repro.tensor import random_factors, uniform_sparse, zipf_sparse
 from repro.analysis.complexity import measured_mttkrp_rounds
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core import CstfCOO, CstfQCOO
 from repro.engine import Context
-from repro.tensor import random_factors, uniform_sparse
+from repro.tensor import random_factors
 from repro.analysis.complexity import measured_mttkrp_rounds
 
 
@@ -27,6 +27,9 @@ class TestQueueSemantics:
             assert np.allclose(queue[0], factors[0][idx[0]])
             assert np.allclose(queue[1], factors[1][idx[1]])
         driver._teardown()
+        tensor_rdd.unpersist()
+        for f_rdd in factor_rdds:
+            f_rdd.unpersist()
 
     def test_queue_rotation_after_first_mttkrp(self, ctx, small_tensor, rng):
         driver = CstfQCOO(ctx)
@@ -41,6 +44,9 @@ class TestQueueSemantics:
             assert np.allclose(queue[0], factors[1][idx[1]])  # B kept
             assert np.allclose(queue[1], factors[2][idx[2]])  # C enqueued
         driver._teardown()
+        tensor_rdd.unpersist()
+        for f_rdd in factor_rdds:
+            f_rdd.unpersist()
 
     def test_out_of_order_mttkrp_rejected(self, ctx, small_tensor, rng):
         driver = CstfQCOO(ctx)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.gram import GramCache, gram_of_rdd
 from repro.engine import HashPartitioner

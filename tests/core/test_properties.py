@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.baselines import local_cp_als
 from repro.core import CstfCOO, CstfQCOO
 from repro.engine import Context
-from repro.tensor import COOTensor, random_factors, uniform_sparse
+from repro.tensor import random_factors, uniform_sparse
 
 
 def run_distributed(cls, tensor, init, iterations=2):

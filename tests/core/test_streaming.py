@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import CstfCOO
 from repro.core.streaming import StreamingCP, extend_factor
-from repro.engine import Context
 from repro.tensor import COOTensor, uniform_sparse
 
 

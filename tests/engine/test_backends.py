@@ -9,7 +9,6 @@ execution at the scheduler level.
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -130,6 +129,7 @@ class TestContextWiring:
         with pytest.raises(RuntimeError):
             ctx.backend.run([lambda: 1])
 
-    def test_backend_name_property(self):
+    def test_backend_name_property(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         with Context(num_nodes=2) as ctx:
             assert ctx.backend.name == "serial"

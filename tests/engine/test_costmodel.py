@@ -6,8 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import (COMET, Context, CostModel, HardwareProfile,
-                          RunStats)
+from repro.engine import COMET, CostModel, HardwareProfile, RunStats
 
 
 def make_stats(**kw) -> RunStats:
@@ -31,9 +30,11 @@ class TestRunStatsFromMetrics:
         assert stats.node_skew >= 1.0
 
     def test_cache_bytes_captured(self, ctx):
-        ctx.parallelize(range(100), 4).cache().count()
+        rdd = ctx.parallelize(range(100), 4).cache()
+        rdd.count()
         stats = RunStats.from_metrics(ctx.metrics)
         assert stats.cache_bytes > 0
+        rdd.unpersist()
 
     def test_empty_metrics(self, ctx):
         stats = RunStats.from_metrics(ctx.metrics)

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.engine import Context, HashPartitioner
+from repro.engine import Context
 
 
 class TestDeepPipelines:
@@ -104,6 +103,7 @@ class TestRecomputationConsistency:
         assert rdd.sum() == 135
         ctx.clear_cache()
         assert rdd.sum() == 135
+        rdd.unpersist()
 
     def test_unpersist_during_lineage_chain(self, ctx):
         base = ctx.parallelize(range(20), 4).cache()

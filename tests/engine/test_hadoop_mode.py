@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.engine import Context
 from repro.engine.hadoop import (HDFS_REPLICATION, hadoop_jobs_launched,
                                  hdfs_traffic_bytes)
 

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.engine import Context
 
 
 class TestDebugString:
@@ -30,6 +28,7 @@ class TestDebugString:
         rdd = ctx.parallelize(range(5)).cache()
         rdd.count()
         assert "*" in rdd.to_debug_string().splitlines()[0]
+        rdd.unpersist()
 
     def test_join_shows_both_parents(self, ctx):
         left = ctx.parallelize([(1, "a")], 2).set_name("left")
@@ -44,8 +43,9 @@ class TestMetricsSummary:
         with ctx.metrics.phase("MTTKRP-1"):
             ctx.parallelize([(i % 3, i) for i in range(30)], 4)\
                 .reduce_by_key(lambda a, b: a + b, 4).collect()
-        ctx.parallelize(range(5)).cache().count()
-        ctx.broadcast([1, 2, 3])
+        cached = ctx.parallelize(range(5)).cache()
+        cached.count()
+        bc = ctx.broadcast([1, 2, 3])
         out = ctx.metrics.summary()
         assert "jobs run" in out
         assert "shuffle rounds      : 1" in out
@@ -53,6 +53,8 @@ class TestMetricsSummary:
         assert "cache stored" in out
         assert "broadcasts" in out
         assert "MTTKRP-1" in out
+        cached.unpersist()
+        bc.destroy()
 
     def test_hadoop_summary(self, hadoop_ctx):
         hadoop_ctx.parallelize([(1, 1)], 2).reduce_by_key(

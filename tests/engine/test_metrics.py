@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.engine import Context, HashPartitioner
 from repro.engine.metrics import ShuffleReadMetrics, ShuffleWriteMetrics
@@ -114,6 +113,7 @@ class TestStageMetrics:
                    for j in ctx.metrics.jobs for st in j.stages)
         assert misses == 2
         assert hits == 2
+        rdd.unpersist()
 
     def test_merge_shuffle_read(self):
         a = ShuffleReadMetrics(remote_bytes=10, local_bytes=5,

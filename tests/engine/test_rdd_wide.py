@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

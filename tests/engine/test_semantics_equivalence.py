@@ -3,9 +3,7 @@ same computation must agree (the strongest kind of engine invariant)."""
 
 from __future__ import annotations
 
-from collections import defaultdict
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import Context, EngineError
+from repro.engine import EngineError
 
 
 class TestZip:

@@ -1,0 +1,86 @@
+"""``repro lint`` CLI behaviour: modes, exit codes, output formats."""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+LEAKY = str(FIXTURES / "leaky_racy.py")
+CLEAN = str(FIXTURES / "clean_program.py")
+
+
+def test_no_inputs_is_usage_error(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_static_scan_leaky_fixture(capsys):
+    assert main(["lint", LEAKY]) == 1
+    out = capsys.readouterr().out
+    assert "closure-shared-mutation" in out
+    assert "closure-nondeterminism" in out
+
+
+def test_static_scan_clean_fixture(capsys):
+    assert main(["lint", CLEAN]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_run_leaky_fixture_reports_all_seeded_findings(capsys):
+    """The acceptance fixture: all four seeded bug classes reported."""
+    assert main(["lint", "--run", LEAKY]) == 1
+    out = capsys.readouterr().out
+    assert "leaked-broadcast" in out
+    assert "leaked-rdd-cache" in out
+    assert "closure-nondeterminism" in out
+    assert "closure-shared-mutation" in out
+
+
+def test_run_clean_fixture_zero_findings(capsys):
+    assert main(["lint", "--run", CLEAN]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_run_with_racecheck_prints_summary(capsys):
+    assert main(["lint", "--racecheck", "--run", CLEAN]) == 0
+    captured = capsys.readouterr()
+    assert "no findings" in captured.out
+    assert "racecheck:" in captured.err
+
+
+def test_json_output_is_parseable(capsys):
+    assert main(["lint", "--json", LEAKY]) == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert isinstance(findings, list)
+    rules = {f["rule"] for f in findings}
+    assert "closure-shared-mutation" in rules
+    for finding in findings:
+        assert {"rule", "severity", "message", "location",
+                "pass"} <= set(finding)
+
+
+def test_strict_promotes_warnings_to_failure(capsys, tmp_path):
+    """A program whose only finding is warning-severity passes by
+    default and fails under --strict."""
+    prog = tmp_path / "warn_only.py"
+    prog.write_text(
+        "import random\n"
+        "rdd.map(lambda x: x + random.random())\n")
+    assert main(["lint", str(prog)]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--strict", str(prog)]) == 1
+
+
+def test_static_and_run_combined(capsys):
+    assert main(["lint", CLEAN, "--run", CLEAN]) == 0
+
+
+def test_examples_lint_clean_static(capsys):
+    """CI's static self-hosting gate, as a test."""
+    root = Path(__file__).resolve().parents[2]
+    assert main(["lint", str(root / "examples"),
+                 str(root / "src" / "repro" / "core")]) == 0

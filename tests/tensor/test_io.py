@@ -7,7 +7,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.tensor import COOTensor, read_tns, uniform_sparse, write_tns
+from repro.tensor import COOTensor, read_tns, write_tns
 
 
 class TestReadTns:

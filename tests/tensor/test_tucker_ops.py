@@ -7,7 +7,7 @@ import pytest
 
 from repro.baselines import random_orthonormal
 from repro.tensor import (COOTensor, sparse_tucker_core, ttm, tucker_fit,
-                          tucker_reconstruct, uniform_sparse)
+                          tucker_reconstruct)
 
 
 class TestTTM:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.api import decompose
-from repro.tensor import COOTensor, uniform_sparse, zipf_sparse
+from repro.tensor import COOTensor, zipf_sparse
 
 
 class TestDecompose:

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import importlib.util
 import pathlib
-import sys
 
 import numpy as np
 import pytest
