@@ -91,6 +91,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(per-record closures; bit-identical "
                           "results).  Defaults to $REPRO_KERNEL, then "
                           "'vectorized'")
+    dec.add_argument("--speculation", action="store_true", default=False,
+                     help="launch a backup attempt for task attempts "
+                          "running past a multiple of their stage's "
+                          "median runtime; the first result computed "
+                          "commits (bit-identical either way).  "
+                          "Defaults to $REPRO_SPECULATION, then off")
+    dec.add_argument("--task-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="hard per-attempt deadline: overrunning "
+                          "attempts are abandoned at a cooperative "
+                          "checkpoint and retried on another node.  "
+                          "Defaults to $REPRO_TASK_DEADLINE_S, then "
+                          "no deadline")
+    dec.add_argument("--retry-backoff", type=float, default=None,
+                     metavar="SECONDS",
+                     help="base seeded-jitter exponential backoff "
+                          "before task retries (default 0.01; 0 "
+                          "disables sleeping)")
+    dec.add_argument("--quarantine-threshold", type=float, default=None,
+                     metavar="SCORE",
+                     help="decayed per-node failure/straggle score at "
+                          "which a node is temporarily quarantined "
+                          "from placement (default: disabled)")
+    dec.add_argument("--clock", choices=["monotonic", "virtual"],
+                     default=None,
+                     help="engine time source: 'monotonic' (real time, "
+                          "the default) or 'virtual' (sleeps advance a "
+                          "counter — simulated time).  Defaults to "
+                          "$REPRO_CLOCK, then 'monotonic'")
 
     comm = sub.add_parser("communication",
                           help="Figure 4: COO vs QCOO shuffle volume")
@@ -193,12 +222,23 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     if (args.cache_budget is not None or args.memory_budget is not None
             or args.backend is not None
             or args.backend_workers is not None
-            or args.kernel is not None):
+            or args.kernel is not None
+            or args.speculation
+            or args.task_deadline is not None
+            or args.retry_backoff is not None
+            or args.quarantine_threshold is not None
+            or args.clock is not None):
         conf = EngineConf(cache_capacity_bytes=args.cache_budget,
                           memory_total_bytes=args.memory_budget,
                           backend=args.backend,
                           backend_workers=args.backend_workers,
-                          kernel=args.kernel)
+                          kernel=args.kernel,
+                          speculation=args.speculation or None,
+                          task_deadline_s=args.task_deadline,
+                          quarantine_threshold=args.quarantine_threshold,
+                          clock=args.clock)
+        if args.retry_backoff is not None:
+            conf.retry_backoff_base_s = args.retry_backoff
     ctx = make_context(args.algorithm, config, conf=conf)
     driver = make_driver(args.algorithm, ctx, config)
     driver.regularization = args.regularization
@@ -220,6 +260,16 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
           f"{mem.storage_peak_bytes:,} B storage; "
           f"spilled {mem.spill_bytes:,} B in {mem.spill_count} spills, "
           f"{mem.demotions} demotions, {mem.oom_kills} OOM kills")
+    stragglers = ctx.metrics.stragglers
+    if stragglers.any_activity:
+        print(f"stragglers: {stragglers.tasks_timed_out} timeouts, "
+              f"{stragglers.tasks_speculated} speculated "
+              f"({stragglers.speculative_wins} backup wins), "
+              f"{stragglers.backoff_sleeps} backoffs "
+              f"({stragglers.backoff_total_s:.2f}s), "
+              f"{stragglers.wasted_attempt_s:.2f}s wasted, "
+              f"{stragglers.nodes_quarantined} nodes quarantined "
+              f"({stragglers.nodes_readmitted} readmitted)")
     if ctx.hadoop_mode:
         print(f"hadoop    : {ctx.metrics.hadoop.jobs_launched} jobs, "
               f"{ctx.metrics.hadoop.hdfs_bytes_written:,} HDFS B written")

@@ -20,12 +20,14 @@ from .backends import (ExecutorBackend, SerialBackend, ThreadPoolBackend,
 from .broadcast import Broadcast
 from .calibration import (CalibratedCostModel, CalibrationPoint,
                           TermMultipliers, calibrate)
-from .cluster import Cluster, Node
+from .clock import Clock, MonotonicClock, VirtualClock, create_clock
+from .cluster import Cluster, Node, NodeHealthTracker
 from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
-from .errors import (BackendError, CacheEvictedError, ContextStoppedError,
-                     EngineError, FetchFailedError, JobExecutionError,
-                     KernelError, OutOfMemoryError, TaskFailedError)
+from .errors import (BackendError, CacheEvictedError, CancelledAttempt,
+                     ContextStoppedError, EngineError, FetchFailedError,
+                     JobExecutionError, KernelError, OutOfMemoryError,
+                     TaskFailedError, TaskTimedOutError)
 from .events import EngineEventBus, EngineListener, TimelineListener
 from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
                      NodeKillEvent)
@@ -35,11 +37,13 @@ from .memory import (LEVEL_MEMORY_FACTOR, MemoryManager,
                      SpillableAppendOnlyMap, demote_level)
 from .metrics import (FaultMetrics, HadoopMetrics, JobMetrics,
                       MemoryMetrics, MetricsCollector, ShuffleReadMetrics,
-                      ShuffleWriteMetrics, StageMetrics)
+                      ShuffleWriteMetrics, StageMetrics, StragglerMetrics)
 from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
                           stable_hash)
 from .rdd import RDD
 from .serialization import estimate_record_size, estimate_size
+from .speculation import (CancellationGroup, CancellationToken,
+                          SpeculationLatch, StageRuntimes, backoff_delay)
 from .storage import CacheManager, StorageLevel
 from .taskscheduler import TaskContext, TaskRunResult, TaskScheduler, TaskSet
 
@@ -51,6 +55,10 @@ __all__ = [
     "CalibrationPoint",
     "CacheEvictedError",
     "CacheManager",
+    "CancellationGroup",
+    "CancellationToken",
+    "CancelledAttempt",
+    "Clock",
     "Cluster",
     "COMET",
     "Context",
@@ -82,7 +90,9 @@ __all__ = [
     "MemoryManager",
     "MemoryMetrics",
     "MetricsCollector",
+    "MonotonicClock",
     "Node",
+    "NodeHealthTracker",
     "OutOfMemoryError",
     "SpillableAppendOnlyMap",
     "Partitioner",
@@ -92,19 +102,26 @@ __all__ = [
     "SerialBackend",
     "ShuffleReadMetrics",
     "ShuffleWriteMetrics",
+    "SpeculationLatch",
     "StageMetrics",
+    "StageRuntimes",
     "StorageLevel",
+    "StragglerMetrics",
     "TaskContext",
     "TaskFailedError",
     "TaskRunResult",
     "TaskScheduler",
     "TaskSet",
+    "TaskTimedOutError",
     "TermMultipliers",
     "ThreadPoolBackend",
     "TimeBreakdown",
     "TimelineListener",
+    "VirtualClock",
+    "backoff_delay",
     "calibrate",
     "create_backend",
+    "create_clock",
     "demote_level",
     "estimate_record_size",
     "estimate_size",

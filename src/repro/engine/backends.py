@@ -31,10 +31,13 @@ import os
 
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from . import linthooks
-from .errors import BackendError
+from .errors import BackendError, CancelledAttempt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .speculation import CancellationGroup
 
 #: accepted spellings per backend
 _SERIAL_NAMES = ("serial", "sync", "local")
@@ -46,6 +49,9 @@ class ExecutorBackend(ABC):
 
     #: canonical backend name (what ``Context.backend.name`` reports)
     name: str = "abstract"
+    #: whether concurrent speculative backup attempts make sense here
+    #: (True only when tasks actually overlap in time)
+    supports_speculation: bool = False
 
     @property
     @abstractmethod
@@ -53,8 +59,16 @@ class ExecutorBackend(ABC):
         """Maximum number of concurrently running tasks."""
 
     @abstractmethod
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
-        """Run every thunk; return their results in input order."""
+    def run(self, thunks: Sequence[Callable[[], Any]],
+            cancel: "CancellationGroup | None" = None) -> list[Any]:
+        """Run every thunk; return their results in input order.
+
+        ``cancel``, when given, is the task set's shared
+        :class:`~repro.engine.speculation.CancellationGroup`: backends
+        that overlap tasks in time cancel it on the first terminal
+        error so sibling in-flight attempts abort at their next
+        cooperative checkpoint instead of running to completion.
+        """
 
     def shutdown(self) -> None:
         """Release backend resources (idempotent)."""
@@ -69,7 +83,10 @@ class SerialBackend(ExecutorBackend):
     def num_workers(self) -> int:
         return 1
 
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+    def run(self, thunks: Sequence[Callable[[], Any]],
+            cancel: "CancellationGroup | None" = None) -> list[Any]:
+        # No concurrency: nothing overlaps a failing task, so the group
+        # is never cancelled here (the first exception aborts the set).
         return [thunk() for thunk in thunks]
 
 
@@ -79,6 +96,7 @@ class ThreadPoolBackend(ExecutorBackend):
     failing partition's exception wins)."""
 
     name = "threads"
+    supports_speculation = True
 
     def __init__(self, num_workers: int | None = None):
         if num_workers is None:
@@ -94,20 +112,46 @@ class ThreadPoolBackend(ExecutorBackend):
     def num_workers(self) -> int:
         return self._num_workers
 
-    def run(self, thunks: Sequence[Callable[[], Any]]) -> list[Any]:
+    def run(self, thunks: Sequence[Callable[[], Any]],
+            cancel: "CancellationGroup | None" = None) -> list[Any]:
         linthooks.pooled_run(self.name, self._num_workers, len(thunks))
+        if cancel is not None:
+            thunks = [self._cancelling(thunk, cancel) for thunk in thunks]
         futures = [self._pool.submit(thunk) for thunk in thunks]
         results: list[Any] = []
         first_error: BaseException | None = None
+        first_cancelled: BaseException | None = None
         for future in futures:
             try:
                 results.append(future.result())
+            except CancelledAttempt as exc:
+                # Collateral damage of a terminal sibling failure, not a
+                # root cause: only surfaced when nothing better exists.
+                if first_cancelled is None:
+                    first_cancelled = exc
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = exc
         if first_error is not None:
             raise first_error
+        if first_cancelled is not None:
+            raise first_cancelled
         return results
+
+    @staticmethod
+    def _cancelling(thunk: Callable[[], Any],
+                    cancel: "CancellationGroup") -> Callable[[], Any]:
+        """Wrap a thunk to cancel the whole task set on terminal failure,
+        so sibling in-flight attempts abort at their next checkpoint."""
+        def wrapper() -> Any:
+            try:
+                return thunk()
+            except CancelledAttempt:
+                raise
+            except BaseException:
+                cancel.cancel("task-set failure")
+                raise
+        return wrapper
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)

@@ -1,0 +1,134 @@
+"""Engine time source: real (monotonic) and virtual clocks.
+
+The straggler-resilience layer is all about *time* — injected delays,
+task deadlines, retry backoff, quarantine expiry.  Every one of those
+paths reads and sleeps through a :class:`Clock` owned by the
+:class:`~repro.engine.context.Context` instead of calling
+``time.perf_counter`` / ``time.sleep`` directly, so tests and
+benchmarks can substitute a :class:`VirtualClock` and simulate minutes
+of injected latency without sleeping wall-clock time.
+
+``MonotonicClock``
+    The default.  ``time()`` is ``time.perf_counter`` and ``sleep()``
+    really sleeps — production semantics.
+``VirtualClock``
+    ``time()`` reads a process-local virtual counter and ``sleep()``
+    atomically advances it and returns immediately.  Under the serial
+    backend this makes injected-delay runs fully deterministic: a task
+    that "sleeps" ten virtual seconds costs microseconds of wall time
+    but still trips deadlines, backoff accounting and quarantine expiry
+    exactly as a real slow task would.  Under the thread backend
+    concurrent sleepers interleave their advances, so virtual
+    *durations* are only approximate there — but results never depend
+    on durations (the determinism contract), only metrics do.
+
+Selection follows the same resolution order as the executor backend:
+``EngineConf.clock``, then ``$REPRO_CLOCK``, then ``"monotonic"``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from abc import ABC, abstractmethod
+
+from . import linthooks
+from .errors import EngineError
+
+#: accepted spellings per clock
+_MONOTONIC_NAMES = ("monotonic", "real", "wall")
+_VIRTUAL_NAMES = ("virtual", "simulated", "fake")
+
+
+class Clock(ABC):
+    """Time source the engine's time-domain features read and sleep on."""
+
+    #: canonical clock name (what ``Context.clock.name`` reports)
+    name: str = "abstract"
+
+    @abstractmethod
+    def time(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Advance ``seconds`` into the future (really sleeping, or
+        advancing virtual time).  Negative/zero amounts are no-ops."""
+
+
+class MonotonicClock(Clock):
+    """Real time: ``time.perf_counter`` + ``time.sleep``."""
+
+    name = "monotonic"
+
+    def time(self) -> float:
+        """Wall-clock ``time.perf_counter()``."""
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        """Really sleep ``seconds`` of wall-clock time."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Simulated time: ``sleep`` advances a counter and returns.
+
+    The counter is shared by every task of the owning context and
+    mutated from backend worker threads, so it is guarded by a
+    monitored :class:`~repro.engine.linthooks.HookLock` — the lockset
+    race detector covers it like any other shared engine structure.
+    """
+
+    name = "virtual"
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = linthooks.make_lock("VirtualClock")
+
+    def time(self) -> float:
+        """Current virtual time."""
+        with self._lock:
+            linthooks.access(self, "now", write=False)
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Atomically advance virtual time by ``seconds`` (no waiting)."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            linthooks.access(self, "now", write=True)
+            self._now += seconds
+
+    def advance(self, seconds: float) -> float:
+        """Explicitly advance virtual time (test hook); returns the new
+        time.  Unlike :meth:`sleep`, negative amounts raise."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        with self._lock:
+            linthooks.access(self, "now", write=True)
+            self._now += seconds
+            return self._now
+
+
+def resolve_clock_spec(name: str | None = None) -> str:
+    """Fill an unset clock name from ``$REPRO_CLOCK``, defaulting to
+    ``"monotonic"``."""
+    if name is None:
+        name = os.environ.get("REPRO_CLOCK") or None
+    return name or "monotonic"
+
+
+def create_clock(name: str | None = None) -> Clock:
+    """Instantiate the clock named by ``name`` (or the environment, or
+    the monotonic default).  Unknown names raise
+    :class:`~repro.engine.errors.EngineError`."""
+    normalized = resolve_clock_spec(name).strip().lower()
+    if normalized in _MONOTONIC_NAMES:
+        return MonotonicClock()
+    if normalized in _VIRTUAL_NAMES:
+        return VirtualClock()
+    raise EngineError(
+        f"unknown clock {name!r}; expected one of "
+        f"{', '.join(sorted(_MONOTONIC_NAMES + _VIRTUAL_NAMES))}")

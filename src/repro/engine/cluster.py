@@ -15,7 +15,10 @@ makes co-partitioned joins communication-free.
 Node liveness: the fault-tolerance layer can *kill* a node (its shuffle
 outputs and cached partitions are lost and must be recomputed from
 lineage) or *exclude* one (Spark's blacklisting — the node keeps its
-data but receives no new tasks).  Partitions whose primary node is
+data but receives no new tasks).  The straggler layer adds a third,
+softer state: *quarantine*, a timed exclusion driven by
+:class:`NodeHealthTracker` scores that ends with probational
+readmission.  Partitions whose primary node is
 unavailable are re-placed deterministically onto the remaining available
 nodes, modelling the scheduler moving tasks to healthy executors.
 """
@@ -65,6 +68,11 @@ class Cluster:
     dead_nodes: set[int] = field(init=False, default_factory=set)
     #: nodes blacklisted by the scheduler (alive, but receive no tasks)
     excluded_nodes: set[int] = field(init=False, default_factory=set)
+    #: nodes temporarily quarantined by the straggler health tracker,
+    #: mapped to the clock time at which they become eligible for
+    #: probational readmission
+    quarantined_nodes: dict[int, float] = field(init=False,
+                                                default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -90,11 +98,13 @@ class Cluster:
                 f"node_id must be in [0, {self.num_nodes}), got {node_id}")
 
     def is_available(self, node_id: int) -> bool:
-        """True iff the node is alive and not excluded from scheduling."""
+        """True iff the node is alive and neither excluded nor
+        quarantined — i.e. it may receive new tasks."""
         with self._lock:
             linthooks.access(self, "liveness", write=False)
             return (node_id not in self.dead_nodes
-                    and node_id not in self.excluded_nodes)
+                    and node_id not in self.excluded_nodes
+                    and node_id not in self.quarantined_nodes)
 
     @property
     def available_nodes(self) -> list[int]:
@@ -147,6 +157,46 @@ class Cluster:
             self.excluded_nodes.discard(node_id)
 
     # ------------------------------------------------------------------
+    # quarantine (straggler health layer)
+    # ------------------------------------------------------------------
+    def quarantine_node(self, node_id: int, until: float) -> bool:
+        """Quarantine a straggling node until clock time ``until``.
+
+        Like :meth:`exclude_node`, but temporary: the node keeps its
+        data and is eligible for probational readmission once the
+        engine clock passes ``until`` (see :meth:`quarantine_expired`).
+        Returns False (and does nothing) when quarantining would leave
+        no available node.
+        """
+        self._check_node_id(node_id)
+        with self._lock:
+            if node_id in self.quarantined_nodes:
+                return True
+            if len(self.available_nodes) <= 1 \
+                    and self.is_available(node_id):
+                return False
+            linthooks.access(self, "liveness", write=True)
+            self.quarantined_nodes[node_id] = until
+            return True
+
+    def readmit_node(self, node_id: int) -> bool:
+        """Lift a node's quarantine (probational readmission).  Returns
+        True iff the node was quarantined — exactly one of several
+        racing callers observes the transition."""
+        self._check_node_id(node_id)
+        with self._lock:
+            linthooks.access(self, "liveness", write=True)
+            return self.quarantined_nodes.pop(node_id, None) is not None
+
+    def quarantine_expired(self, now: float) -> list[int]:
+        """Sorted ids of quarantined nodes whose term ended by ``now``
+        (still quarantined — the caller decides when to readmit)."""
+        with self._lock:
+            linthooks.access(self, "liveness", write=False)
+            return sorted(n for n, until in self.quarantined_nodes.items()
+                          if now >= until)
+
+    # ------------------------------------------------------------------
     # placement
     # ------------------------------------------------------------------
     def node_of_partition(self, partition: int) -> int:
@@ -176,3 +226,58 @@ class Cluster:
         common Spark rule of thumb), capped at 128 partitions so tiny
         test clusters stay cheap."""
         return min(2 * self.total_cores, 128)
+
+
+class NodeHealthTracker:
+    """Decayed per-node badness scores driving quarantine decisions.
+
+    Every straggle (task deadline expiry, lost speculative race) and
+    task failure observed by the :class:`~repro.engine.taskscheduler.
+    TaskScheduler` adds weight to the offending node's score; scores
+    decay exponentially with half-life ``decay_s`` so ancient sins are
+    forgiven.  When a node's score reaches
+    ``EngineConf.quarantine_threshold`` the scheduler quarantines it
+    (see :meth:`Cluster.quarantine_node`); on probational readmission
+    the score is reset to half the threshold, so a single further
+    incident sends a repeat offender straight back.
+
+    All clock values are engine-clock seconds (virtual under
+    :class:`~repro.engine.clock.VirtualClock`), supplied by the caller
+    so the tracker itself stays clock-agnostic.
+    """
+
+    def __init__(self, decay_s: float = 30.0):
+        if decay_s <= 0:
+            raise ValueError(f"decay_s must be > 0, got {decay_s}")
+        self.decay_s = decay_s
+        #: node -> (score at last update, time of last update)
+        self._scores: dict[int, tuple[float, float]] = {}
+        self._lock = linthooks.make_lock("NodeHealth")
+
+    def _decayed(self, node_id: int, now: float) -> float:
+        score, at = self._scores.get(node_id, (0.0, now))
+        if now <= at:
+            return score
+        return score * 0.5 ** ((now - at) / self.decay_s)
+
+    def record(self, node_id: int, weight: float, now: float) -> float:
+        """Charge ``weight`` badness to ``node_id`` at clock time
+        ``now``; returns the node's new decayed score."""
+        with self._lock:
+            linthooks.access(self, "scores", write=True)
+            score = self._decayed(node_id, now) + weight
+            self._scores[node_id] = (score, now)
+            return score
+
+    def score(self, node_id: int, now: float) -> float:
+        """The node's current decayed badness score."""
+        with self._lock:
+            linthooks.access(self, "scores", write=False)
+            return self._decayed(node_id, now)
+
+    def reset(self, node_id: int, score: float = 0.0,
+              now: float = 0.0) -> None:
+        """Overwrite a node's score (used on probational readmission)."""
+        with self._lock:
+            linthooks.access(self, "scores", write=True)
+            self._scores[node_id] = (score, now)

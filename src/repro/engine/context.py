@@ -22,11 +22,13 @@ from . import linthooks
 from .accumulator import Accumulator
 from .backends import create_backend
 from .broadcast import Broadcast
+from .clock import create_clock
 from .cluster import Cluster
 from .errors import ContextStoppedError
 from .events import (EngineEventBus, FaultMetricsListener,
                      HadoopAccountingListener, MemoryEventListener,
-                     MetricsListener, NodeLost, TimelineListener)
+                     MetricsListener, NodeLost, StragglerEventListener,
+                     TimelineListener)
 from .faults import FaultInjector, FaultPlan
 from .memory import MemoryManager
 from .metrics import MetricsCollector
@@ -75,9 +77,48 @@ class EngineConf:
         Fraction of the usable budget guaranteed to storage — execution
         demand cannot shrink the cache below it (Spark's
         ``spark.memory.storageFraction``).
-    ``oom_retry_backoff_s``
-        Base backoff before retrying a task killed by an injected OOM
-        (doubled per attempt); ``0`` disables sleeping.
+    ``retry_backoff_base_s`` / ``retry_backoff_max_s`` /
+    ``retry_backoff_jitter``
+        Unified retry backoff for every retryable task failure class
+        (injected faults, OOM kills, timeouts): the retrying attempt
+        sleeps ``base * 2**attempt`` capped at ``max``, scaled by a
+        seeded jitter factor in ``[1 - jitter, 1 + jitter]`` (see
+        :func:`~repro.engine.speculation.backoff_delay`).  ``base`` of
+        ``0`` disables sleeping.
+    ``task_deadline_s``
+        Hard per-attempt deadline: an attempt that overruns it is
+        killed at its next cooperative checkpoint with
+        :class:`~repro.engine.errors.TaskTimedOutError` and retried on
+        another node (counting as a straggle against its node).
+        ``None`` (default) defers to ``$REPRO_TASK_DEADLINE_S``, then
+        disables deadlines.
+    ``speculation``
+        Opt-in speculative execution: once a stage has
+        ``speculative_min_tasks`` completed tasks, an attempt running
+        longer than ``speculative_multiplier`` times the stage's median
+        task runtime (never less than ``speculative_min_deadline_s``)
+        triggers a backup attempt on a different node; the first result
+        computed wins (commit-once, bit-identical either way).  ``None``
+        defers to ``$REPRO_SPECULATION``, then ``False``.
+    ``speculative_multiplier`` / ``speculative_min_tasks`` /
+    ``speculative_min_deadline_s``
+        Shape of the adaptive speculative deadline (see above).
+    ``speculative_hard_cap``
+        Safety net: with speculation on and no explicit
+        ``task_deadline_s``, an attempt is hard-killed after
+        ``speculative_hard_cap`` times its speculative deadline — this
+        is what rescues a task whose *primary* hangs forever.
+    ``quarantine_threshold``
+        Decayed per-node badness score (failures weigh 1, straggles
+        weigh 1; half-life ``quarantine_decay_s``) at which a node is
+        quarantined for ``quarantine_duration_s`` engine-clock seconds,
+        then readmitted on probation at half the threshold score.
+        ``None`` (default) disables quarantine.
+    ``clock``
+        Engine time source: ``"monotonic"`` (real time, the default) or
+        ``"virtual"`` (sleeps advance a counter and return immediately
+        — simulated time for tests/benchmarks).  ``None`` defers to
+        ``$REPRO_CLOCK``, then ``"monotonic"``.
     ``backend``
         Executor backend running each stage's tasks: ``"serial"`` (the
         default — tasks run one after another on the driver thread) or
@@ -107,7 +148,19 @@ class EngineConf:
     memory_total_bytes: int | None = None
     memory_fraction: float = 0.6
     storage_fraction: float = 0.5
-    oom_retry_backoff_s: float = 0.01
+    retry_backoff_base_s: float = 0.01
+    retry_backoff_max_s: float = 1.0
+    retry_backoff_jitter: float = 0.5
+    task_deadline_s: float | None = None
+    speculation: bool | None = None
+    speculative_multiplier: float = 4.0
+    speculative_min_tasks: int = 3
+    speculative_min_deadline_s: float = 0.25
+    speculative_hard_cap: float = 16.0
+    quarantine_threshold: float | None = None
+    quarantine_decay_s: float = 30.0
+    quarantine_duration_s: float = 60.0
+    clock: str | None = None
     backend: str | None = None
     backend_workers: int | None = None
     kernel: str | None = None
@@ -143,6 +196,10 @@ class Context:
         self.cluster = cluster or Cluster(num_nodes=num_nodes,
                                           cores_per_node=cores_per_node)
         self.conf = conf or EngineConf()
+        #: engine time source (monotonic or virtual) every time-domain
+        #: feature — injected delays, deadlines, backoff, quarantine —
+        #: reads and sleeps through
+        self.clock = create_clock(self.conf.clock)
         self.execution_mode = execution_mode
         self.default_parallelism = (
             default_parallelism if default_parallelism is not None
@@ -190,6 +247,7 @@ class Context:
         self.event_bus.subscribe(MetricsListener(self.metrics))
         self.event_bus.subscribe(FaultMetricsListener(self.metrics))
         self.event_bus.subscribe(MemoryEventListener(self.metrics))
+        self.event_bus.subscribe(StragglerEventListener(self.metrics))
         if self.hadoop_mode:
             self.event_bus.subscribe(
                 HadoopAccountingListener(self.metrics))

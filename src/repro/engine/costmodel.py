@@ -111,6 +111,10 @@ class RunStats:
     #: runs, demoted cache entries, spill-mode task working sets);
     #: priced as a write plus a read-back against disk bandwidth
     spill_bytes: int = 0
+    #: attempt-seconds thrown away by the straggler layer (timed-out
+    #: attempts and cancelled speculation losers) — duplicated work the
+    #: cluster really spent, priced as extra CPU seconds
+    straggler_wasted_s: float = 0.0
     #: max-node records / mean-node records (load imbalance), >= 1
     node_skew: float = 1.0
 
@@ -145,6 +149,7 @@ class RunStats:
             cache_bytes=sum(metrics.cache_bytes_written.values()),
             broadcast_bytes=metrics.broadcast_bytes,
             spill_bytes=metrics.memory.spill_bytes,
+            straggler_wasted_s=metrics.stragglers.wasted_attempt_s,
             node_skew=skew,
         )
 
@@ -162,6 +167,8 @@ class RunStats:
             cache_bytes=self.cache_bytes + other.cache_bytes,
             broadcast_bytes=self.broadcast_bytes + other.broadcast_bytes,
             spill_bytes=self.spill_bytes + other.spill_bytes,
+            straggler_wasted_s=self.straggler_wasted_s
+            + other.straggler_wasted_s,
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -179,6 +186,8 @@ class RunStats:
             cache_bytes=max(0, self.cache_bytes - other.cache_bytes),
             broadcast_bytes=max(0, self.broadcast_bytes - other.broadcast_bytes),
             spill_bytes=max(0, self.spill_bytes - other.spill_bytes),
+            straggler_wasted_s=max(
+                0.0, self.straggler_wasted_s - other.straggler_wasted_s),
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -196,6 +205,7 @@ class RunStats:
             cache_bytes=int(self.cache_bytes * k),
             broadcast_bytes=int(self.broadcast_bytes * k),
             spill_bytes=int(self.spill_bytes * k),
+            straggler_wasted_s=self.straggler_wasted_s * k,
             node_skew=self.node_skew,
         )
 
@@ -215,6 +225,7 @@ class RunStats:
             cache_bytes=int(self.cache_bytes * factor),
             broadcast_bytes=int(self.broadcast_bytes * factor),
             spill_bytes=int(self.spill_bytes * factor),
+            straggler_wasted_s=self.straggler_wasted_s * factor,
         )
 
 
@@ -269,7 +280,8 @@ class CostModel:
         bytes_processed = stats.shuffle_total_bytes + stats.cache_bytes
         cpu_seconds = (stats.records_processed * record_cost
                        + bytes_processed / p.ser_bw_bytes_per_s
-                       + stats.flops / p.flops_per_second_per_core)
+                       + stats.flops / p.flops_per_second_per_core
+                       + stats.straggler_wasted_s)
         compute = cpu_seconds / effective_cores * stats.node_skew
 
         remote_bytes = stats.shuffle_total_bytes * self.remote_fraction(num_nodes)

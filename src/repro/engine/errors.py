@@ -72,6 +72,55 @@ class OutOfMemoryError(EngineError):
         self.budget_bytes = budget_bytes
 
 
+class TaskTimedOutError(EngineError):
+    """A task attempt overran its hard deadline
+    (``EngineConf.task_deadline_s``, or the speculative safety cap).
+
+    Retryable: the scheduler counts it as a straggle against the node,
+    backs off and re-runs the task.  Only cooperative checkpoints
+    observe deadlines — injected delay/hang sleeps and the per-record
+    guard — so a deadline can only fire where the task can be safely
+    abandoned.
+    """
+
+    def __init__(self, message: str, partition: int, elapsed_s: float,
+                 deadline_s: float, stage_id: int | None = None):
+        super().__init__(message)
+        self.partition = partition
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        self.stage_id = stage_id
+
+
+class CancelledAttempt(BaseException):
+    """Cooperative-cancellation signal raised from a task attempt's
+    checkpoints (see
+    :class:`~repro.engine.speculation.CancellationToken`).
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``): a
+    cancelled attempt is control flow, not a task fault, and must never
+    be swallowed by the task retry loop's ``except Exception`` — that
+    is exactly the satellite fix in ``TaskScheduler._run_task``.
+
+    ``kind`` distinguishes why the attempt ended:
+
+    ``"speculation-deadline"``
+        The attempt overran its speculative deadline on a backend with
+        no concurrent speculation (serial): the scheduler fails over to
+        a backup attempt on another node inline.
+    ``"speculation-lost"``
+        A concurrent backup attempt committed first; this attempt's
+        result is discarded (commit-once latch).
+    ``"task-set-cancelled"``
+        A sibling task of the same set failed terminally; the backend
+        cancelled the rest of the set.
+    """
+
+    def __init__(self, message: str, kind: str = "cancelled"):
+        super().__init__(message)
+        self.kind = kind
+
+
 class BackendError(EngineError):
     """An executor backend could not be resolved or configured (unknown
     ``EngineConf.backend`` / ``REPRO_BACKEND`` name, bad worker count)."""

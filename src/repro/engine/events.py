@@ -119,7 +119,9 @@ class TaskEnd:
 
 @dataclass(frozen=True)
 class TaskFailure:
-    """A task attempt failed with a retryable error."""
+    """A task attempt failed with a retryable error.  ``backoff_s`` is
+    the seeded-jitter delay the scheduler will sleep before the retry
+    (0 when not retrying or backoff is disabled)."""
 
     stage_id: int
     partition: int
@@ -127,7 +129,79 @@ class TaskFailure:
     node: int
     error: Exception
     will_retry: bool
+    backoff_s: float = 0.0
     handler = "on_task_failure"
+
+
+@dataclass(frozen=True)
+class TaskTimedOut:
+    """A task attempt overran its hard deadline and was abandoned at a
+    cooperative checkpoint (counted as a straggle, not a failure, for
+    node-health purposes).  ``backoff_s`` is the seeded-jitter delay
+    the scheduler will sleep before the retry (0 when not retrying or
+    backoff is disabled)."""
+
+    stage_id: int
+    partition: int
+    attempt: int
+    node: int
+    elapsed_s: float
+    deadline_s: float
+    will_retry: bool
+    backoff_s: float = 0.0
+    handler = "on_task_timed_out"
+
+
+@dataclass(frozen=True)
+class TaskSpeculated:
+    """A task attempt overran its speculative deadline; a backup
+    attempt was launched on ``backup_node``."""
+
+    stage_id: int
+    partition: int
+    attempt: int
+    node: int
+    backup_node: int
+    deadline_s: float
+    handler = "on_task_speculated"
+
+
+@dataclass(frozen=True)
+class TaskAttemptCancelled:
+    """One side of a speculation race ended without committing:
+    ``reason`` is ``"lost-race"`` (the attempt finished second),
+    ``"cancelled"`` (it observed the winner's cancellation mid-compute)
+    or ``"backup-failed"`` (the backup died; the primary's result
+    stands).  ``elapsed_s`` is the duplicated work's wasted time."""
+
+    stage_id: int
+    partition: int
+    attempt: int
+    node: int
+    elapsed_s: float
+    reason: str
+    handler = "on_task_attempt_cancelled"
+
+
+@dataclass(frozen=True)
+class NodeQuarantined:
+    """A node's decayed failure/straggle score crossed the quarantine
+    threshold; it receives no tasks until ``until_s`` (context-clock
+    time)."""
+
+    node: int
+    score: float
+    until_s: float
+    handler = "on_node_quarantined"
+
+
+@dataclass(frozen=True)
+class NodeReadmitted:
+    """A quarantined node's penalty expired; it is probationally back
+    in placement with its health score halved to the threshold."""
+
+    node: int
+    handler = "on_node_readmitted"
 
 
 @dataclass(frozen=True)
@@ -236,6 +310,22 @@ class EngineListener:
 
     def on_task_failure(self, event: TaskFailure) -> None:
         """Handle :class:`TaskFailure`."""
+
+    def on_task_timed_out(self, event: TaskTimedOut) -> None:
+        """Handle :class:`TaskTimedOut`."""
+
+    def on_task_speculated(self, event: TaskSpeculated) -> None:
+        """Handle :class:`TaskSpeculated`."""
+
+    def on_task_attempt_cancelled(
+            self, event: TaskAttemptCancelled) -> None:
+        """Handle :class:`TaskAttemptCancelled`."""
+
+    def on_node_quarantined(self, event: NodeQuarantined) -> None:
+        """Handle :class:`NodeQuarantined`."""
+
+    def on_node_readmitted(self, event: NodeReadmitted) -> None:
+        """Handle :class:`NodeReadmitted`."""
 
     def on_node_excluded(self, event: NodeExcluded) -> None:
         """Handle :class:`NodeExcluded`."""
@@ -364,6 +454,61 @@ class FaultMetricsListener(EngineListener):
         f.nodes_killed += 1
         f.map_outputs_lost += event.map_outputs_lost
         f.cached_partitions_lost += event.cached_partitions_lost
+
+
+class StragglerEventListener(EngineListener):
+    """Feeds :class:`~repro.engine.metrics.StragglerMetrics` from the
+    time-domain events: timeouts, speculation launches/outcomes,
+    quarantine transitions and retry backoff."""
+
+    def __init__(self, collector: "MetricsCollector"):
+        self._collector = collector
+
+    @property
+    def _stragglers(self):
+        return self._collector.stragglers
+
+    def on_task_timed_out(self, event: TaskTimedOut) -> None:
+        """Count a hard-deadline expiry, its wasted attempt time and
+        the retry's backoff sleep."""
+        s = self._stragglers
+        s.add("tasks_timed_out", 1)
+        s.add("wasted_attempt_s", event.elapsed_s)
+        if event.backoff_s > 0:
+            s.add("backoff_sleeps", 1)
+            s.add("backoff_total_s", event.backoff_s)
+
+    def on_task_speculated(self, event: TaskSpeculated) -> None:
+        """Count a backup-attempt launch."""
+        self._stragglers.add("tasks_speculated", 1)
+
+    def on_task_attempt_cancelled(
+            self, event: TaskAttemptCancelled) -> None:
+        """Count one discarded side of a speculation race."""
+        s = self._stragglers
+        s.add("attempts_cancelled", 1)
+        s.add("wasted_attempt_s", event.elapsed_s)
+
+    def on_task_end(self, event: TaskEnd) -> None:
+        """Recognize committed backup attempts as speculative wins."""
+        from .speculation import SPECULATIVE_ATTEMPT_OFFSET
+        if event.attempt >= SPECULATIVE_ATTEMPT_OFFSET:
+            self._stragglers.add("speculative_wins", 1)
+
+    def on_task_failure(self, event: TaskFailure) -> None:
+        """Account the retry's backoff sleep."""
+        if event.backoff_s > 0:
+            s = self._stragglers
+            s.add("backoff_sleeps", 1)
+            s.add("backoff_total_s", event.backoff_s)
+
+    def on_node_quarantined(self, event: NodeQuarantined) -> None:
+        """Count a node entering quarantine."""
+        self._stragglers.add("nodes_quarantined", 1)
+
+    def on_node_readmitted(self, event: NodeReadmitted) -> None:
+        """Count a probational readmission."""
+        self._stragglers.add("nodes_readmitted", 1)
 
 
 class MemoryEventListener(EngineListener):

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, TYPE_CHECKING
@@ -54,6 +53,7 @@ from .partitioner import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import Context
+    from .speculation import CancellationToken
 
 
 class InjectedFaultError(EngineError):
@@ -117,6 +117,28 @@ class FaultPlan:
     ``straggler_prob`` / ``straggler_delay_s``
         Probability per task attempt of sleeping ``straggler_delay_s``
         before the task runs (wall-clock skew for duration metrics).
+        Legacy, non-cooperative: the sleep goes through the context
+        clock but ignores deadlines; prefer the slow-task knobs below.
+    ``task_base_delay_s``
+        Uniform cooperative delay added to every task attempt — the
+        simulated service time that gives virtual-clock workloads a
+        nonzero baseline iteration time.
+    ``slow_task_prob`` / ``slow_task_delay_s``
+        Seeded per-attempt probability of adding ``slow_task_delay_s``
+        of *cooperative* delay (observes deadlines/cancellation, routed
+        through the attempt's token) — the transient-straggler model.
+    ``slow_node_budgets`` / ``slow_node_prob``
+        ``{node_id: delay_s}`` — attempts placed on a listed node stall
+        ``delay_s`` cooperative seconds, each with probability
+        ``slow_node_prob`` (default 1.0: a persistently slow node;
+        lower values model an intermittently slow one).
+    ``hang_task_prob`` / ``max_injected_hangs_per_task``
+        Seeded per-attempt probability of hanging forever at task
+        start.  A hang only terminates via the attempt's deadline or
+        cancellation; injecting one into an attempt with neither raises
+        :class:`~repro.engine.errors.EngineError` instead of
+        deadlocking.  At most ``max_injected_hangs_per_task`` hangs hit
+        any one ``(stage, partition)``, so retries heal them.
     ``broken_nodes``
         Node ids whose tasks always fail — models bad hardware; combined
         with ``EngineConf.node_max_failures`` this exercises node
@@ -130,8 +152,8 @@ class FaultPlan:
         :class:`~repro.engine.errors.OutOfMemoryError`.  The scheduler
         recovers by demoting the persisted RDDs feeding the task
         (RAW -> SER -> DISK, falling back to task spill mode) and
-        retrying with per-attempt backoff
-        (``EngineConf.oom_retry_backoff_s``).
+        retrying with seeded-jitter exponential backoff
+        (``EngineConf.retry_backoff_base_s``).
     """
 
     seed: int = 0
@@ -141,13 +163,21 @@ class FaultPlan:
     fetch_failure_prob: float = 0.0
     straggler_prob: float = 0.0
     straggler_delay_s: float = 0.0
+    task_base_delay_s: float = 0.0
+    slow_task_prob: float = 0.0
+    slow_task_delay_s: float = 0.0
+    slow_node_budgets: dict[int, float] = field(default_factory=dict)
+    slow_node_prob: float = 1.0
+    hang_task_prob: float = 0.0
+    max_injected_hangs_per_task: int = 1
     broken_nodes: tuple[int, ...] = ()
     node_kills: tuple[NodeKillEvent, ...] = ()
     oom_node_budgets: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name in ("task_failure_prob", "fetch_failure_prob",
-                     "straggler_prob"):
+                     "straggler_prob", "slow_task_prob",
+                     "slow_node_prob", "hang_task_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
@@ -157,8 +187,12 @@ class FaultPlan:
                 f"got {self.task_failure_mode!r}")
         if self.max_injected_failures_per_task < 0:
             raise ValueError("max_injected_failures_per_task must be >= 0")
-        if self.straggler_delay_s < 0:
-            raise ValueError("straggler_delay_s must be >= 0")
+        if self.max_injected_hangs_per_task < 0:
+            raise ValueError("max_injected_hangs_per_task must be >= 0")
+        for name in ("straggler_delay_s", "task_base_delay_s",
+                     "slow_task_delay_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
         self.broken_nodes = tuple(self.broken_nodes)
         self.node_kills = tuple(self.node_kills)
         self.oom_node_budgets = dict(self.oom_node_budgets)
@@ -166,6 +200,19 @@ class FaultPlan:
             if budget <= 0:
                 raise ValueError(
                     f"oom_node_budgets[{node}] must be > 0, got {budget}")
+        self.slow_node_budgets = dict(self.slow_node_budgets)
+        for node, delay in self.slow_node_budgets.items():
+            if delay <= 0:
+                raise ValueError(
+                    f"slow_node_budgets[{node}] must be > 0, got {delay}")
+
+    @property
+    def injects_delays(self) -> bool:
+        """True iff the plan can delay or hang task attempts."""
+        return bool(self.task_base_delay_s
+                    or (self.slow_task_prob and self.slow_task_delay_s)
+                    or self.slow_node_budgets
+                    or self.hang_task_prob)
 
     @property
     def is_null(self) -> bool:
@@ -173,6 +220,7 @@ class FaultPlan:
         return (self.task_failure_prob == 0.0
                 and self.fetch_failure_prob == 0.0
                 and self.straggler_prob == 0.0
+                and not self.injects_delays
                 and not self.broken_nodes
                 and not self.node_kills
                 and not self.oom_node_budgets)
@@ -210,6 +258,7 @@ class FaultInjector(EngineListener):
         self._lock = threading.RLock()
         self._task_attempts_started = 0
         self._injected_per_task: dict[tuple[int, int], int] = {}
+        self._hangs_per_task: dict[tuple[int, int], int] = {}
         self._fired_kills: set[int] = set()
         #: per-block fetch occurrence counters: the k-th read of a block
         #: is an independent seeded decision, stable across backends
@@ -268,10 +317,97 @@ class FaultInjector(EngineListener):
                 with self._lock:
                     self._faults().stragglers_injected += 1
                 if plan.straggler_delay_s:
-                    time.sleep(plan.straggler_delay_s)
+                    self._ctx.clock.sleep(plan.straggler_delay_s)
 
-    def wrap_task_iterator(self, records: Iterable, stage_id: int,
-                           partition: int, attempt: int) -> Iterable:
+    def wrap_task_iterator(
+            self, records: Iterable, stage_id: int, partition: int,
+            attempt: int, node: int = 0,
+            token: "CancellationToken | None" = None) -> Iterable:
+        """Possibly poison and/or delay the task's record stream.
+
+        Failure poisoning (``task_failure_prob``) composes with the
+        time-domain injections: the attempt first serves its injected
+        delay/hang (cooperatively, through ``token`` when one is
+        present, so deadlines and cancellation interrupt the stall),
+        then streams the possibly-poisoned records.
+        """
+        plan = self.plan
+        records = self._poison_iterator(records, stage_id, partition,
+                                        attempt)
+        if not plan.injects_delays:
+            return records
+        delay, hang = self._draw_delays(stage_id, partition, attempt,
+                                        node)
+        if not delay and not hang:
+            return records
+        return self._delayed_iterator(records, delay, hang, token)
+
+    def _draw_delays(self, stage_id: int, partition: int, attempt: int,
+                     node: int) -> tuple[float, bool]:
+        """Seeded time-domain decisions for one attempt: total injected
+        delay seconds, and whether the attempt hangs."""
+        plan = self.plan
+        delay = plan.task_base_delay_s
+        slow_draws = 0
+        if plan.slow_task_prob and plan.slow_task_delay_s:
+            rng = self._site_rng("slow", stage_id, partition, attempt)
+            if rng.random() < plan.slow_task_prob:
+                delay += plan.slow_task_delay_s
+                slow_draws += 1
+        node_delay = plan.slow_node_budgets.get(node)
+        if node_delay:
+            rng = self._site_rng("slownode", node, stage_id, partition,
+                                 attempt)
+            if rng.random() < plan.slow_node_prob:
+                delay += node_delay
+                slow_draws += 1
+        hang = False
+        if plan.hang_task_prob:
+            key = (stage_id, partition)
+            rng = self._site_rng("hang", stage_id, partition, attempt)
+            with self._lock:
+                if (self._hangs_per_task.get(key, 0)
+                        < plan.max_injected_hangs_per_task
+                        and rng.random() < plan.hang_task_prob):
+                    self._hangs_per_task[key] = \
+                        self._hangs_per_task.get(key, 0) + 1
+                    hang = True
+        stragglers = self._ctx.metrics.stragglers
+        if slow_draws:
+            stragglers.add("injected_slow_tasks", slow_draws)
+        if delay:
+            stragglers.add("injected_delay_s", delay)
+        if hang:
+            stragglers.add("injected_hangs", 1)
+        return delay, hang
+
+    def _delayed_iterator(self, records: Iterable, delay: float,
+                          hang: bool,
+                          token: "CancellationToken | None") -> Iterator:
+        """Serve the injected delay/hang, then stream ``records``.  The
+        stall happens lazily, on first ``next()`` — inside the task's
+        retry/timeout scope."""
+        clock = self._ctx.clock
+
+        def delayed() -> Iterator:
+            if delay:
+                if token is not None:
+                    token.sleep(delay)
+                else:
+                    clock.sleep(delay)
+            if hang:
+                if token is None:
+                    raise EngineError(
+                        "injected hang cannot terminate: the attempt "
+                        "has no cancellation token (set "
+                        "EngineConf.task_deadline_s or enable "
+                        "speculation)")
+                token.hang()
+            yield from records
+        return delayed()
+
+    def _poison_iterator(self, records: Iterable, stage_id: int,
+                         partition: int, attempt: int) -> Iterable:
         """Possibly poison the task's record stream per the plan."""
         plan = self.plan
         if not plan.task_failure_prob:

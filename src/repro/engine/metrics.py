@@ -262,6 +262,64 @@ class MemoryMetrics:
             self.demotion_events.append(event)
 
 
+@dataclass
+class StragglerMetrics:
+    """Accounting for the straggler-resilience layer: injected slowness,
+    deadline expiries, speculative attempts and node quarantine.
+
+    Like :class:`MemoryMetrics`, counters are fed concurrently by
+    backend worker threads (through the fault injector's delay draws,
+    the task scheduler's retry loop and the event-bus straggler
+    listener), so all writes go through the lock-protected :meth:`add`;
+    bare single-counter reads are safe atomic attribute loads.
+    """
+
+    #: task attempts that overran a hard deadline (TaskTimedOutError)
+    tasks_timed_out: int = 0
+    #: backup attempts launched past the speculative deadline
+    tasks_speculated: int = 0
+    #: backup attempts that committed before their primary
+    speculative_wins: int = 0
+    #: attempts abandoned at a cancellation checkpoint (lost races,
+    #: task-set cancellations, failed backups)
+    attempts_cancelled: int = 0
+    #: slow-task / slow-node delays injected by the FaultPlan
+    injected_slow_tasks: int = 0
+    #: indefinite hangs injected by the FaultPlan
+    injected_hangs: int = 0
+    #: total injected delay, in (possibly virtual) seconds
+    injected_delay_s: float = 0.0
+    #: retry backoff sleeps taken by the task retry loop
+    backoff_sleeps: int = 0
+    #: total backoff slept, in (possibly virtual) seconds
+    backoff_total_s: float = 0.0
+    #: attempt-seconds spent on work that was thrown away (timed-out
+    #: and cancelled attempts)
+    wasted_attempt_s: float = 0.0
+    #: nodes quarantined by the health tracker
+    nodes_quarantined: int = 0
+    #: quarantined nodes readmitted on probation after expiry
+    nodes_readmitted: int = 0
+
+    def __post_init__(self) -> None:
+        # not a dataclass field: excluded from __eq__/__repr__
+        self._lock = linthooks.make_lock("StragglerMetrics")
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Atomically add ``amount`` to the named counter field."""
+        with self._lock:
+            linthooks.access(self, counter, write=True)
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    @property
+    def any_activity(self) -> bool:
+        """Whether anything straggler-related happened this run."""
+        return bool(self.tasks_timed_out or self.tasks_speculated
+                    or self.attempts_cancelled or self.injected_slow_tasks
+                    or self.injected_hangs or self.backoff_sleeps
+                    or self.nodes_quarantined)
+
+
 class MetricsCollector:
     """Accumulates job/stage metrics for one :class:`~repro.engine.Context`.
 
@@ -274,6 +332,7 @@ class MetricsCollector:
         self.hadoop = HadoopMetrics()
         self.faults = FaultMetrics()
         self.memory = MemoryMetrics()
+        self.stragglers = StragglerMetrics()
         self._phase_stack: list[str] = ["Other"]
         #: bytes deserialized out of MEMORY_SER cache (ablation metric)
         self.cache_deserialized_bytes: int = 0
@@ -438,6 +497,19 @@ class MetricsCollector:
                 f"{f.records_recomputed:,} records recomputed, "
                 f"{f.nodes_killed} nodes killed, "
                 f"{f.nodes_excluded} excluded")
+        if self.stragglers.any_activity:
+            s = self.stragglers
+            lines.append(
+                f"stragglers          : {s.injected_slow_tasks} slow tasks "
+                f"({s.injected_delay_s:.2f}s), {s.injected_hangs} hangs, "
+                f"{s.tasks_timed_out} timeouts, {s.tasks_speculated} "
+                f"speculated ({s.speculative_wins} backup wins), "
+                f"{s.attempts_cancelled} cancelled, "
+                f"{s.backoff_sleeps} backoffs "
+                f"({s.backoff_total_s:.2f}s), "
+                f"{s.wasted_attempt_s:.2f}s wasted, "
+                f"{s.nodes_quarantined} quarantined "
+                f"({s.nodes_readmitted} readmitted)")
         by_phase = self.shuffle_read_by_phase()
         if len(by_phase) > 1:
             lines.append("per phase (remote B):")
@@ -451,6 +523,7 @@ class MetricsCollector:
         self.hadoop = HadoopMetrics()
         self.faults = FaultMetrics()
         self.memory = MemoryMetrics()
+        self.stragglers = StragglerMetrics()
         self.cache_deserialized_bytes = 0
         self.cache_stored_bytes.clear()
         self.cache_bytes_written.clear()

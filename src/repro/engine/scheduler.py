@@ -51,7 +51,6 @@ preserves the paper's Table 4 semantics under fault injection.
 from __future__ import annotations
 
 import threading
-import time
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
@@ -317,7 +316,7 @@ class DAGScheduler:
             task_set = TaskSet(stage=stage, metrics=metrics,
                                policy=self._memory_policy,
                                shuffle_dep=dep, aggregator=aggregator)
-            stage_start = time.perf_counter()
+            stage_start = self.ctx.clock.time()
             try:
                 results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
@@ -328,7 +327,7 @@ class DAGScheduler:
             for result in results:
                 metrics.add_node_records(result.node, result.count)
                 metrics.output_records += result.count
-            metrics.duration_s = time.perf_counter() - stage_start
+            metrics.duration_s = self.ctx.clock.time() - stage_start
             bus.post(StageCompleted(job_id, metrics, recomputation))
             return
 
@@ -347,7 +346,7 @@ class DAGScheduler:
             task_set = TaskSet(stage=stage, metrics=metrics,
                                policy=self._memory_policy,
                                process=partition_func)
-            stage_start = time.perf_counter()
+            stage_start = self.ctx.clock.time()
             try:
                 results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
@@ -358,7 +357,7 @@ class DAGScheduler:
             for result in results:
                 metrics.add_node_records(result.node, result.count)
                 metrics.output_records += result.count
-            metrics.duration_s = time.perf_counter() - stage_start
+            metrics.duration_s = self.ctx.clock.time() - stage_start
             bus.post(StageCompleted(job_id, metrics))
             return [result.value for result in results]
 

@@ -6,8 +6,9 @@ The :class:`~repro.engine.scheduler.DAGScheduler` decides *what* runs
 :class:`TaskScheduler` decides *how one stage's tasks run*: it builds a
 :class:`TaskSet`, places every task on a node via the cluster, runs the
 per-task retry loop (fault admission, per-node failure counting and
-exclusion, OOM relief), and hands the per-partition thunks to the
-configured :class:`~repro.engine.backends.ExecutorBackend`.
+exclusion, OOM relief, retry backoff), and hands the per-partition
+thunks to the configured
+:class:`~repro.engine.backends.ExecutorBackend`.
 
 Determinism contract (what makes ``ThreadPoolBackend`` bit-identical to
 ``SerialBackend``): results are returned in partition order regardless
@@ -17,23 +18,47 @@ into the stage's record (integer counters commute); and all shared
 engine state the tasks touch (cache, shuffle outputs, memory pools,
 fault injector) is internally locked with order-independent semantics.
 
+Straggler resilience (all opt-in, see :class:`~repro.engine.context
+.EngineConf`): when ``task_deadline_s`` or ``speculation`` is
+configured, every attempt carries a
+:class:`~repro.engine.speculation.CancellationToken` whose cooperative
+checkpoints observe deadlines and cancellation.  An attempt past its
+*speculative* deadline (a multiple of the stage's median task runtime)
+gets a backup attempt on a different node; the first result *computed*
+claims a commit-once latch and only that result reaches the output
+side, so speculation never changes committed bits.  Hard-deadline
+expiries (:class:`~repro.engine.errors.TaskTimedOutError`) and lost
+races feed a decayed per-node health score that can *quarantine* a
+persistently slow node for a while (see
+:class:`~repro.engine.cluster.NodeHealthTracker`).
+
 Instrumentation flows through the
 :class:`~repro.engine.events.EngineEventBus` (``TaskStart`` /
-``TaskEnd`` / ``TaskFailure`` / ``NodeExcluded``); the fault injector
-subscribes to ``TaskStart`` and may raise from it to fail the attempt.
+``TaskEnd`` / ``TaskFailure`` / ``TaskTimedOut`` / ``TaskSpeculated`` /
+``TaskAttemptCancelled`` / ``NodeExcluded`` / ``NodeQuarantined`` /
+``NodeReadmitted``); the fault injector subscribes to ``TaskStart`` and
+may raise from it to fail the attempt.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
-from .errors import FetchFailedError, OutOfMemoryError, TaskFailedError
-from .events import NodeExcluded, TaskEnd, TaskFailure, TaskStart
+from .cluster import NodeHealthTracker
+from .errors import (CancelledAttempt, FetchFailedError, OutOfMemoryError,
+                     TaskFailedError, TaskTimedOutError)
+from .events import (NodeExcluded, NodeQuarantined, NodeReadmitted,
+                     TaskAttemptCancelled, TaskEnd, TaskFailure,
+                     TaskSpeculated, TaskStart, TaskTimedOut)
 from .metrics import StageMetrics
+from .speculation import (SPECULATIVE_ATTEMPT_OFFSET, AttemptOutcome,
+                          CancellationGroup, CancellationToken,
+                          SpeculationLatch, StageRuntimes, backoff_delay,
+                          guard_iterator, resolve_speculation_flag,
+                          resolve_task_deadline)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .backends import ExecutorBackend
@@ -47,11 +72,15 @@ if TYPE_CHECKING:  # pragma: no cover
 class TaskContext:
     """Handed to every RDD ``compute``: identifies the running task and
     carries the metrics sink for its stage (a per-attempt scratch that
-    the task scheduler merges into the stage's record)."""
+    the task scheduler merges into the stage's record).  ``token`` is
+    the attempt's cancellation token when time-domain features are
+    active (long-running compute may call ``token.check()`` at its own
+    safepoints)."""
 
     partition: int
     stage_metrics: StageMetrics
     attempt: int = 0
+    token: CancellationToken | None = None
 
 
 @dataclass
@@ -93,8 +122,9 @@ class TaskSet:
 
     def merge_scratch(self, scratch: StageMetrics) -> None:
         """Fold one attempt's scratch metrics into the stage record.
-        Failed attempts merge too — their partial reads/cache hits are
-        real work, exactly as when tasks mutated the shared object."""
+        Failed and cancelled attempts merge too — their partial reads
+        and cache hits are real work, exactly as when tasks mutated the
+        shared object."""
         with self._lock:
             self.metrics.merge_task(scratch)
 
@@ -106,27 +136,47 @@ class TaskScheduler:
         self.ctx = ctx
         self.backend = backend
         self._exclusion_lock = threading.Lock()
+        conf = ctx.conf
+        #: resolved time-domain configuration (conf -> env -> default)
+        self.speculation = resolve_speculation_flag(conf.speculation)
+        self.task_deadline_s = resolve_task_deadline(conf.task_deadline_s)
+        #: per-stage runtime samples feeding adaptive spec deadlines
+        self.runtimes = StageRuntimes()
+        #: decayed per-node badness scores feeding quarantine
+        self.health = NodeHealthTracker(decay_s=conf.quarantine_decay_s)
+
+    @property
+    def _wants_tokens(self) -> bool:
+        """Whether attempts carry cancellation tokens (any time-domain
+        feature configured).  Off by default: the legacy path has zero
+        per-record overhead and byte-identical scheduling behaviour."""
+        return self.speculation or self.task_deadline_s is not None
 
     # ------------------------------------------------------------------
     def run_task_set(self, task_set: TaskSet) -> list[TaskRunResult]:
         """Execute every partition of the set on the backend; returns
         results in partition order.  Raises the (deterministically
         chosen) failing task's error when the set cannot complete."""
+        group = CancellationGroup() if self._wants_tokens else None
         thunks = [
-            (lambda p=p: self._run_task(task_set, p))
+            (lambda p=p: self._run_task(task_set, p, group))
             for p in range(task_set.stage.num_tasks)
         ]
-        return self.backend.run(thunks)
+        return self.backend.run(thunks, cancel=group)
 
     # ------------------------------------------------------------------
-    def _run_task(self, ts: TaskSet, partition: int) -> TaskRunResult:
+    def _run_task(self, ts: TaskSet, partition: int,
+                  group: CancellationGroup | None = None) -> TaskRunResult:
         """One task's retry loop (runs on a backend worker).
 
         Failed attempts are counted against the node the task ran on;
         once a node accumulates ``conf.node_max_failures`` failures it
         is excluded from placement and the next attempt runs on a
-        healthy node.  Fetch failures propagate to the stage level —
-        retrying in place cannot recover lost shuffle outputs.
+        healthy node.  Timed-out attempts count as *straggles* toward
+        quarantine instead.  Every retry backs off with seeded-jitter
+        exponential delay (``conf.retry_backoff_base_s``).  Fetch
+        failures propagate to the stage level — retrying in place
+        cannot recover lost shuffle outputs.
         """
         ctx = self.ctx
         conf = ctx.conf
@@ -136,70 +186,49 @@ class TaskScheduler:
         max_attempts = conf.task_max_failures
         last_error: Exception | None = None
         for attempt in range(max_attempts):
+            self._readmit_due_nodes()
             node = cluster.node_of_partition(partition)
-            scratch = StageMetrics(
-                stage_id=ts.metrics.stage_id, job_id=ts.metrics.job_id,
-                phase=ts.metrics.phase,
-                is_shuffle_map=ts.metrics.is_shuffle_map,
-                name=ts.metrics.name)
-            task = TaskContext(partition=partition, stage_metrics=scratch,
-                               attempt=attempt)
             try:
-                # the fault injector subscribes to TaskStart and may
-                # raise from it; materialize inside the try so faults
-                # raised lazily (mid-iteration) are still retried
-                bus.post(TaskStart(stage.stage_id, partition, attempt,
-                                   node))
-                records = list(ctx.faults.wrap_task_iterator(
-                    stage.rdd.iterator(partition, task),
-                    stage.stage_id, partition, attempt))
-                ts.policy.admit(stage, partition, node, records)
+                outcome = self._execute_attempt(ts, partition, attempt,
+                                                node, group)
             except (TaskFailedError, FetchFailedError):
-                ts.merge_scratch(scratch)
                 raise
-            except Exception as exc:  # noqa: BLE001 - retry any task fault
-                ts.merge_scratch(scratch)
+            except CancelledAttempt:
+                # control flow, never a task fault: a lost speculation
+                # race is resolved inside _execute_attempt, so what
+                # reaches here is a task-set cancellation — propagate,
+                # exactly like KeyboardInterrupt/SystemExit (all
+                # BaseExceptions the retry clause below cannot swallow)
+                raise
+            except TaskTimedOutError as exc:
                 last_error = exc
                 will_retry = attempt + 1 < max_attempts
+                backoff = self._backoff(stage.stage_id, partition,
+                                        attempt) if will_retry else 0.0
+                bus.post(TaskTimedOut(stage.stage_id, partition, attempt,
+                                      node, exc.elapsed_s, exc.deadline_s,
+                                      will_retry, backoff))
+                self._note_straggle(node)
+                if backoff > 0:
+                    ctx.clock.sleep(backoff)
+                continue
+            except Exception as exc:  # noqa: BLE001 - retry task faults
+                last_error = exc
+                will_retry = attempt + 1 < max_attempts
+                backoff = self._backoff(stage.stage_id, partition,
+                                        attempt) if will_retry else 0.0
                 bus.post(TaskFailure(stage.stage_id, partition, attempt,
-                                     node, exc, will_retry))
-                self._maybe_exclude(node)
+                                     node, exc, will_retry, backoff))
+                self._note_failure(node)
                 if will_retry and isinstance(exc, OutOfMemoryError):
                     # degrade before retrying: demote the persisted RDDs
                     # feeding the task one storage level (or fall back
                     # to spill mode), then back off
                     ts.policy.relieve(stage, partition)
-                    backoff = conf.oom_retry_backoff_s
-                    if backoff > 0:
-                        time.sleep(backoff * (2 ** attempt))
+                if backoff > 0:
+                    ctx.clock.sleep(backoff)
                 continue
-            # the attempt's compute succeeded: the output side (shuffle
-            # write / partition function) is not retried — its errors
-            # propagate raw, matching the old stage-loop structure
-            try:
-                if ts.shuffle_dep is not None:
-                    dep = ts.shuffle_dep
-                    before = scratch.shuffle_write.records_written
-                    ctx._shuffle_manager.write(
-                        dep.shuffle_id, partition, records,
-                        dep.partitioner, scratch.shuffle_write,
-                        ts.aggregator)
-                    count = scratch.shuffle_write.records_written - before
-                    value = None
-                else:
-                    assert ts.process is not None
-                    counted = _CountingIterator(records)
-                    value = ts.process(partition, counted)
-                    count = counted.count
-                # re-resolve placement after execution: output of a task
-                # that outlived its node belongs to the replacement node
-                node = cluster.node_of_partition(partition)
-            finally:
-                ts.merge_scratch(scratch)
-            bus.post(TaskEnd(stage.stage_id, partition, attempt, node,
-                             count))
-            return TaskRunResult(partition=partition, node=node,
-                                 count=count, value=value)
+            return self._commit(ts, partition, outcome)
         raise TaskFailedError(
             f"task for partition {partition} of stage {stage.stage_id} "
             f"failed {max_attempts} times: {last_error}",
@@ -207,6 +236,331 @@ class TaskScheduler:
             stage_id=stage.stage_id)
 
     # ------------------------------------------------------------------
+    # attempt execution (token-free fast path, deadlines, speculation)
+    # ------------------------------------------------------------------
+    def _execute_attempt(self, ts: TaskSet, partition: int, attempt: int,
+                         node: int,
+                         group: CancellationGroup | None) -> AttemptOutcome:
+        """Run one attempt, applying whichever time-domain features are
+        configured: no token at all (the legacy fast path), a hard
+        deadline only, or full speculation (concurrent race on backends
+        that overlap tasks, inline failover on the serial backend)."""
+        if not self._wants_tokens:
+            return self._attempt_compute(ts, partition, attempt, node,
+                                         None)
+        ctx = self.ctx
+        conf = ctx.conf
+        stage_id = ts.stage.stage_id
+        hard = self.task_deadline_s
+        spec: float | None = None
+        if self.speculation:
+            med = self.runtimes.median(stage_id,
+                                       conf.speculative_min_tasks)
+            if med is not None:
+                spec = max(conf.speculative_min_deadline_s,
+                           conf.speculative_multiplier * med)
+                if hard is not None and spec >= hard:
+                    # the hard deadline fires first anyway
+                    spec = None
+                elif hard is None:
+                    # safety net: a hung *primary* must still die even
+                    # if its backup fails
+                    hard = spec * conf.speculative_hard_cap
+        if spec is None:
+            token = CancellationToken(ctx.clock, partition, stage_id,
+                                      group=group, hard_deadline_s=hard)
+            return self._attempt_compute(ts, partition, attempt, node,
+                                         token)
+        if self.backend.supports_speculation:
+            return self._race_attempts(ts, partition, attempt, node,
+                                       group, hard, spec)
+        return self._serial_failover(ts, partition, attempt, node,
+                                     group, hard, spec)
+
+    def _serial_failover(self, ts: TaskSet, partition: int, attempt: int,
+                         node: int, group: CancellationGroup | None,
+                         hard: float | None,
+                         spec: float) -> AttemptOutcome:
+        """Speculation without concurrency: the speculative deadline
+        *cancels* the primary attempt and a backup attempt runs inline
+        on a different node — same decision points as the concurrent
+        race, deterministic order."""
+        ctx = self.ctx
+        bus = ctx.event_bus
+        stage_id = ts.stage.stage_id
+        token = CancellationToken(ctx.clock, partition, stage_id,
+                                  group=group, hard_deadline_s=hard,
+                                  spec_deadline_s=spec, on_late=None)
+        try:
+            return self._attempt_compute(ts, partition, attempt, node,
+                                         token)
+        except CancelledAttempt as exc:
+            if exc.kind != "speculation-deadline":
+                raise
+        backup_node = self._backup_node(partition, node)
+        backup_attempt = attempt + SPECULATIVE_ATTEMPT_OFFSET
+        bus.post(TaskSpeculated(stage_id, partition, attempt, node,
+                                backup_node, spec))
+        bus.post(TaskAttemptCancelled(stage_id, partition, attempt, node,
+                                      token.elapsed(), "cancelled"))
+        self._note_straggle(node)
+        backup_token = CancellationToken(ctx.clock, partition, stage_id,
+                                         group=group,
+                                         hard_deadline_s=hard)
+        return self._attempt_compute(ts, partition, backup_attempt,
+                                     backup_node, backup_token)
+
+    def _race_attempts(self, ts: TaskSet, partition: int, attempt: int,
+                       node: int, group: CancellationGroup | None,
+                       hard: float | None, spec: float) -> AttemptOutcome:
+        """Concurrent speculation (thread backend): the primary's token
+        fires ``on_late`` at the speculative deadline, launching a
+        backup attempt on its own (non-pool) thread; the first attempt
+        to finish computing claims the commit-once latch, the loser is
+        cancelled at its next checkpoint, and the backup thread is
+        always joined before returning — no attempt outlives its
+        stage.  Backup errors are recorded but never surface (the
+        primary may still win; a hung primary dies at the hard cap)."""
+        ctx = self.ctx
+        bus = ctx.event_bus
+        stage_id = ts.stage.stage_id
+        latch = SpeculationLatch()
+
+        def launch_backup(primary_token: CancellationToken) -> None:
+            """Fired once, from the primary's checkpoint, at the
+            speculative deadline."""
+            backup_node = self._backup_node(partition, node)
+            backup_attempt = attempt + SPECULATIVE_ATTEMPT_OFFSET
+            backup_token = CancellationToken(ctx.clock, partition,
+                                             stage_id, group=group,
+                                             hard_deadline_s=hard)
+            latch.backup_token = backup_token
+            bus.post(TaskSpeculated(stage_id, partition, attempt, node,
+                                    backup_node, spec))
+            self._note_straggle(node)
+
+            def run_backup() -> None:
+                """Backup attempt body (its own daemon thread — using
+                the pool could self-deadlock a fully busy stage)."""
+                try:
+                    out = self._attempt_compute(ts, partition,
+                                                backup_attempt,
+                                                backup_node, backup_token)
+                except CancelledAttempt:
+                    bus.post(TaskAttemptCancelled(
+                        stage_id, partition, backup_attempt, backup_node,
+                        backup_token.elapsed(), "cancelled"))
+                except BaseException as exc:  # noqa: BLE001 - see below
+                    # recorded for accounting only: the primary is still
+                    # running and may succeed
+                    latch.backup_failed(exc)
+                    bus.post(TaskAttemptCancelled(
+                        stage_id, partition, backup_attempt, backup_node,
+                        backup_token.elapsed(), "backup-failed"))
+                else:
+                    if latch.offer(out):
+                        primary_token.cancel(
+                            "lost speculation race to backup attempt",
+                            kind="speculation-lost")
+
+            thread = threading.Thread(
+                target=run_backup, daemon=True,
+                name=f"repro-spec-{stage_id}-{partition}")
+            latch.backup_thread = thread
+            thread.start()
+
+        token = CancellationToken(ctx.clock, partition, stage_id,
+                                  group=group, hard_deadline_s=hard,
+                                  spec_deadline_s=spec,
+                                  on_late=launch_backup)
+        try:
+            outcome = self._attempt_compute(ts, partition, attempt, node,
+                                            token)
+        except CancelledAttempt as exc:
+            if exc.kind != "speculation-lost":
+                self._reap_backup(latch)
+                raise
+            # the backup committed and cancelled us; by construction
+            # the latch is already claimed
+            bus.post(TaskAttemptCancelled(stage_id, partition, attempt,
+                                          node, token.elapsed(),
+                                          "lost-race"))
+            winner = latch.wait(timeout=60.0)
+            self._reap_backup(latch)
+            if winner is None:  # pragma: no cover - defensive
+                raise
+            return winner
+        except BaseException:
+            self._reap_backup(latch)
+            raise
+        if latch.offer(outcome):
+            self._reap_backup(latch)
+            return outcome
+        # the backup claimed the latch while the primary was between
+        # checkpoints: honour commit-once (the bits are identical, the
+        # accounting goes to the backup)
+        bus.post(TaskAttemptCancelled(stage_id, partition, attempt, node,
+                                      token.elapsed(), "lost-race"))
+        self._reap_backup(latch)
+        return latch.winner
+
+    @staticmethod
+    def _reap_backup(latch: SpeculationLatch) -> None:
+        """Cancel and join the backup attempt's thread, if one was
+        launched (idempotent)."""
+        if latch.backup_token is not None:
+            latch.backup_token.cancel(
+                "primary attempt finished first",
+                kind="speculation-lost")
+        if latch.backup_thread is not None:
+            latch.backup_thread.join()
+
+    def _attempt_compute(self, ts: TaskSet, partition: int, attempt: int,
+                         node: int,
+                         token: CancellationToken | None) -> AttemptOutcome:
+        """One attempt's compute phase: post ``TaskStart`` (the fault
+        injector may raise from it), materialize the record stream
+        through the fault injector's delay/poison wrappers and the
+        token's per-record guard, and admit the working set.  The
+        output side (shuffle write / partition function) is *not* run
+        here — with speculation only the winning attempt commits."""
+        ctx = self.ctx
+        stage = ts.stage
+        scratch = StageMetrics(
+            stage_id=ts.metrics.stage_id, job_id=ts.metrics.job_id,
+            phase=ts.metrics.phase,
+            is_shuffle_map=ts.metrics.is_shuffle_map,
+            name=ts.metrics.name)
+        task = TaskContext(partition=partition, stage_metrics=scratch,
+                           attempt=attempt, token=token)
+        started = (token.started_s if token is not None
+                   else ctx.clock.time())
+        try:
+            # the fault injector subscribes to TaskStart and may raise
+            # from it; materialize inside the try so faults raised
+            # lazily (mid-iteration) are still retried
+            ctx.event_bus.post(TaskStart(stage.stage_id, partition,
+                                         attempt, node))
+            records = list(guard_iterator(
+                ctx.faults.wrap_task_iterator(
+                    stage.rdd.iterator(partition, task),
+                    stage.stage_id, partition, attempt, node=node,
+                    token=token),
+                token))
+            ts.policy.admit(stage, partition, node, records)
+        except BaseException:
+            ts.merge_scratch(scratch)
+            raise
+        self.runtimes.record(stage.stage_id, ctx.clock.time() - started)
+        return AttemptOutcome(records, scratch, node, attempt)
+
+    def _commit(self, ts: TaskSet, partition: int,
+                outcome: AttemptOutcome) -> TaskRunResult:
+        """Commit the winning attempt's records: shuffle write or
+        partition function, then ``TaskEnd``.  The output side is not
+        retried — its errors propagate raw, matching the old
+        stage-loop structure — and runs exactly once per task
+        (commit-once latch upstream)."""
+        ctx = self.ctx
+        cluster = ctx.cluster
+        bus = ctx.event_bus
+        stage = ts.stage
+        records = outcome.records
+        scratch = outcome.scratch
+        try:
+            if ts.shuffle_dep is not None:
+                dep = ts.shuffle_dep
+                before = scratch.shuffle_write.records_written
+                ctx._shuffle_manager.write(
+                    dep.shuffle_id, partition, records,
+                    dep.partitioner, scratch.shuffle_write,
+                    ts.aggregator)
+                count = scratch.shuffle_write.records_written - before
+                value = None
+            else:
+                assert ts.process is not None
+                counted = _CountingIterator(records)
+                value = ts.process(partition, counted)
+                count = counted.count
+            # re-resolve placement after execution: output of a task
+            # that outlived its node belongs to the replacement node
+            node = cluster.node_of_partition(partition)
+        finally:
+            ts.merge_scratch(scratch)
+        bus.post(TaskEnd(stage.stage_id, partition, outcome.attempt, node,
+                         count))
+        return TaskRunResult(partition=partition, node=node,
+                             count=count, value=value)
+
+    # ------------------------------------------------------------------
+    # node health: exclusion, quarantine, backoff
+    # ------------------------------------------------------------------
+    def _backoff(self, stage_id: int, partition: int,
+                 attempt: int) -> float:
+        """Seeded-jitter exponential backoff before retrying this
+        task's next attempt (identical across backends — the site, not
+        the schedule, drives the draw)."""
+        conf = self.ctx.conf
+        return backoff_delay(conf.retry_backoff_base_s,
+                             conf.retry_backoff_max_s,
+                             conf.retry_backoff_jitter,
+                             self.ctx.fault_plan.seed,
+                             (stage_id, partition, attempt))
+
+    def _backup_node(self, partition: int, node: int) -> int:
+        """Deterministically pick a different available node for the
+        backup attempt (falls back to the same node when it is the only
+        one left)."""
+        available = self.ctx.cluster.available_nodes
+        candidates = [n for n in available if n != node]
+        if not candidates:
+            return node
+        return candidates[partition % len(candidates)]
+
+    def _note_failure(self, node: int) -> None:
+        """Charge a task failure to ``node``: legacy exclusion counting
+        plus the quarantine health score."""
+        self._maybe_exclude(node)
+        self._note_health(node, 1.0)
+
+    def _note_straggle(self, node: int) -> None:
+        """Charge a straggle (timeout or speculation trigger) to
+        ``node``'s quarantine health score."""
+        self._note_health(node, 1.0)
+
+    def _note_health(self, node: int, weight: float) -> None:
+        """Record badness against ``node`` and quarantine it when its
+        decayed score crosses ``conf.quarantine_threshold``."""
+        conf = self.ctx.conf
+        if conf.quarantine_threshold is None:
+            return
+        now = self.ctx.clock.time()
+        score = self.health.record(node, weight, now)
+        if score < conf.quarantine_threshold:
+            return
+        cluster = self.ctx.cluster
+        if not cluster.is_available(node):
+            return
+        until = now + conf.quarantine_duration_s
+        if cluster.quarantine_node(node, until):
+            self.ctx.event_bus.post(NodeQuarantined(node, score, until))
+
+    def _readmit_due_nodes(self) -> None:
+        """Probationally readmit quarantined nodes whose term expired
+        (lazy — checked before each attempt's placement).  A readmitted
+        node restarts at half the quarantine threshold, so one more
+        incident sends a repeat offender straight back."""
+        conf = self.ctx.conf
+        if conf.quarantine_threshold is None:
+            return
+        cluster = self.ctx.cluster
+        now = self.ctx.clock.time()
+        for node in cluster.quarantine_expired(now):
+            if cluster.readmit_node(node):
+                self.health.reset(node, conf.quarantine_threshold / 2.0,
+                                  now)
+                self.ctx.event_bus.post(NodeReadmitted(node))
+
     def _maybe_exclude(self, node: int) -> None:
         """Blacklist ``node`` once its failure count (kept in the fault
         metrics, which the ``TaskFailure`` listener just updated —
