@@ -63,17 +63,19 @@ def execution_mode(algorithm: str) -> str:
 
 
 def make_context(algorithm: str, config: MeasurementConfig,
-                 conf: EngineConf | None = None) -> Context:
+                 conf: EngineConf | None = None,
+                 fault_plan=None) -> Context:
     """Context sized per the measurement configuration.
 
     ``conf`` optionally carries engine tuning (cache capacity, memory
-    budget, fault plan) into the context; the cluster geometry always
-    comes from ``config``.
+    budget) and ``fault_plan`` a :class:`~repro.engine.faults.FaultPlan`
+    (node loss, corruption injection) into the context; the cluster
+    geometry always comes from ``config``.
     """
     return Context(num_nodes=config.measure_nodes,
                    default_parallelism=config.partitions,
                    execution_mode=execution_mode(algorithm),
-                   conf=conf)
+                   conf=conf, fault_plan=fault_plan)
 
 
 def make_driver(algorithm: str, ctx: Context,

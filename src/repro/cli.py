@@ -120,6 +120,28 @@ def _build_parser() -> argparse.ArgumentParser:
                           "the default) or 'virtual' (sleeps advance a "
                           "counter — simulated time).  Defaults to "
                           "$REPRO_CLOCK, then 'monotonic'")
+    dec.add_argument("--integrity", action="store_true", default=False,
+                     help="enable the end-to-end data-integrity layer: "
+                          "CRC-32 checksums on shuffle blocks, "
+                          "broadcasts, cached/spilled blobs and "
+                          "checkpoint shards, verified on every read; "
+                          "detected corruption heals by lineage "
+                          "recomputation.  Defaults to "
+                          "$REPRO_INTEGRITY, then off")
+    dec.add_argument("--corrupt-block-prob", type=float, default=0.0,
+                     metavar="P",
+                     help="fault injection: per-read probability of "
+                          "flipping one byte in a checksummed blob "
+                          "(shuffle/broadcast/cache/spill); needs "
+                          "--integrity to be detected")
+    dec.add_argument("--torn-write-prob", type=float, default=0.0,
+                     metavar="P",
+                     help="fault injection: per-checkpoint probability "
+                          "of truncating one shard after commit "
+                          "(detected and healed on resume)")
+    dec.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for the site-seeded fault injection "
+                          "draws (corruption, torn writes)")
 
     comm = sub.add_parser("communication",
                           help="Figure 4: COO vs QCOO shuffle volume")
@@ -227,7 +249,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             or args.task_deadline is not None
             or args.retry_backoff is not None
             or args.quarantine_threshold is not None
-            or args.clock is not None):
+            or args.clock is not None
+            or args.integrity):
         conf = EngineConf(cache_capacity_bytes=args.cache_budget,
                           memory_total_bytes=args.memory_budget,
                           backend=args.backend,
@@ -236,10 +259,18 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                           speculation=args.speculation or None,
                           task_deadline_s=args.task_deadline,
                           quarantine_threshold=args.quarantine_threshold,
-                          clock=args.clock)
+                          clock=args.clock,
+                          integrity=args.integrity or None)
         if args.retry_backoff is not None:
             conf.retry_backoff_base_s = args.retry_backoff
-    ctx = make_context(args.algorithm, config, conf=conf)
+    fault_plan = None
+    if args.corrupt_block_prob or args.torn_write_prob:
+        from .engine.faults import FaultPlan
+        fault_plan = FaultPlan(seed=args.fault_seed,
+                               corrupt_block_prob=args.corrupt_block_prob,
+                               torn_write_prob=args.torn_write_prob)
+    ctx = make_context(args.algorithm, config, conf=conf,
+                       fault_plan=fault_plan)
     driver = make_driver(args.algorithm, ctx, config)
     driver.regularization = args.regularization
     driver.nonnegative = args.nonnegative
@@ -270,6 +301,14 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
               f"{stragglers.wasted_attempt_s:.2f}s wasted, "
               f"{stragglers.nodes_quarantined} nodes quarantined "
               f"({stragglers.nodes_readmitted} readmitted)")
+    integrity = ctx.metrics.integrity
+    if integrity.any_activity:
+        print(f"integrity : {integrity.blocks_verified:,} blocks "
+              f"verified ({integrity.checksum_bytes:,} B), "
+              f"{integrity.corrupted_blocks} corrupt "
+              f"({integrity.corruptions_injected} injected), "
+              f"{integrity.recompute_recoveries} recompute recoveries, "
+              f"{integrity.nan_guards_tripped} NaN guards")
     if ctx.hadoop_mode:
         print(f"hadoop    : {ctx.metrics.hadoop.jobs_launched} jobs, "
               f"{ctx.metrics.hadoop.hdfs_bytes_written:,} HDFS B written")

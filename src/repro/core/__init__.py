@@ -3,7 +3,8 @@ distributed CP-ALS, plus the shared driver, gram machinery and result
 types."""
 
 from .checkpoint import (CheckpointStore, CPCheckpoint,
-                         DirectoryCheckpointStore, InMemoryCheckpointStore)
+                         DirectoryCheckpointStore, FileCheckpointStore,
+                         InMemoryCheckpointStore)
 from .cp_als import CPALSDriver
 from .cstf_coo import CstfCOO
 from .cstf_dimtree import CstfDimTree
@@ -20,6 +21,7 @@ __all__ = [
     "CPCheckpoint",
     "CPDecomposition",
     "DirectoryCheckpointStore",
+    "FileCheckpointStore",
     "InMemoryCheckpointStore",
     "CstfCOO",
     "CstfDimTree",

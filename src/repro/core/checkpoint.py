@@ -14,20 +14,59 @@ run resumed from a snapshot is bit-for-bit identical to the
 uninterrupted run (asserted by the fault-tolerance tests).
 
 Two stores are provided: :class:`InMemoryCheckpointStore` (tests,
-simulated crashes within one process) and
-:class:`DirectoryCheckpointStore` (one ``.npz`` file per snapshot,
-survives real process death).  Any object with the same ``save`` /
+simulated crashes within one process) and :class:`FileCheckpointStore`
+(survives real process death).  Any object with the same ``save`` /
 ``load`` / ``iterations`` surface works.
+
+:class:`FileCheckpointStore` implements an *atomic, verifiable* on-disk
+protocol — one directory per snapshot::
+
+    ckpt-000003/
+        lambdas.npy       # one ``np.save`` blob per array ("shard")
+        fit_history.npy
+        factor_0.npy ...
+        manifest.json     # written LAST: metadata + per-shard CRC-32
+
+Every file lands via write-to-temp + ``os.replace`` so a crash at any
+point leaves either the previous complete state or an unreferenced
+temp/partial directory — never a half-written file that parses.  The
+manifest is the commit record: a snapshot without one (crash before
+commit) is invisible to :meth:`FileCheckpointStore.load`.  Each shard's
+byte count and CRC-32 are recorded in the manifest and re-verified on
+every load, so silent corruption or a torn write (truncated shard) is
+*detected* rather than resumed from: ``load(None)`` walks snapshots
+newest-first and returns the newest one whose shards all verify,
+counting the skips as checkpoint fallbacks in
+:class:`~repro.engine.metrics.IntegrityMetrics` when a metrics sink is
+attached.
+
+For fault-injection experiments the store accepts the engine's
+:class:`~repro.engine.faults.FaultPlan`: ``torn_write_prob`` truncates
+one shard of a just-committed snapshot (the manifest keeps the intended
+checksums, so the tear is detectable) and ``corrupt_checkpoint_prob``
+flips one byte in a shard.  Both draws are site-seeded on the snapshot
+iteration, so a given ``(seed, iteration)`` tears or corrupts
+deterministically regardless of timing.
 """
 
 from __future__ import annotations
 
+import io
+import json
+import os
 import re
 
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+from ..engine.errors import CorruptedDataError
+from ..engine.integrity import flip_byte, site_rng
+from ..engine.serialization import checksum_blob
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_FORMAT = 1
 
 
 @dataclass
@@ -89,53 +128,201 @@ class InMemoryCheckpointStore(CheckpointStore):
         return sorted(self._snapshots)
 
 
-class DirectoryCheckpointStore(CheckpointStore):
-    """One ``ckpt-<iteration>.npz`` file per snapshot under a directory."""
+def _array_blob(array: np.ndarray) -> bytes:
+    """Serialize one array to its ``np.save`` byte representation."""
+    buf = io.BytesIO()
+    np.save(buf, array, allow_pickle=False)
+    return buf.getvalue()
 
-    _FILE_RE = re.compile(r"ckpt-(\d+)\.npz$")
 
-    def __init__(self, path: str | Path):
+def _blob_array(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`_array_blob`."""
+    return np.load(io.BytesIO(blob), allow_pickle=False)
+
+
+class FileCheckpointStore(CheckpointStore):
+    """Atomic directory-per-snapshot store with a checksummed manifest.
+
+    See the module docstring for the on-disk protocol.  ``fault_plan``
+    (optional) enables seeded torn-write / byte-flip injection on save;
+    ``metrics`` (optional, an
+    :class:`~repro.engine.metrics.IntegrityMetrics`) receives shard
+    verification, fallback, torn-write and injection counts.
+    """
+
+    _DIR_RE = re.compile(r"ckpt-(\d+)$")
+    _MANIFEST = "manifest.json"
+
+    def __init__(self, path: str | Path, fault_plan=None, metrics=None):
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        self.fault_plan = fault_plan
+        self.metrics = metrics
 
-    def _file(self, iteration: int) -> Path:
-        return self.path / f"ckpt-{iteration:06d}.npz"
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Bump an :class:`IntegrityMetrics` counter when one is wired."""
+        if self.metrics is not None:
+            self.metrics.add(counter, amount)
 
+    def _dir(self, iteration: int) -> Path:
+        return self.path / f"ckpt-{iteration:06d}"
+
+    def _atomic_write(self, target: Path, blob: bytes) -> None:
+        """Write ``blob`` to ``target`` via temp file + ``os.replace``,
+        so a crash mid-write never leaves a partial ``target``."""
+        tmp = target.with_name(target.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+
+    @staticmethod
+    def _shards(checkpoint: CPCheckpoint) -> dict[str, np.ndarray]:
+        """The snapshot's arrays keyed by shard name (manifest order)."""
+        shards = {
+            "lambdas": checkpoint.lambdas,
+            "fit_history": np.array(checkpoint.fit_history,
+                                    dtype=np.float64),
+        }
+        for i, factor in enumerate(checkpoint.factors):
+            shards[f"factor_{i}"] = factor
+        return shards
+
+    # ------------------------------------------------------------------
+    # save (atomic: shards first, manifest last, all via os.replace)
+    # ------------------------------------------------------------------
     def save(self, checkpoint: CPCheckpoint) -> None:
-        arrays = {f"factor_{i}": f
-                  for i, f in enumerate(checkpoint.factors)}
-        np.savez(
-            self._file(checkpoint.iteration),
-            algorithm=np.array(checkpoint.algorithm),
-            rank=np.array(checkpoint.rank),
-            iteration=np.array(checkpoint.iteration),
-            lambdas=checkpoint.lambdas,
-            fit_history=np.array(checkpoint.fit_history, dtype=np.float64),
-            num_factors=np.array(len(checkpoint.factors)),
-            **arrays)
+        directory = self._dir(checkpoint.iteration)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest: dict = {
+            "format": MANIFEST_FORMAT,
+            "algorithm": checkpoint.algorithm,
+            "rank": int(checkpoint.rank),
+            "iteration": int(checkpoint.iteration),
+            "num_factors": len(checkpoint.factors),
+            "shards": {},
+        }
+        for name, array in self._shards(checkpoint).items():
+            blob = _array_blob(array)
+            self._atomic_write(directory / f"{name}.npy", blob)
+            manifest["shards"][name] = {
+                "crc32": checksum_blob(blob), "bytes": len(blob)}
+        # the manifest is the commit point: until it lands, the snapshot
+        # does not exist as far as load()/iterations() are concerned
+        self._atomic_write(
+            directory / self._MANIFEST,
+            json.dumps(manifest, indent=2).encode("utf-8"))
+        self._inject_faults(checkpoint.iteration, directory, manifest)
+
+    def _inject_faults(self, iteration: int, directory: Path,
+                       manifest: dict) -> None:
+        """Seeded post-commit damage: tear (truncate) or byte-flip one
+        shard while the manifest keeps the intended checksums, so the
+        damage is exactly what load-time verification must catch."""
+        plan = self.fault_plan
+        if plan is None:
+            return
+        names = list(manifest["shards"])
+        if plan.torn_write_prob > 0.0:
+            rng = site_rng(plan.seed, "ckpt-torn", iteration)
+            if rng.random() < plan.torn_write_prob:
+                name = names[rng.randrange(len(names))]
+                target = directory / f"{name}.npy"
+                size = manifest["shards"][name]["bytes"]
+                with open(target, "r+b") as fh:
+                    fh.truncate(max(0, size // 2))
+                self._count("corruptions_injected")
+        if plan.corrupt_checkpoint_prob > 0.0:
+            rng = site_rng(plan.seed, "ckpt-corrupt", iteration)
+            if rng.random() < plan.corrupt_checkpoint_prob:
+                name = names[rng.randrange(len(names))]
+                target = directory / f"{name}.npy"
+                blob = target.read_bytes()
+                if blob:
+                    self._atomic_write(
+                        target, flip_byte(blob, rng.randrange(len(blob))))
+                    self._count("corruptions_injected")
+
+    # ------------------------------------------------------------------
+    # load (verify every shard; fall back newest-good when unpinned)
+    # ------------------------------------------------------------------
+    def _read_verified(self, iteration: int) -> CPCheckpoint | None:
+        """Read and CRC-verify one snapshot; ``None`` when any shard is
+        missing, torn, or corrupt (the caller decides fallback/raise)."""
+        directory = self._dir(iteration)
+        manifest_path = directory / self._MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        blobs: dict[str, bytes] = {}
+        ok = True
+        for name, meta in manifest["shards"].items():
+            try:
+                blob = (directory / f"{name}.npy").read_bytes()
+            except OSError:
+                ok = False
+                continue
+            if len(blob) != meta["bytes"]:
+                self._count("torn_writes_detected")
+                ok = False
+            elif checksum_blob(blob) != meta["crc32"]:
+                self._count("corrupted_blocks")
+                ok = False
+            else:
+                self._count("checkpoint_shards_verified")
+                blobs[name] = blob
+        if not ok:
+            return None
+        n = int(manifest["num_factors"])
+        return CPCheckpoint(
+            algorithm=manifest["algorithm"],
+            rank=int(manifest["rank"]),
+            iteration=int(manifest["iteration"]),
+            lambdas=_blob_array(blobs["lambdas"]),
+            factors=[_blob_array(blobs[f"factor_{i}"]) for i in range(n)],
+            fit_history=[float(x) for x in _blob_array(blobs["fit_history"])])
 
     def load(self, iteration: int | None = None) -> CPCheckpoint:
         stored = self.iterations()
         if not stored:
             raise KeyError(f"no checkpoints under {self.path}")
-        if iteration is None:
-            iteration = stored[-1]
-        if iteration not in stored:
-            raise KeyError(f"no checkpoint for iteration {iteration}")
-        with np.load(self._file(iteration)) as data:
-            n = int(data["num_factors"])
-            return CPCheckpoint(
-                algorithm=str(data["algorithm"]),
-                rank=int(data["rank"]),
-                iteration=int(data["iteration"]),
-                lambdas=data["lambdas"].copy(),
-                factors=[data[f"factor_{i}"].copy() for i in range(n)],
-                fit_history=[float(x) for x in data["fit_history"]])
+        if iteration is not None:
+            if iteration not in stored:
+                raise KeyError(f"no checkpoint for iteration {iteration}")
+            ckpt = self._read_verified(iteration)
+            if ckpt is None:
+                raise CorruptedDataError(
+                    f"checkpoint for iteration {iteration} under "
+                    f"{self.path} failed verification (torn or corrupt "
+                    f"shard)", kind="checkpoint", site=(iteration,))
+            return ckpt
+        for it in reversed(stored):
+            ckpt = self._read_verified(it)
+            if ckpt is not None:
+                return ckpt
+            self._count("checkpoint_fallbacks")
+        raise KeyError(
+            f"no checkpoint under {self.path} passed verification")
 
     def iterations(self) -> list[int]:
+        """Committed snapshot iterations (directories with a manifest);
+        a torn/corrupt-but-committed snapshot still appears here — it is
+        ``load`` that verifies and falls back."""
         out = []
         for p in self.path.iterdir():
-            m = self._FILE_RE.search(p.name)
-            if m:
+            m = self._DIR_RE.search(p.name)
+            if m and (p / self._MANIFEST).exists():
                 out.append(int(m.group(1)))
         return sorted(out)
+
+
+#: Backwards-compatible name: earlier revisions called the file-backed
+#: store ``DirectoryCheckpointStore`` (one ``.npz`` per snapshot).  The
+#: public surface (``save``/``load``/``iterations``) is unchanged; only
+#: the on-disk layout moved to the atomic sharded protocol.
+DirectoryCheckpointStore = FileCheckpointStore

@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from ..engine.context import Context
+from ..engine.errors import NumericalIntegrityError
 from ..engine.partitioner import HashPartitioner
 from ..engine.rdd import RDD
 from ..engine.storage import StorageLevel
@@ -282,7 +283,7 @@ class CPALSDriver:
                         v = v + self.regularization * np.eye(rank)
                     pinv_v = np.linalg.pinv(v, rcond=1e-12)
                     new_factor, lambdas = self._solve_and_normalize(
-                        m_rdd, pinv_v, rank)
+                        m_rdd, pinv_v, rank, mode=mode, iteration=it)
                     if not self.ctx.caching_enabled:
                         # MapReduce materializes every job's output to
                         # HDFS; without this, iterative lineage would be
@@ -299,6 +300,8 @@ class CPALSDriver:
                     assert last_m_rdd is not None
                     fit = self._fit(last_m_rdd, factor_rdds[order - 1],
                                     lambdas, grams, norm_x)
+                    self._integrity_guard(np.asarray(fit), "fit",
+                                          iteration=it)
                     fit_history.append(fit)
 
             if gc_shuffles:
@@ -317,9 +320,10 @@ class CPALSDriver:
                     checkpoint_store.save(CPCheckpoint(
                         algorithm=self.name, rank=rank, iteration=it,
                         lambdas=lambdas.copy(),
-                        factors=[self._collect_factor(rdd, size, rank)
-                                 for rdd, size in zip(factor_rdds,
-                                                      tensor.shape)],
+                        factors=[self._collect_factor(rdd, size, rank,
+                                                      mode=m)
+                                 for m, (rdd, size) in enumerate(
+                                     zip(factor_rdds, tensor.shape))],
                         fit_history=list(fit_history)))
 
             if compute_fit and len(fit_history) >= 2 and \
@@ -327,8 +331,9 @@ class CPALSDriver:
                 converged = True
                 break
 
-        factors = [self._collect_factor(rdd, size, rank)
-                   for rdd, size in zip(factor_rdds, tensor.shape)]
+        factors = [self._collect_factor(rdd, size, rank, mode=m)
+                   for m, (rdd, size) in enumerate(
+                       zip(factor_rdds, tensor.shape))]
         return CPDecomposition(
             lambdas=lambdas, factors=factors, fit_history=fit_history,
             iterations=iterations, algorithm=self.name, converged=converged)
@@ -364,8 +369,36 @@ class CPALSDriver:
             rows, self.num_partitions, self.partitioner
         ).set_name("factor").cache()
 
+    def _integrity_guard(self, array: np.ndarray, stage: str,
+                         mode: int | None = None,
+                         iteration: int | None = None) -> None:
+        """Numerical-integrity watchdog: when the context's integrity
+        layer is enabled, a NaN/Inf in ``array`` raises
+        :class:`~repro.engine.errors.NumericalIntegrityError` tagged
+        with the producing stage/mode/iteration instead of silently
+        poisoning every later iteration.  A no-op (not even the finite
+        scan) when integrity is off."""
+        integrity = getattr(self.ctx, "integrity", None)
+        if integrity is None or not integrity.enabled:
+            return
+        if bool(np.isfinite(array).all()):
+            return
+        integrity.metrics.add("nan_guards_tripped")
+        where = f"stage {stage!r}"
+        if mode is not None:
+            where += f", mode {mode}"
+        if iteration is not None:
+            where += f", iteration {iteration}"
+        raise NumericalIntegrityError(
+            f"non-finite values detected in {where} "
+            f"({self.name}); the factorization state is numerically "
+            f"poisoned and cannot converge",
+            stage=stage, mode=mode, iteration=iteration)
+
     def _solve_and_normalize(self, m_rdd: RDD, pinv_v: np.ndarray,
-                             rank: int) -> tuple[RDD, np.ndarray]:
+                             rank: int, mode: int | None = None,
+                             iteration: int | None = None
+                             ) -> tuple[RDD, np.ndarray]:
         """``A = normalize(M @ pinv(V))``; returns the cached factor RDD
         and the column norms (lambda).  With ``nonnegative``, rows are
         clipped at zero before normalisation (projected ALS)."""
@@ -380,6 +413,10 @@ class CPALSDriver:
             np.zeros(rank),
             lambda acc, kv: acc + kv[1] * kv[1],
             lambda a, b: a + b)
+        # col_sq aggregates every row of the solved MTTKRP output, so a
+        # single NaN/Inf anywhere in M @ pinv(V) surfaces here
+        self._integrity_guard(col_sq, "mttkrp-solve", mode=mode,
+                              iteration=iteration)
         lambdas = np.sqrt(col_sq)
         safe = np.where(lambdas > 0, lambdas, 1.0)
         factor = raw.map_values(lambda row: row / safe).set_name(
@@ -408,11 +445,12 @@ class CPALSDriver:
             return 1.0
         return 1.0 - float(np.sqrt(residual_sq)) / norm_x
 
-    def _collect_factor(self, factor_rdd: RDD, size: int,
-                        rank: int) -> np.ndarray:
+    def _collect_factor(self, factor_rdd: RDD, size: int, rank: int,
+                        mode: int | None = None) -> np.ndarray:
         """Materialize a distributed factor driver-side.  Indices with no
         nonzeros never flow through an MTTKRP and are zero rows."""
         out = np.zeros((size, rank))
         for idx, row in factor_rdd.collect():
             out[idx] = row
+        self._integrity_guard(out, "collect-factor", mode=mode)
         return out

@@ -25,23 +25,29 @@ from .cluster import Cluster, Node, NodeHealthTracker
 from .context import Context, EngineConf
 from .costmodel import COMET, CostModel, HardwareProfile, RunStats, TimeBreakdown
 from .errors import (BackendError, CacheEvictedError, CancelledAttempt,
-                     ContextStoppedError, EngineError, FetchFailedError,
-                     JobExecutionError, KernelError, OutOfMemoryError,
+                     ContextStoppedError, CorruptedBlockError,
+                     CorruptedDataError, EngineError, FetchFailedError,
+                     JobExecutionError, KernelError,
+                     NumericalIntegrityError, OutOfMemoryError,
                      TaskFailedError, TaskTimedOutError)
-from .events import EngineEventBus, EngineListener, TimelineListener
+from .events import (BlockCorrupted, EngineEventBus, EngineListener,
+                     TimelineListener)
 from .faults import (FaultInjector, FaultPlan, InjectedFaultError,
                      NodeKillEvent)
+from .integrity import IntegrityManager, resolve_integrity_flag
 from .mapreduce import (HadoopRuntime, HDFSFile, JobResult,
                         MapReduceJob, SimulatedHDFS)
 from .memory import (LEVEL_MEMORY_FACTOR, MemoryManager,
                      SpillableAppendOnlyMap, demote_level)
-from .metrics import (FaultMetrics, HadoopMetrics, JobMetrics,
-                      MemoryMetrics, MetricsCollector, ShuffleReadMetrics,
-                      ShuffleWriteMetrics, StageMetrics, StragglerMetrics)
+from .metrics import (FaultMetrics, HadoopMetrics, IntegrityMetrics,
+                      JobMetrics, MemoryMetrics, MetricsCollector,
+                      ShuffleReadMetrics, ShuffleWriteMetrics,
+                      StageMetrics, StragglerMetrics)
 from .partitioner import (HashPartitioner, Partitioner, RangePartitioner,
                           stable_hash)
 from .rdd import RDD
-from .serialization import estimate_record_size, estimate_size
+from .serialization import (checksum_blob, estimate_record_size,
+                            estimate_size, verify_blob)
 from .speculation import (CancellationGroup, CancellationToken,
                           SpeculationLatch, StageRuntimes, backoff_delay)
 from .storage import CacheManager, StorageLevel
@@ -58,6 +64,9 @@ __all__ = [
     "CancellationGroup",
     "CancellationToken",
     "CancelledAttempt",
+    "BlockCorrupted",
+    "CorruptedBlockError",
+    "CorruptedDataError",
     "Clock",
     "Cluster",
     "COMET",
@@ -83,9 +92,12 @@ __all__ = [
     "SimulatedHDFS",
     "HardwareProfile",
     "HashPartitioner",
+    "IntegrityManager",
+    "IntegrityMetrics",
     "JobExecutionError",
     "JobMetrics",
     "KernelError",
+    "NumericalIntegrityError",
     "LEVEL_MEMORY_FACTOR",
     "MemoryManager",
     "MemoryMetrics",
@@ -120,10 +132,13 @@ __all__ = [
     "VirtualClock",
     "backoff_delay",
     "calibrate",
+    "checksum_blob",
     "create_backend",
     "create_clock",
     "demote_level",
     "estimate_record_size",
     "estimate_size",
+    "resolve_integrity_flag",
     "stable_hash",
+    "verify_blob",
 ]

@@ -26,10 +26,11 @@ from .clock import create_clock
 from .cluster import Cluster
 from .errors import ContextStoppedError
 from .events import (EngineEventBus, FaultMetricsListener,
-                     HadoopAccountingListener, MemoryEventListener,
-                     MetricsListener, NodeLost, StragglerEventListener,
-                     TimelineListener)
+                     HadoopAccountingListener, IntegrityEventListener,
+                     MemoryEventListener, MetricsListener, NodeLost,
+                     StragglerEventListener, TimelineListener)
 from .faults import FaultInjector, FaultPlan
+from .integrity import IntegrityManager, resolve_integrity_flag
 from .memory import MemoryManager
 from .metrics import MetricsCollector
 from .partitioner import HashPartitioner, Partitioner
@@ -138,6 +139,16 @@ class EngineConf:
         bit-comparison oracle).  ``None`` defers to the
         ``REPRO_KERNEL`` environment variable, then ``"vectorized"``.
         Both kernels produce bit-identical decompositions.
+    ``integrity``
+        End-to-end data-integrity mode: every shuffle block, broadcast
+        payload, serialized cache entry and spilled run is CRC-sealed
+        at write time and verified on read, and the CP-ALS drivers run
+        NaN/Inf watchdogs (see :mod:`repro.engine.integrity`).
+        Detected corruption raises a retryable
+        :class:`~repro.engine.errors.CorruptedDataError` healed by
+        lineage recomputation; results are bit-identical with the flag
+        on or off when verification passes.  ``None`` defers to the
+        ``REPRO_INTEGRITY`` environment variable, then ``False``.
     """
 
     map_side_combine: bool = True
@@ -164,6 +175,7 @@ class EngineConf:
     backend: str | None = None
     backend_workers: int | None = None
     kernel: str | None = None
+    integrity: bool | None = None
 
 
 class Context:
@@ -217,15 +229,24 @@ class Context:
             storage_fraction=self.conf.storage_fraction,
             storage_cap_bytes=self.conf.cache_capacity_bytes,
             metrics=self.metrics)
-        self._cache = CacheManager(self.conf.cache_capacity_bytes,
-                                   metrics=self.metrics,
-                                   memory=self.memory)
         #: structured fault injection (see :mod:`repro.engine.faults`)
         self.fault_plan = fault_plan or FaultPlan()
         self.faults = FaultInjector(self.fault_plan, self)
+        #: data-integrity layer: seals/verifies every serialized blob
+        #: when ``conf.integrity`` resolves on (see
+        #: :mod:`repro.engine.integrity`)
+        self.integrity = IntegrityManager(
+            enabled=resolve_integrity_flag(self.conf.integrity),
+            plan=self.fault_plan,
+            metrics=self.metrics.integrity)
+        self._cache = CacheManager(self.conf.cache_capacity_bytes,
+                                   metrics=self.metrics,
+                                   memory=self.memory,
+                                   integrity=self.integrity)
         self._shuffle_manager = ShuffleManager(self.cluster,
                                                faults=self.faults,
-                                               memory=self.memory)
+                                               memory=self.memory,
+                                               integrity=self.integrity)
         #: executor backend (serial / thread pool) the task scheduler
         #: runs stage task sets on
         self.backend = create_backend(self.conf.backend,
@@ -248,6 +269,7 @@ class Context:
         self.event_bus.subscribe(FaultMetricsListener(self.metrics))
         self.event_bus.subscribe(MemoryEventListener(self.metrics))
         self.event_bus.subscribe(StragglerEventListener(self.metrics))
+        self.event_bus.subscribe(IntegrityEventListener(self.metrics))
         if self.hadoop_mode:
             self.event_bus.subscribe(
                 HadoopAccountingListener(self.metrics))

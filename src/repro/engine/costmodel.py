@@ -80,6 +80,9 @@ class HardwareProfile:
     disk_bw_bytes_per_s: float = 2.0e8
     #: startup cost of one MapReduce job on YARN
     hadoop_job_startup_s: float = 6.0
+    #: per-core CRC-32 checksum throughput for the integrity layer
+    #: (hardware-assisted CRC streams at several GB/s per core)
+    checksum_bw_bytes_per_s: float = 5.0e9
     #: HDFS write replication factor
     hdfs_replication: int = 3
 
@@ -115,6 +118,10 @@ class RunStats:
     #: attempts and cancelled speculation losers) — duplicated work the
     #: cluster really spent, priced as extra CPU seconds
     straggler_wasted_s: float = 0.0
+    #: bytes run through the integrity layer's CRC (seal + verify);
+    #: zero when ``EngineConf.integrity`` is off, so the model prices
+    #: the verification tax only when it was actually paid
+    checksummed_bytes: int = 0
     #: max-node records / mean-node records (load imbalance), >= 1
     node_skew: float = 1.0
 
@@ -150,6 +157,7 @@ class RunStats:
             broadcast_bytes=metrics.broadcast_bytes,
             spill_bytes=metrics.memory.spill_bytes,
             straggler_wasted_s=metrics.stragglers.wasted_attempt_s,
+            checksummed_bytes=metrics.integrity.checksum_bytes,
             node_skew=skew,
         )
 
@@ -169,6 +177,8 @@ class RunStats:
             spill_bytes=self.spill_bytes + other.spill_bytes,
             straggler_wasted_s=self.straggler_wasted_s
             + other.straggler_wasted_s,
+            checksummed_bytes=self.checksummed_bytes
+            + other.checksummed_bytes,
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -188,6 +198,8 @@ class RunStats:
             spill_bytes=max(0, self.spill_bytes - other.spill_bytes),
             straggler_wasted_s=max(
                 0.0, self.straggler_wasted_s - other.straggler_wasted_s),
+            checksummed_bytes=max(
+                0, self.checksummed_bytes - other.checksummed_bytes),
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -206,6 +218,7 @@ class RunStats:
             broadcast_bytes=int(self.broadcast_bytes * k),
             spill_bytes=int(self.spill_bytes * k),
             straggler_wasted_s=self.straggler_wasted_s * k,
+            checksummed_bytes=int(self.checksummed_bytes * k),
             node_skew=self.node_skew,
         )
 
@@ -226,6 +239,7 @@ class RunStats:
             broadcast_bytes=int(self.broadcast_bytes * factor),
             spill_bytes=int(self.spill_bytes * factor),
             straggler_wasted_s=self.straggler_wasted_s * factor,
+            checksummed_bytes=int(self.checksummed_bytes * factor),
         )
 
 
@@ -281,7 +295,8 @@ class CostModel:
         cpu_seconds = (stats.records_processed * record_cost
                        + bytes_processed / p.ser_bw_bytes_per_s
                        + stats.flops / p.flops_per_second_per_core
-                       + stats.straggler_wasted_s)
+                       + stats.straggler_wasted_s
+                       + stats.checksummed_bytes / p.checksum_bw_bytes_per_s)
         compute = cpu_seconds / effective_cores * stats.node_skew
 
         remote_bytes = stats.shuffle_total_bytes * self.remote_fraction(num_nodes)

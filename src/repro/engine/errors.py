@@ -54,6 +54,75 @@ class FetchFailedError(EngineError):
         self.missing_map_partitions = tuple(missing_map_partitions)
 
 
+class CorruptedDataError(EngineError):
+    """A checksum verification failed on a serialized blob.
+
+    Raised when integrity mode (``EngineConf.integrity``) detects that a
+    shuffle block, broadcast payload, spilled run, cached blob or
+    checkpoint shard no longer matches the CRC-32 recorded when it was
+    sealed.  Retryable: every raise site has a lineage-recovery path —
+    broadcast and spill corruption heal through the task retry loop
+    (the retry re-reads the pristine driver copy / recomputes the run),
+    cache corruption is treated as a miss and recomputed, shuffle block
+    corruption is the :class:`CorruptedBlockError` subclass below, and
+    checkpoint corruption falls back to the newest good checkpoint.
+
+    ``kind`` names the corrupted blob class (``"shuffle"``,
+    ``"broadcast"``, ``"cache"``, ``"spill"``, ``"checkpoint"``) and
+    ``site`` identifies the blob within it.
+    """
+
+    def __init__(self, message: str, kind: str = "block",
+                 site: tuple = ()):
+        EngineError.__init__(self, message)
+        self.kind = kind
+        self.site = tuple(site)
+
+
+class CorruptedBlockError(CorruptedDataError, FetchFailedError):
+    """A shuffle block failed checksum verification on fetch.
+
+    Subclasses :class:`FetchFailedError` deliberately: a corrupt block
+    is healed exactly like a missing one — the reader drops the writer's
+    map output and the scheduler resubmits the parent map stage from
+    lineage.  The distinct type lets the task scheduler additionally
+    charge the corruption to the writer ``node``'s health score so a
+    node that keeps serving bad bytes ends up quarantined (PR 6).
+    """
+
+    def __init__(self, message: str, shuffle_id: int,
+                 reduce_partition: int,
+                 missing_map_partitions: tuple[int, ...] = (),
+                 node: int = 0):
+        CorruptedDataError.__init__(
+            self, message, kind="shuffle",
+            site=(shuffle_id, reduce_partition))
+        self.shuffle_id = shuffle_id
+        self.reduce_partition = reduce_partition
+        self.missing_map_partitions = tuple(missing_map_partitions)
+        self.node = node
+
+
+class NumericalIntegrityError(EngineError):
+    """The numerical watchdog found a non-finite value (NaN/Inf) in an
+    MTTKRP result, a factor matrix or the fit, with integrity mode on.
+
+    Not retryable: a non-finite value in otherwise-deterministic
+    arithmetic means the inputs or the algorithm state are bad, and
+    recomputing the same lineage would reproduce it.  The error carries
+    the ALS ``stage`` (``"mttkrp"``, ``"normalize"``, ``"fit"``,
+    ``"collect"``), the tensor ``mode`` and the ``iteration`` so the
+    failure is diagnosable without a debugger.
+    """
+
+    def __init__(self, message: str, stage: str, mode: int | None = None,
+                 iteration: int | None = None):
+        super().__init__(message)
+        self.stage = stage
+        self.mode = mode
+        self.iteration = iteration
+
+
 class OutOfMemoryError(EngineError):
     """A task's working set exceeded its node's injected memory budget
     (:attr:`~repro.engine.faults.FaultPlan.oom_node_budgets`).

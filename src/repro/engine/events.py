@@ -236,6 +236,20 @@ class StagesResubmitted:
 
 
 @dataclass(frozen=True)
+class BlockCorrupted:
+    """A shuffle block failed checksum verification and the stage is
+    entering lineage recovery (the corrupt writer's map output was
+    dropped; posted by the scheduler alongside :class:`FetchFailed`)."""
+
+    stage_id: int
+    shuffle_id: int
+    reduce_partition: int
+    #: node whose map output served the corrupt bytes
+    node: int
+    handler = "on_block_corrupted"
+
+
+@dataclass(frozen=True)
 class NodeLost:
     """A worker node died; its shuffle outputs and cached partitions
     are gone."""
@@ -335,6 +349,9 @@ class EngineListener:
 
     def on_stages_resubmitted(self, event: StagesResubmitted) -> None:
         """Handle :class:`StagesResubmitted`."""
+
+    def on_block_corrupted(self, event: BlockCorrupted) -> None:
+        """Handle :class:`BlockCorrupted`."""
 
     def on_node_lost(self, event: NodeLost) -> None:
         """Handle :class:`NodeLost`."""
@@ -454,6 +471,30 @@ class FaultMetricsListener(EngineListener):
         f.nodes_killed += 1
         f.map_outputs_lost += event.map_outputs_lost
         f.cached_partitions_lost += event.cached_partitions_lost
+
+
+class IntegrityEventListener(EngineListener):
+    """Feeds :class:`~repro.engine.metrics.IntegrityMetrics` from
+    scheduler-level integrity events.
+
+    Detection counters (blocks verified/corrupt) are written directly
+    by the :class:`~repro.engine.integrity.IntegrityManager` — the data
+    plane must not post events from under its own locks — so this
+    listener only accounts the *recoveries* the scheduler performs:
+    each :class:`BlockCorrupted` means a corrupt shuffle block was
+    healed by resubmitting its map stage from lineage."""
+
+    def __init__(self, collector) -> None:
+        self._collector = collector
+
+    @property
+    def _integrity(self):
+        # late-bound: collector.reset() replaces the metrics object
+        return self._collector.integrity
+
+    def on_block_corrupted(self, event: BlockCorrupted) -> None:
+        """Count one corruption healed by lineage recomputation."""
+        self._integrity.add("recompute_recoveries")
 
 
 class StragglerEventListener(EngineListener):

@@ -154,6 +154,28 @@ class FaultPlan:
         (RAW -> SER -> DISK, falling back to task spill mode) and
         retrying with seeded-jitter exponential backoff
         (``EngineConf.retry_backoff_base_s``).
+    ``corrupt_block_prob``
+        Per checksum-verified read of a sealed blob (shuffle block,
+        broadcast payload, cached blob, spilled run), the probability of
+        flipping one byte of the bytes *in flight* — the reader sees
+        corrupt data while the stored copy stays pristine.  Only
+        observable with ``EngineConf.integrity`` on: verification
+        detects the flip and raises a retryable
+        :class:`~repro.engine.errors.CorruptedDataError` which heals
+        through lineage recomputation (see
+        :class:`~repro.engine.integrity.IntegrityManager`).
+    ``corrupt_checkpoint_prob``
+        Per checkpoint shard written by
+        :class:`~repro.core.checkpoint.FileCheckpointStore`, the
+        probability of flipping one byte of the shard file on disk after
+        the save completes — silent storage rot.  Resume detects it via
+        the per-shard-checksummed manifest and falls back to the newest
+        good checkpoint.
+    ``torn_write_prob``
+        Per checkpoint save, the probability that the save is *torn*:
+        one shard file is truncated mid-write (modeling a crash or
+        power loss after the rename but before the data hit disk).
+        Detected and healed the same way as checkpoint corruption.
     """
 
     seed: int = 0
@@ -173,11 +195,16 @@ class FaultPlan:
     broken_nodes: tuple[int, ...] = ()
     node_kills: tuple[NodeKillEvent, ...] = ()
     oom_node_budgets: dict[int, int] = field(default_factory=dict)
+    corrupt_block_prob: float = 0.0
+    corrupt_checkpoint_prob: float = 0.0
+    torn_write_prob: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("task_failure_prob", "fetch_failure_prob",
                      "straggler_prob", "slow_task_prob",
-                     "slow_node_prob", "hang_task_prob"):
+                     "slow_node_prob", "hang_task_prob",
+                     "corrupt_block_prob", "corrupt_checkpoint_prob",
+                     "torn_write_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
@@ -223,7 +250,10 @@ class FaultPlan:
                 and not self.injects_delays
                 and not self.broken_nodes
                 and not self.node_kills
-                and not self.oom_node_budgets)
+                and not self.oom_node_budgets
+                and self.corrupt_block_prob == 0.0
+                and self.corrupt_checkpoint_prob == 0.0
+                and self.torn_write_prob == 0.0)
 
 
 class FaultInjector(EngineListener):

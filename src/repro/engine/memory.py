@@ -39,12 +39,14 @@ from __future__ import annotations
 from typing import Any, Callable, TYPE_CHECKING
 
 from . import linthooks
+from .errors import CorruptedDataError
 from .partitioner import stable_hash
 from .serialization import (deserialize_partition, estimate_record_size,
                             serialize_partition)
 from .storage import StorageLevel
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .integrity import IntegrityManager
     from .metrics import MetricsCollector
     from .shuffle import Aggregator
 
@@ -224,16 +226,29 @@ class SpillableAppendOnlyMap:
     exact dict the old in-memory combine built — same first-occurrence
     key order, same merge order — so the no-spill path is bit-identical
     to the pre-memory-manager engine.
+
+    Data integrity: with an :class:`~repro.engine.integrity
+    .IntegrityManager` attached (and enabled), each spilled run is
+    CRC-sealed when written and verified when merged back; a corrupt
+    run raises :class:`~repro.engine.errors.CorruptedDataError`, which
+    the task retry loop heals by recomputing the whole combine.
+    ``site`` names the buffer for the fault plan's seeded corruption
+    draws (e.g. ``("map", shuffle_id, map_partition)``).
     """
 
     #: book execution memory in chunks to avoid a pool round-trip per record
     ACQUIRE_CHUNK_BYTES = 4096
 
-    def __init__(self, memory: MemoryManager, aggregator: "Aggregator"):
+    def __init__(self, memory: MemoryManager, aggregator: "Aggregator",
+                 integrity: "IntegrityManager | None" = None,
+                 site: tuple = ()):
         self._memory = memory
         self._agg = aggregator
+        self._integrity = integrity
+        self._site = tuple(site)
         self._data: dict[Any, Any] = {}
         self._runs: list[bytes] = []
+        self._checksums: list[int] = []
         self._acquired = 0
         self._pending = 0
 
@@ -288,6 +303,8 @@ class SpillableAppendOnlyMap:
                        key=lambda kv: stable_hash(kv[0]))
         blob = serialize_partition(items)
         self._runs.append(blob)
+        if self._integrity is not None and self._integrity.enabled:
+            self._checksums.append(self._integrity.seal(blob))
         mm = self._memory._memory_metrics
         if mm is not None:
             mm.add("shuffle_spill_bytes", len(blob))
@@ -307,7 +324,11 @@ class SpillableAppendOnlyMap:
             merge = self._agg.merge_combiners
             out: dict[Any, Any] = {}
             read_back = 0
-            for blob in self._runs:
+            verify = (self._integrity is not None
+                      and self._integrity.enabled and self._checksums)
+            for run_idx, blob in enumerate(self._runs):
+                if verify:
+                    blob = self._verified_run(run_idx, blob)
                 read_back += len(blob)
                 for key, combiner in deserialize_partition(blob):
                     if key in out:
@@ -329,3 +350,20 @@ class SpillableAppendOnlyMap:
             self._pending = 0
             self._data = {}
             self._runs = []
+            self._checksums = []
+
+    def _verified_run(self, run_idx: int, blob: bytes) -> bytes:
+        """Verify one spilled run; corruption raises the retryable
+        :class:`CorruptedDataError` (the retry rebuilds the combine
+        from its inputs — spilled runs have no finer-grained lineage)."""
+        good = self._integrity.checked_read(
+            "spill", self._site + (run_idx,), blob,
+            self._checksums[run_idx])
+        if good is None:
+            self._integrity.metrics.add("recompute_recoveries")
+            raise CorruptedDataError(
+                f"spilled run {run_idx} of combine buffer "
+                f"{self._site or '(anonymous)'} failed checksum "
+                f"verification; the task retry recomputes the combine",
+                kind="spill", site=self._site + (run_idx,))
+        return good

@@ -320,6 +320,63 @@ class StragglerMetrics:
                     or self.nodes_quarantined)
 
 
+@dataclass
+class IntegrityMetrics:
+    """Accounting for the data-integrity layer: checksum verifications,
+    detected corruption and the recoveries that healed it.
+
+    Fed concurrently by backend worker threads (the
+    :class:`~repro.engine.integrity.IntegrityManager` verifies blobs
+    inside tasks), so all writes go through the lock-protected
+    :meth:`add`; bare single-counter reads are safe atomic loads.
+    """
+
+    #: checksum verifications that passed (blob matched its CRC)
+    blocks_verified: int = 0
+    #: checksum verifications that failed — detected corruption
+    corrupted_blocks: int = 0
+    #: byte flips injected by the fault plan's ``corrupt_block_prob``;
+    #: "no silent corruption" means this equals ``corrupted_blocks``
+    #: when no real corruption occurred
+    corruptions_injected: int = 0
+    #: corruptions healed by recomputing data from lineage: shuffle-map
+    #: stage resubmissions, cache-entry drops, spill/broadcast task
+    #: retries
+    recompute_recoveries: int = 0
+    #: total bytes run through the CRC (cost-model input)
+    checksum_bytes: int = 0
+    #: checkpoint shards whose CRC was verified on load
+    checkpoint_shards_verified: int = 0
+    #: checkpoints skipped at resume because a shard failed
+    #: verification (corrupt or torn) — each skip is one fallback step
+    #: toward the newest good checkpoint
+    checkpoint_fallbacks: int = 0
+    #: checkpoint shards found truncated on disk (torn writes)
+    torn_writes_detected: int = 0
+    #: non-finite values caught by the numerical watchdog before
+    #: raising NumericalIntegrityError
+    nan_guards_tripped: int = 0
+
+    def __post_init__(self) -> None:
+        # not a dataclass field: excluded from __eq__/__repr__
+        self._lock = linthooks.make_lock("IntegrityMetrics")
+
+    def add(self, counter: str, amount: float = 1) -> None:
+        """Atomically add ``amount`` to the named counter field."""
+        with self._lock:
+            linthooks.access(self, counter, write=True)
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    @property
+    def any_activity(self) -> bool:
+        """Whether the integrity layer verified or detected anything."""
+        return bool(self.blocks_verified or self.corrupted_blocks
+                    or self.checkpoint_shards_verified
+                    or self.checkpoint_fallbacks
+                    or self.torn_writes_detected
+                    or self.nan_guards_tripped)
+
+
 class MetricsCollector:
     """Accumulates job/stage metrics for one :class:`~repro.engine.Context`.
 
@@ -333,6 +390,7 @@ class MetricsCollector:
         self.faults = FaultMetrics()
         self.memory = MemoryMetrics()
         self.stragglers = StragglerMetrics()
+        self.integrity = IntegrityMetrics()
         self._phase_stack: list[str] = ["Other"]
         #: bytes deserialized out of MEMORY_SER cache (ablation metric)
         self.cache_deserialized_bytes: int = 0
@@ -510,6 +568,17 @@ class MetricsCollector:
                 f"{s.wasted_attempt_s:.2f}s wasted, "
                 f"{s.nodes_quarantined} quarantined "
                 f"({s.nodes_readmitted} readmitted)")
+        if self.integrity.any_activity:
+            i = self.integrity
+            lines.append(
+                f"integrity           : {i.blocks_verified:,} blocks "
+                f"verified ({i.checksum_bytes:,} B), "
+                f"{i.corrupted_blocks} corrupt "
+                f"({i.corruptions_injected} injected), "
+                f"{i.recompute_recoveries} recompute recoveries, "
+                f"{i.checkpoint_shards_verified} ckpt shards verified, "
+                f"{i.checkpoint_fallbacks} ckpt fallbacks "
+                f"({i.torn_writes_detected} torn)")
         by_phase = self.shuffle_read_by_phase()
         if len(by_phase) > 1:
             lines.append("per phase (remote B):")
@@ -524,6 +593,7 @@ class MetricsCollector:
         self.faults = FaultMetrics()
         self.memory = MemoryMetrics()
         self.stragglers = StragglerMetrics()
+        self.integrity = IntegrityMetrics()
         self.cache_deserialized_bytes = 0
         self.cache_stored_bytes.clear()
         self.cache_bytes_written.clear()

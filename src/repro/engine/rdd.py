@@ -887,7 +887,10 @@ class ShuffledRDD(RDD):
         # sorted runs when a memory budget is configured; without spills
         # the merge order is identical to a plain insertion-ordered dict
         from .memory import SpillableAppendOnlyMap
-        merged = SpillableAppendOnlyMap(self.ctx.memory, agg)
+        merged = SpillableAppendOnlyMap(
+            self.ctx.memory, agg,
+            integrity=getattr(self.ctx, "integrity", None),
+            site=("reduce", self._dep.shuffle_id, split))
         if agg.combine_batch is not None:
             # batch fast path: valid for both raw values and map-side
             # combiners (the contract requires them to batch the same)

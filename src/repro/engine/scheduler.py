@@ -55,11 +55,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
-from .errors import (FetchFailedError, JobExecutionError, OutOfMemoryError,
-                     TaskFailedError)
-from .events import (FetchFailed, JobEnd, JobShuffleRounds, JobStart,
-                     OOMKill, RDDDemoted, StageCompleted, StageSubmitted,
-                     StagesResubmitted, TaskSpill)
+from .errors import (CorruptedBlockError, FetchFailedError,
+                     JobExecutionError, OutOfMemoryError, TaskFailedError)
+from .events import (BlockCorrupted, FetchFailed, JobEnd, JobShuffleRounds,
+                     JobStart, OOMKill, RDDDemoted, StageCompleted,
+                     StageSubmitted, StagesResubmitted, TaskSpill)
 from .memory import LEVEL_MEMORY_FACTOR, SPILL_MODE_FACTOR, demote_level
 from .metrics import StageMetrics
 from .rdd import RDD, NarrowDependency, ShuffleDependency
@@ -308,6 +308,7 @@ class DAGScheduler:
         aggregator = dep.aggregator if dep.map_side_combine else None
         name = f"shuffleMap {stage.rdd.name}"
         fetch_failures = 0
+        corrupt_sites: set = set()
         while True:
             bus.post(StageSubmitted(stage.stage_id, name, stage.num_tasks))
             metrics = StageMetrics(
@@ -320,7 +321,8 @@ class DAGScheduler:
             try:
                 results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
-                fetch_failures += 1
+                fetch_failures = self._charge_fetch_failure(
+                    exc, fetch_failures, corrupt_sites)
                 self._recover_from_fetch_failure(stage, job_id, phase,
                                                  exc, fetch_failures)
                 continue
@@ -337,6 +339,7 @@ class DAGScheduler:
         bus = self.ctx.event_bus
         name = f"result {stage.rdd.name}"
         fetch_failures = 0
+        corrupt_sites: set = set()
         while True:
             bus.post(StageSubmitted(stage.stage_id, name, stage.num_tasks))
             metrics = StageMetrics(
@@ -350,7 +353,8 @@ class DAGScheduler:
             try:
                 results = self.ctx._task_scheduler.run_task_set(task_set)
             except FetchFailedError as exc:
-                fetch_failures += 1
+                fetch_failures = self._charge_fetch_failure(
+                    exc, fetch_failures, corrupt_sites)
                 self._recover_from_fetch_failure(stage, job_id, phase,
                                                  exc, fetch_failures)
                 continue
@@ -360,6 +364,28 @@ class DAGScheduler:
             metrics.duration_s = self.ctx.clock.time() - stage_start
             bus.post(StageCompleted(job_id, metrics))
             return [result.value for result in results]
+
+    def _charge_fetch_failure(self, exc: FetchFailedError,
+                              fetch_failures: int,
+                              corrupt_sites: set) -> int:
+        """Return the stage's updated fetch-failure count for ``exc``.
+
+        A detected-corruption failure does not consume the stage's
+        ``stage_max_failures`` budget the first time a site fails:
+        corruption injection is a per-site first-read decision, so the
+        recovery re-read is guaranteed clean and each corrupt site can
+        charge at most one recovery.  A *repeat* failure of the same
+        site breaks that guarantee (persistent corruption — a bug, not
+        an injection) and exhausts the budget immediately.
+        """
+        if not isinstance(exc, CorruptedBlockError):
+            return fetch_failures + 1
+        site = (exc.shuffle_id, exc.missing_map_partitions,
+                exc.reduce_partition)
+        if site in corrupt_sites:
+            return self.ctx.conf.stage_max_failures
+        corrupt_sites.add(site)
+        return fetch_failures
 
     def _recover_from_fetch_failure(self, stage: Stage, job_id: int,
                                     phase: str, exc: FetchFailedError,
@@ -372,6 +398,12 @@ class DAGScheduler:
         equivalent — outputs are overwritten idempotently)."""
         self.ctx.event_bus.post(FetchFailed(
             stage.stage_id, exc.shuffle_id, exc.reduce_partition))
+        if isinstance(exc, CorruptedBlockError):
+            # a corrupt block rides the fetch-failure recovery path;
+            # the extra event feeds IntegrityMetrics.recompute_recoveries
+            self.ctx.event_bus.post(BlockCorrupted(
+                stage.stage_id, exc.shuffle_id, exc.reduce_partition,
+                exc.node))
         if fetch_failures >= self.ctx.conf.stage_max_failures:
             raise JobExecutionError(
                 f"stage {stage.stage_id} aborted after {fetch_failures} "

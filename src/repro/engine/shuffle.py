@@ -26,6 +26,14 @@ guarded by an internal lock.  Combining and bucketing (the expensive
 part) happen *outside* the lock, and reads iterate map outputs in
 sorted map-partition order so fetched record order — and therefore
 every downstream reduction — is independent of write interleaving.
+
+Data integrity: with ``EngineConf.integrity`` on, every bucket is
+additionally serialized and CRC-sealed at write time and re-verified on
+every fetch (see :mod:`repro.engine.integrity`).  A corrupt block never
+reaches the reduce task — the reader drops the writer's map output and
+raises :class:`~repro.engine.errors.CorruptedBlockError`, which the
+scheduler heals exactly like a fetch failure, by resubmitting the
+parent map stage from lineage.
 """
 
 from __future__ import annotations
@@ -35,12 +43,14 @@ from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from . import linthooks
 from .cluster import Cluster
-from .errors import FetchFailedError
+from .errors import CorruptedBlockError, FetchFailedError
 from .metrics import ShuffleReadMetrics, ShuffleWriteMetrics
-from .serialization import estimate_record_size
+from .serialization import (deserialize_partition, estimate_record_size,
+                            serialize_partition)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .faults import FaultInjector
+    from .integrity import IntegrityManager
     from .memory import MemoryManager
 
 
@@ -73,6 +83,11 @@ class _MapOutput:
     node: int = 0
     buckets: dict[int, list] = field(default_factory=dict)
     bucket_bytes: dict[int, int] = field(default_factory=dict)
+    #: integrity mode only: serialized bucket blobs and their CRC-32
+    #: seals; reads deserialize the *verified* blob so corrupt bytes
+    #: can never reach a reduce task
+    bucket_blobs: dict[int, bytes] = field(default_factory=dict)
+    bucket_checksums: dict[int, int] = field(default_factory=dict)
 
 
 class ShuffleManager:
@@ -80,13 +95,15 @@ class ShuffleManager:
 
     def __init__(self, cluster: Cluster,
                  faults: "FaultInjector | None" = None,
-                 memory: "MemoryManager | None" = None):
+                 memory: "MemoryManager | None" = None,
+                 integrity: "IntegrityManager | None" = None):
         if memory is None:
             from .memory import MemoryManager
             memory = MemoryManager()  # unbounded: combine never spills
         self.cluster = cluster
         self.faults = faults
         self.memory = memory
+        self.integrity = integrity
         self._lock = linthooks.make_rlock("ShuffleManager")
         self._shuffles: dict[int, dict[int, _MapOutput]] = {}
         #: shuffle id -> expected map-partition count (None when the
@@ -132,7 +149,9 @@ class ShuffleManager:
         """
         if aggregator is not None:
             from .memory import SpillableAppendOnlyMap
-            combined = SpillableAppendOnlyMap(self.memory, aggregator)
+            combined = SpillableAppendOnlyMap(
+                self.memory, aggregator, integrity=self.integrity,
+                site=("map", shuffle_id, map_partition))
             if aggregator.combine_batch is not None:
                 combined.insert_batch(records)
             else:
@@ -155,6 +174,12 @@ class ShuffleManager:
             bucket_bytes[bucket] = bucket_bytes.get(bucket, 0) + size
             n_records += 1
             n_bytes += size
+        if self.integrity is not None and self.integrity.enabled:
+            # seal outside the lock: pickling is the expensive part
+            for bucket, block in buckets.items():
+                blob = serialize_partition(block)
+                output.bucket_blobs[bucket] = blob
+                output.bucket_checksums[bucket] = self.integrity.seal(blob)
         # dropped shuffles (drop_shuffle_outputs) may be re-written when
         # lineage is recomputed; re-register lazily
         with self._lock:
@@ -216,6 +241,9 @@ class ShuffleManager:
             if self.faults is not None:
                 self.faults.maybe_fail_fetch(shuffle_id, map_partition,
                                              reduce_partition)
+            if self.integrity is not None and self.integrity.enabled:
+                block = self._verified_block(shuffle_id, map_partition,
+                                             reduce_partition, output)
             nbytes = output.bucket_bytes.get(reduce_partition, 0)
             if output.node == reduce_node:
                 read_metrics.local_bytes += nbytes
@@ -225,6 +253,38 @@ class ShuffleManager:
                 read_metrics.remote_records += len(block)
             fetched.extend(block)
         return fetched
+
+    def _verified_block(self, shuffle_id: int, map_partition: int,
+                        reduce_partition: int,
+                        output: _MapOutput) -> list:
+        """Integrity mode: return the block decoded from its verified
+        blob, never the in-memory record list.
+
+        On a checksum mismatch the writer's whole map output is dropped
+        (mirroring node loss) so the scheduler's lineage resubmission
+        rewrites it, and :class:`CorruptedBlockError` propagates to the
+        reduce task — a FetchFailedError subclass, so the existing
+        recovery path heals it; the task scheduler additionally charges
+        the writer node's health score.
+        """
+        blob = output.bucket_blobs[reduce_partition]
+        checksum = output.bucket_checksums[reduce_partition]
+        good = self.integrity.checked_read(
+            "shuffle", (shuffle_id, map_partition, reduce_partition),
+            blob, checksum)
+        if good is None:
+            with self._lock:
+                linthooks.access(self, "_shuffles", write=True)
+                self._shuffles.get(shuffle_id, {}).pop(map_partition, None)
+            raise CorruptedBlockError(
+                f"shuffle {shuffle_id} block (map {map_partition} -> "
+                f"reduce {reduce_partition}) failed checksum "
+                f"verification; map output dropped for recomputation",
+                shuffle_id=shuffle_id,
+                reduce_partition=reduce_partition,
+                missing_map_partitions=(map_partition,),
+                node=output.node)
+        return deserialize_partition(good)
 
     # ------------------------------------------------------------------
     def invalidate_node(self, node_id: int) -> tuple[int, int]:

@@ -34,6 +34,7 @@ from .serialization import (deserialize_partition, estimate_size,
                             serialize_partition)
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .integrity import IntegrityManager
     from .memory import MemoryManager
     from .metrics import MetricsCollector
 
@@ -90,6 +91,7 @@ class _CacheEntry:
     size_bytes: int             # estimated footprint (memory or disk)
     on_disk: bool = False       # demoted (or DISK-level) entries
     deser_seconds: float = 0.0  # cumulative CPU spent deserializing
+    checksum: int | None = None  # CRC-32 of blob (integrity mode only)
 
 
 class CacheManager:
@@ -118,13 +120,15 @@ class CacheManager:
 
     def __init__(self, capacity_bytes: int | None = None,
                  metrics: "MetricsCollector | None" = None,
-                 memory: "MemoryManager | None" = None):
+                 memory: "MemoryManager | None" = None,
+                 integrity: "IntegrityManager | None" = None):
         self._entries: OrderedDict[tuple[int, int], _CacheEntry] = OrderedDict()
         if memory is None:
             from .memory import MemoryManager
             memory = MemoryManager(storage_cap_bytes=capacity_bytes,
                                    metrics=metrics)
         self.memory = memory
+        self.integrity = integrity
         self.capacity_bytes = (capacity_bytes if capacity_bytes is not None
                                else memory.storage_cap_bytes)
         self.metrics = metrics
@@ -137,6 +141,15 @@ class CacheManager:
     def used_bytes(self) -> int:
         """Memory-resident footprint (disk-resident entries are free)."""
         return self.memory.storage_used
+
+    def _seal(self, blob: bytes) -> int | None:
+        """CRC-seal a cached blob in integrity mode (else None).  Raw
+        in-memory entries are never sealed — like Spark, only bytes at
+        rest (serialized or on disk) get checksums; live objects are
+        protected by the process, not the storage layer."""
+        if self.integrity is not None and self.integrity.enabled:
+            return self.integrity.seal(blob)
+        return None
 
     # ------------------------------------------------------------------
     def put(self, rdd_id: int, partition: int, records: list,
@@ -151,7 +164,8 @@ class CacheManager:
                 blob = serialize_partition(list(records))
                 entry = _CacheEntry(records=None, blob=blob, level=level,
                                     size_bytes=len(blob),
-                                    on_disk=level is StorageLevel.DISK)
+                                    on_disk=level is StorageLevel.DISK,
+                                    checksum=self._seal(blob))
             else:
                 size = sum(estimate_size(r) for r in records) or 1
                 entry = _CacheEntry(records=list(records), blob=None,
@@ -184,18 +198,32 @@ class CacheManager:
             if entry is None:
                 self.misses += 1
                 return None
+            blob = entry.blob
+            if (blob is not None and self.integrity is not None
+                    and self.integrity.enabled
+                    and entry.checksum is not None):
+                blob = self.integrity.checked_read(
+                    "cache", key, blob, entry.checksum)
+                if blob is None:
+                    # corrupt cached blob: drop the entry and report a
+                    # miss — the RDD iterator recomputes the partition
+                    # from lineage and re-caches it, transparently
+                    self._remove(key)
+                    self.misses += 1
+                    self.integrity.metrics.add("recompute_recoveries")
+                    return None
             self.hits += 1
             self._entries.move_to_end(key)
             if entry.records is not None:
                 return entry.records
-            assert entry.blob is not None
+            assert blob is not None
             t0 = time.perf_counter()
-            records = deserialize_partition(entry.blob)
+            records = deserialize_partition(blob)
             entry.deser_seconds += time.perf_counter() - t0
             if self.metrics is not None:
-                self.metrics.cache_deserialized_bytes += len(entry.blob)
+                self.metrics.cache_deserialized_bytes += len(blob)
                 if entry.on_disk:
-                    self.metrics.cache_disk_read_bytes += len(entry.blob)
+                    self.metrics.cache_disk_read_bytes += len(blob)
             return records
 
     def contains(self, rdd_id: int, partition: int) -> bool:
@@ -301,6 +329,7 @@ class CacheManager:
         if blob is None:
             assert entry.records is not None
             blob = serialize_partition(entry.records)
+            entry.checksum = self._seal(blob)
         self.memory.release_storage(entry.size_bytes)
         if self.metrics is not None:
             bucket = self.metrics.cache_stored_bytes

@@ -48,8 +48,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .cluster import NodeHealthTracker
-from .errors import (CancelledAttempt, FetchFailedError, OutOfMemoryError,
-                     TaskFailedError, TaskTimedOutError)
+from .errors import (CancelledAttempt, CorruptedBlockError, FetchFailedError,
+                     OutOfMemoryError, TaskFailedError, TaskTimedOutError)
 from .events import (NodeExcluded, NodeQuarantined, NodeReadmitted,
                      TaskAttemptCancelled, TaskEnd, TaskFailure,
                      TaskSpeculated, TaskStart, TaskTimedOut)
@@ -191,6 +191,13 @@ class TaskScheduler:
             try:
                 outcome = self._execute_attempt(ts, partition, attempt,
                                                 node, group)
+            except CorruptedBlockError as exc:
+                # a checksum mismatch on a shuffle read is charged to
+                # the *writer* node's quarantine health (that node
+                # produced the corrupt bytes), then heals at stage
+                # level exactly like a fetch failure
+                self._note_health(exc.node, 1.0)
+                raise
             except (TaskFailedError, FetchFailedError):
                 raise
             except CancelledAttempt:
