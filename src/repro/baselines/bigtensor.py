@@ -69,6 +69,8 @@ class BigtensorCP(CPALSDriver):
     def _mttkrp(self, mode: int, tensor_rdd: RDD,
                 factor_rdds: list[RDD], rank: int) -> RDD:
         assert self._shape is not None
+        # materialize point: the matricization maps consume records
+        tensor_rdd = tensor_rdd.materialize_records()
         shape = self._shape
         strides = column_strides(shape, mode)
         others = [m for m in range(3) if m != mode]

@@ -73,13 +73,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-node unified memory (execution + "
                           "storage); undersizing it forces shuffle "
                           "aggregation to spill")
-    dec.add_argument("--backend", choices=["serial", "threads"],
+    dec.add_argument("--backend",
+                     choices=["serial", "threads", "process"],
                      default=None,
                      help="executor backend running stage tasks: "
-                          "'serial' (one after another, the default) or "
-                          "'threads' (a thread pool; bit-identical "
-                          "results).  Defaults to $REPRO_BACKEND, then "
-                          "'serial'")
+                          "'serial' (one after another, the default), "
+                          "'threads' (a thread pool) or 'process' "
+                          "(thread-pool orchestration plus a worker-"
+                          "process pool computing columnar batches over "
+                          "shared memory); all bit-identical.  Defaults "
+                          "to $REPRO_BACKEND, then 'serial'")
     dec.add_argument("--backend-workers", type=int, default=None,
                      metavar="N",
                      help="worker count for pooled backends (default: "

@@ -343,7 +343,19 @@ class CPALSDriver:
     # ------------------------------------------------------------------
     def _distribute_tensor(self, tensor: COOTensor) -> RDD:
         """Place the nonzero records per ``tensor_partitioning`` and
-        cache the resulting RDD."""
+        cache the resulting RDD.
+
+        Kernels that ``wants_blocks`` get columnar partitions
+        (:class:`~repro.engine.blocks.ColumnarBlock`) carved by
+        :meth:`COOTensor.partition_blocks`, whose placement and
+        within-partition order mirror the record path bit for bit; the
+        record oracle keeps plain record lists.
+        """
+        if getattr(self.ctx.kernel, "wants_blocks", False):
+            blocks = tensor.partition_blocks(
+                self.tensor_partitioning, self.num_partitions)
+            return self.ctx.parallelize_blocks(blocks).set_name(
+                "tensor-coo").persist(self.storage_level)
         records = list(tensor.records())
         n = self.num_partitions
         if self.tensor_partitioning == "input":

@@ -17,6 +17,8 @@ remaining mode first.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..engine.rdd import RDD
 from ..tensor.coo import COOTensor
 from .cp_als import CPALSDriver
@@ -66,13 +68,13 @@ class CstfCOO(CPALSDriver):
         first = modes[0]
 
         # STAGE 1: key the tensor by the first join mode;  (k, (idx, val))
-        keyed = tensor_rdd.map(
-            lambda rec, _m=first: (rec[0][_m], rec)
-        ).set_name(f"coo-key-mode{first}")
+        # — the kernel's materialize point for columnar partitions
+        kernel = self.ctx.kernel
+        keyed = kernel.key_tensor_by_mode(tensor_rdd, first).set_name(
+            f"coo-key-mode{first}")
 
         # join with the first factor and fold the tensor value into the
         # accumulator:  (k, ((idx, val), C_row)) -> (next_key, (idx, acc))
-        kernel = self.ctx.kernel
         current = keyed.join(factor_rdds[first], self.num_partitions)
         for pos, join_mode in enumerate(modes):
             next_mode = modes[pos + 1] if pos + 1 < len(modes) else mode
@@ -108,10 +110,22 @@ class CstfCOO(CPALSDriver):
             bc.destroy()
         self._live_broadcasts.clear()
         order = len(factor_rdds)
-        broadcasts = {
-            m: self.ctx.broadcast(dict(factor_rdds[m].collect()))
-            for m in range(order) if m != mode
-        }
+        # factors are replicated as dense (size, rank) ndarrays: row i
+        # at index i.  Kernels index them identically to the previous
+        # dict-of-rows (``value[i]`` returns row i with the same bits),
+        # and the vectorized block path needs the fancy-index gather;
+        # rows absent from the factor RDD are never looked up (every
+        # tensor index of a mode appears in that mode's MTTKRP output).
+        broadcasts = {}
+        for m in range(order):
+            if m == mode:
+                continue
+            items = factor_rdds[m].collect()
+            size = 1 + max(i for i, _ in items)
+            dense = np.zeros((size, rank), dtype=np.float64)
+            for i, row in items:
+                dense[i] = row
+            broadcasts[m] = self.ctx.broadcast(dense)
         self._live_broadcasts.extend(broadcasts.values())
 
         kernel = self.ctx.kernel

@@ -83,7 +83,9 @@ class CstfDimTree(CPALSDriver):
     def _setup(self, tensor_rdd: RDD, tensor: COOTensor,
                factor_rdds: list[RDD], rank: int) -> None:
         self._root = build_tree(tensor.order)
-        self._root.rdd = tensor_rdd  # records ((i_1..i_N), value)
+        # records ((i_1..i_N), value); materialize point for columnar
+        # partitions — contractions consume per-record tuples
+        self._root.rdd = tensor_rdd.materialize_records()
         self._leaves = {}
 
         def index_leaves(node: _TreeNode) -> None:

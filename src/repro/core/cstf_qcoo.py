@@ -46,7 +46,9 @@ class CstfQCOO(CPALSDriver):
         ``0..N-2`` onto every nonzero, leaving the RDD keyed by the
         mode-``N-1`` index with queue ``(row_0, ..., row_{N-2})``."""
         order = tensor.order
-        current = tensor_rdd.map(
+        # materialize point: columnar tensor partitions expand to
+        # records before the per-record queue tuples are built
+        current = tensor_rdd.materialize_records().map(
             lambda rec: (rec[0][0], (rec, ()))
         ).set_name("qcoo-init-key0")
         for m in range(order - 1):

@@ -15,8 +15,9 @@ Quick example::
 """
 
 from .accumulator import Accumulator
-from .backends import (ExecutorBackend, SerialBackend, ThreadPoolBackend,
-                       create_backend)
+from .backends import (ExecutorBackend, ProcessPoolBackend, SerialBackend,
+                       ThreadPoolBackend, create_backend)
+from .blocks import ColumnarBlock, KeyedRowBlock
 from .broadcast import Broadcast
 from .calibration import (CalibratedCostModel, CalibrationPoint,
                           TermMultipliers, calibrate)
@@ -72,6 +73,7 @@ __all__ = [
     "COMET",
     "Context",
     "ContextStoppedError",
+    "ColumnarBlock",
     "CostModel",
     "EngineConf",
     "EngineError",
@@ -97,6 +99,7 @@ __all__ = [
     "JobExecutionError",
     "JobMetrics",
     "KernelError",
+    "KeyedRowBlock",
     "NumericalIntegrityError",
     "LEVEL_MEMORY_FACTOR",
     "MemoryManager",
@@ -108,6 +111,7 @@ __all__ = [
     "OutOfMemoryError",
     "SpillableAppendOnlyMap",
     "Partitioner",
+    "ProcessPoolBackend",
     "RangePartitioner",
     "RDD",
     "RunStats",

@@ -2,8 +2,8 @@
 
 The :class:`~repro.engine.taskscheduler.TaskScheduler` builds one thunk
 per partition and hands the list to an :class:`ExecutorBackend`; the
-backend decides *where* and *with what concurrency* they execute.  Two
-implementations ship:
+backend decides *where* and *with what concurrency* they execute.
+Three implementations ship:
 
 ``SerialBackend``
     Runs thunks in partition order on the calling thread.  This is the
@@ -19,10 +19,24 @@ implementations ship:
     awaited and the lowest-partition exception is raised, so the error
     surfaced to the driver is deterministic too.
 
-Selection is resolved in this order: ``EngineConf.backend``, the
-``REPRO_BACKEND`` environment variable, then ``"serial"``.  Worker
-count: ``EngineConf.backend_workers``, ``REPRO_BACKEND_WORKERS``, then
-``min(8, cpu_count)``.
+``ProcessPoolBackend``
+    The thread backend's orchestration (same submission order, result
+    order, cancellation and speculation semantics) plus a spawn-safe
+    pool of worker *processes* that the columnar kernel offloads its
+    block arithmetic to.  Partition blocks and broadcast factors cross
+    the process boundary as ``multiprocessing.shared_memory``
+    descriptors via a :class:`~repro.engine.procpool
+    .SharedBlockRegistry` — (name, dtype, shape) triples, not pickles.
+
+Backend selection is resolved in this order: ``EngineConf.backend``,
+the ``REPRO_BACKEND`` environment variable, then ``"serial"``.  Worker
+count resolution differs per backend:
+
+* ``serial`` — always exactly 1; any configured count is ignored.
+* ``threads`` / ``process`` — ``EngineConf.backend_workers``, then
+  ``REPRO_BACKEND_WORKERS``, then the default ``min(8, os.cpu_count()
+  or 4)``.  The process backend sizes *both* pools with the resolved
+  count: N orchestration threads and N worker processes.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: accepted spellings per backend
 _SERIAL_NAMES = ("serial", "sync", "local")
 _THREAD_NAMES = ("threads", "thread", "threadpool", "threaded")
+_PROCESS_NAMES = ("process", "processes", "procpool", "multiprocess")
 
 
 class ExecutorBackend(ABC):
@@ -157,6 +172,46 @@ class ThreadPoolBackend(ExecutorBackend):
         self._pool.shutdown(wait=True)
 
 
+class ProcessPoolBackend(ThreadPoolBackend):
+    """Thread-pool orchestration + a process pool for block kernels.
+
+    Task thunks close over the whole engine (context, shuffle state,
+    locks) and are deliberately unpicklable, so tasks themselves stay
+    on the inherited driver thread pool — which also inherits the
+    thread backend's determinism contract verbatim: submission and
+    results in partition order, lowest failing partition's exception,
+    cooperative cancellation, speculation support.  What *does* cross
+    the process boundary is pure block arithmetic: the vectorized
+    kernel hands its gather/Hadamard/segment-sum inner loop to
+    ``self.offload``, which publishes the operand arrays once into
+    shared memory and ships only descriptors per call.  Workers are
+    spawned lazily on the first offloaded call, so contexts that never
+    touch the columnar kernel pay nothing.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int | None = None):
+        super().__init__(num_workers)
+        # deferred import: procpool pulls in blocks/shared_memory,
+        # which serial/thread contexts never need
+        from .procpool import (OffloadClient, ProcessWorkerPool,
+                               SharedBlockRegistry)
+        self.registry = SharedBlockRegistry()
+        self._workers = ProcessWorkerPool(self._num_workers)
+        self.offload = OffloadClient(self._workers, self.registry)
+
+    def live_segments(self) -> list[str]:
+        """Shared-memory segments not yet unlinked (leak observable:
+        must be empty after ``shutdown``)."""
+        return self.registry.live_segments()
+
+    def shutdown(self) -> None:
+        self._workers.stop()
+        self.registry.unlink_all()
+        super().shutdown()
+
+
 def resolve_backend_spec(
         name: str | None = None,
         num_workers: int | None = None) -> tuple[str, int | None]:
@@ -187,6 +242,9 @@ def create_backend(name: str | None = None,
         return SerialBackend()
     if normalized in _THREAD_NAMES:
         return ThreadPoolBackend(num_workers)
+    if normalized in _PROCESS_NAMES:
+        return ProcessPoolBackend(num_workers)
+    known = sorted(_SERIAL_NAMES + _THREAD_NAMES + _PROCESS_NAMES)
     raise BackendError(
         f"unknown executor backend {name!r}; expected one of "
-        f"{', '.join(sorted(_SERIAL_NAMES + _THREAD_NAMES))}")
+        f"{', '.join(known)}")

@@ -1,0 +1,379 @@
+"""Columnar partition blocks: the engine's zero-copy data contract.
+
+A partition of tensor nonzeros used to travel as ``list[tuple]`` —
+one ``((i, j, k), value)`` tuple per nonzero.  That layout is friendly
+to generic record plumbing but hostile to everything else: the
+vectorized kernel re-marshals it into ndarrays on every call, pickling
+it dominates shuffle/cache serialization, and per-record size sampling
+is the only way to account for its memory.
+
+This module provides the columnar alternative:
+
+``ColumnarBlock``
+    One contiguous ``int64`` index array per mode plus one contiguous
+    ``float64`` values array.  Row ``i`` of the block is the record
+    ``((columns[0][i], ..., columns[N-1][i]), values[i])``.
+
+``KeyedRowBlock``
+    A batch of keyed factor rows — ``int64`` keys and a dense
+    ``(n, rank)`` ``float64`` row matrix — the shape MTTKRP
+    contributions take between the map side and the reduce side.
+
+Stable-order contract
+---------------------
+Blocks are *ordered* containers: ``to_records()`` yields rows in
+storage order, ``from_records`` preserves input order, ``concat``
+preserves block-then-row order and ``take`` follows the index order it
+is given.  This is the same contract the PR 4 kernel batching rules
+rely on (left folds in record order, keys in first-occurrence order),
+so a pipeline that materializes a block back to records is bit-identical
+to one that never used blocks at all.
+
+Framing
+-------
+``pack_blocks``/``unpack_blocks`` serialize a block-only partition as
+raw buffers with a small dtype/shape header per array — no pickle in
+the inner loop.  The frame is a plain ``bytes`` payload, so the CRC-32
+sealing from the integrity layer applies to it unchanged.  Blocks also
+pickle normally (``__reduce__``) for mixed partitions, spill runs and
+any other generic path.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: flat per-block accounting overhead (slots, shape/dtype headers) used
+#: by :func:`repro.engine.serialization.estimate_size`'s exact fast path
+BLOCK_OVERHEAD = 64
+
+#: canonical dtypes — blocks coerce on construction so every consumer
+#: (kernels, shared-memory descriptors, framing) can assume them
+INDEX_DTYPE = np.dtype(np.int64)
+VALUE_DTYPE = np.dtype(np.float64)
+
+#: magic prefix of a framed block partition (see ``pack_blocks``)
+BLOCK_MAGIC = b"RBLK1\n"
+
+_KIND_COLUMNAR = b"C"
+_KIND_KEYED = b"K"
+
+
+def _contiguous(arr: object, dtype: np.dtype) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+class ColumnarBlock:
+    """A partition slice of COO nonzeros in columnar layout."""
+
+    __slots__ = ("columns", "values")
+
+    def __init__(self, columns: Sequence[np.ndarray],
+                 values: np.ndarray):
+        columns = tuple(_contiguous(c, INDEX_DTYPE) for c in columns)
+        values = _contiguous(values, VALUE_DTYPE)
+        if values.ndim != 1:
+            raise ValueError("values must be a 1-D array")
+        for col in columns:
+            if col.ndim != 1 or col.shape[0] != values.shape[0]:
+                raise ValueError(
+                    "every index column must be 1-D with one entry "
+                    "per value")
+        self.columns = columns
+        self.values = values
+
+    # -- container protocol -------------------------------------------
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def order(self) -> int:
+        """Number of tensor modes (index columns)."""
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Exact payload bytes (index columns + values)."""
+        return (sum(c.nbytes for c in self.columns)
+                + self.values.nbytes)
+
+    def column(self, mode: int) -> np.ndarray:
+        """The contiguous index array of one mode."""
+        return self.columns[mode]
+
+    # -- records <-> blocks -------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[tuple],
+                     order: int | None = None) -> "ColumnarBlock":
+        """Build a block from ``((i, ..., k), value)`` records,
+        preserving record order row for row."""
+        records = list(records)
+        if order is None:
+            order = len(records[0][0]) if records else 0
+        n = len(records)
+        cols = [np.empty(n, INDEX_DTYPE) for _ in range(order)]
+        vals = np.empty(n, VALUE_DTYPE)
+        for i, (idx, val) in enumerate(records):
+            for m in range(order):
+                cols[m][i] = idx[m]
+            vals[i] = val
+        return cls(tuple(cols), vals)
+
+    def to_records(self) -> list[tuple]:
+        """Materialize back to ``(tuple[int, ...], float)`` records in
+        storage order — bit-identical to the records the block was
+        built from."""
+        vals = self.values.tolist()
+        if not self.columns:
+            return [((), v) for v in vals]
+        cols = [c.tolist() for c in self.columns]
+        return [(idx, v) for idx, v in zip(zip(*cols), vals)]
+
+    # -- structural ops -----------------------------------------------
+    @classmethod
+    def concat(cls, blocks: Sequence["ColumnarBlock"]) -> "ColumnarBlock":
+        """Concatenate blocks in the given order (rows keep their
+        within-block order)."""
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("concat of zero blocks is ambiguous "
+                             "(unknown order)")
+        order = blocks[0].order
+        if any(b.order != order for b in blocks):
+            raise ValueError("cannot concat blocks of different order")
+        cols = tuple(
+            np.concatenate([b.columns[m] for b in blocks])
+            for m in range(order))
+        vals = np.concatenate([b.values for b in blocks])
+        return cls(cols, vals)
+
+    def take(self, indices: object) -> "ColumnarBlock":
+        """Sub-block of the given rows, in the given index order."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return ColumnarBlock(
+            tuple(c[idx] for c in self.columns), self.values[idx])
+
+    def __repr__(self) -> str:
+        return (f"ColumnarBlock(order={self.order}, "
+                f"nnz={len(self)}, nbytes={self.nbytes})")
+
+    def __reduce__(self):
+        return (ColumnarBlock, (self.columns, self.values))
+
+
+class KeyedRowBlock:
+    """A batch of ``(int key, float64 row)`` pairs in dense layout."""
+
+    __slots__ = ("keys", "rows")
+
+    def __init__(self, keys: np.ndarray, rows: np.ndarray):
+        keys = _contiguous(keys, INDEX_DTYPE)
+        rows = _contiguous(rows, VALUE_DTYPE)
+        if keys.ndim != 1 or rows.ndim != 2:
+            raise ValueError("keys must be 1-D and rows 2-D")
+        if keys.shape[0] != rows.shape[0]:
+            raise ValueError("one key per row required")
+        self.keys = keys
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return self.keys.shape[0]
+
+    @property
+    def rank(self) -> int:
+        return self.rows.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.keys.nbytes + self.rows.nbytes
+
+    @classmethod
+    def from_records(cls, records: Iterable[tuple],
+                     rank: int | None = None) -> "KeyedRowBlock":
+        records = list(records)
+        if not records:
+            if rank is None:
+                raise ValueError("rank required for an empty block")
+            return cls(np.empty(0, INDEX_DTYPE),
+                       np.empty((0, rank), VALUE_DTYPE))
+        keys = np.fromiter((k for k, _ in records), INDEX_DTYPE,
+                           count=len(records))
+        rows = np.stack([row for _, row in records])
+        return cls(keys, rows)
+
+    def to_records(self) -> list[tuple]:
+        """``(int, ndarray row)`` pairs in storage order — the exact
+        record shape the per-record kernel path emits."""
+        return [(int(k), row) for k, row in zip(self.keys, self.rows)]
+
+    @classmethod
+    def concat(cls, blocks: Sequence["KeyedRowBlock"]) -> "KeyedRowBlock":
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("concat of zero blocks is ambiguous "
+                             "(unknown rank)")
+        return cls(np.concatenate([b.keys for b in blocks]),
+                   np.vstack([b.rows for b in blocks]))
+
+    def take(self, indices: object) -> "KeyedRowBlock":
+        """Sub-block of the given rows, in the given index order."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return KeyedRowBlock(self.keys[idx], self.rows[idx])
+
+    def __repr__(self) -> str:
+        return (f"KeyedRowBlock(n={len(self)}, rank={self.rank}, "
+                f"nbytes={self.nbytes})")
+
+    def __reduce__(self):
+        return (KeyedRowBlock, (self.keys, self.rows))
+
+
+# ----------------------------------------------------------------------
+# record-view helpers (the materialize points)
+# ----------------------------------------------------------------------
+def is_block(obj: object) -> bool:
+    """Whether ``obj`` is a columnar partition block."""
+    return type(obj) is ColumnarBlock or type(obj) is KeyedRowBlock
+
+
+def iter_records(partition: Iterable) -> Iterator:
+    """Iterate a partition as plain records, expanding any block into
+    its rows in storage order (non-block items pass through)."""
+    for item in partition:
+        if is_block(item):
+            yield from item.to_records()
+        else:
+            yield item
+
+
+def materialize_partition(partition: Iterable) -> list:
+    """``list(iter_records(partition))`` — the explicit block→records
+    materialize point used by record-shaped consumers."""
+    return list(iter_records(partition))
+
+
+def record_count(partition: Iterable) -> int:
+    """Logical record count of a partition: blocks count their rows."""
+    return sum(len(item) if is_block(item) else 1
+               for item in partition)
+
+
+def rebatch_records(partition: Iterable,
+                    order: int | None = None) -> list:
+    """Coalesce a partition of loose ``(idx, value)`` records (and/or
+    columnar blocks) back into a single :class:`ColumnarBlock` — the
+    inverse of :func:`materialize_partition`.  Row order is preserved,
+    so rebatch∘materialize is the identity on block content."""
+    loose: list = []
+    blocks: list[ColumnarBlock] = []
+    for item in partition:
+        if type(item) is ColumnarBlock:
+            if loose:
+                blocks.append(ColumnarBlock.from_records(loose, order))
+                loose = []
+            blocks.append(item)
+        else:
+            loose.append(item)
+    if loose or not blocks:
+        blocks.append(ColumnarBlock.from_records(loose, order))
+    if len(blocks) == 1:
+        return [blocks[0]]
+    return [ColumnarBlock.concat(blocks)]
+
+
+# ----------------------------------------------------------------------
+# raw-buffer framing (serialize_partition fast path)
+# ----------------------------------------------------------------------
+def _pack_array(out: list[bytes], arr: np.ndarray) -> None:
+    arr = np.ascontiguousarray(arr)
+    dt = arr.dtype.str.encode("ascii")
+    out.append(struct.pack("<B", len(dt)))
+    out.append(dt)
+    out.append(struct.pack("<B", arr.ndim))
+    out.append(struct.pack(f"<{arr.ndim}q", *arr.shape))
+    out.append(arr.tobytes())
+
+
+def _unpack_array(buf: memoryview, pos: int) -> tuple[np.ndarray, int]:
+    (dt_len,) = struct.unpack_from("<B", buf, pos)
+    pos += 1
+    dtype = np.dtype(bytes(buf[pos:pos + dt_len]).decode("ascii"))
+    pos += dt_len
+    (ndim,) = struct.unpack_from("<B", buf, pos)
+    pos += 1
+    shape = struct.unpack_from(f"<{ndim}q", buf, pos)
+    pos += 8 * ndim
+    count = 1
+    for dim in shape:
+        count *= dim
+    nbytes = count * dtype.itemsize
+    arr = np.frombuffer(buf, dtype=dtype, count=count,
+                        offset=pos).reshape(shape).copy()
+    pos += nbytes
+    return arr, pos
+
+
+def is_block_partition(records: object) -> bool:
+    """Whether ``records`` is a non-empty list made only of blocks
+    (the shape eligible for raw-buffer framing)."""
+    return (type(records) is list and len(records) > 0
+            and all(is_block(r) for r in records))
+
+
+def pack_blocks(blocks: Sequence) -> bytes:
+    """Frame a block-only partition as raw buffers with dtype/shape
+    headers — no pickle."""
+    out: list[bytes] = [BLOCK_MAGIC, struct.pack("<I", len(blocks))]
+    for block in blocks:
+        if type(block) is ColumnarBlock:
+            out.append(_KIND_COLUMNAR)
+            out.append(struct.pack("<B", block.order))
+            for col in block.columns:
+                _pack_array(out, col)
+            _pack_array(out, block.values)
+        elif type(block) is KeyedRowBlock:
+            out.append(_KIND_KEYED)
+            _pack_array(out, block.keys)
+            _pack_array(out, block.rows)
+        else:
+            raise TypeError(f"not a block: {type(block).__name__}")
+    return b"".join(out)
+
+
+def is_block_payload(blob: bytes) -> bool:
+    """Whether ``blob`` is a :func:`pack_blocks` frame."""
+    return blob[:len(BLOCK_MAGIC)] == BLOCK_MAGIC
+
+
+def unpack_blocks(blob: bytes) -> list:
+    """Inverse of :func:`pack_blocks`."""
+    if not is_block_payload(blob):
+        raise ValueError("not a block frame")
+    buf = memoryview(blob)
+    pos = len(BLOCK_MAGIC)
+    (count,) = struct.unpack_from("<I", buf, pos)
+    pos += 4
+    blocks: list = []
+    for _ in range(count):
+        kind = bytes(buf[pos:pos + 1])
+        pos += 1
+        if kind == _KIND_COLUMNAR:
+            (order,) = struct.unpack_from("<B", buf, pos)
+            pos += 1
+            cols = []
+            for _ in range(order):
+                col, pos = _unpack_array(buf, pos)
+                cols.append(col)
+            vals, pos = _unpack_array(buf, pos)
+            blocks.append(ColumnarBlock(tuple(cols), vals))
+        elif kind == _KIND_KEYED:
+            keys, pos = _unpack_array(buf, pos)
+            rows, pos = _unpack_array(buf, pos)
+            blocks.append(KeyedRowBlock(keys, rows))
+        else:  # pragma: no cover - corrupt frames are caught by CRC
+            raise ValueError(f"unknown block kind {kind!r}")
+    return blocks

@@ -122,14 +122,21 @@ class EngineConf:
         ``$REPRO_CLOCK``, then ``"monotonic"``.
     ``backend``
         Executor backend running each stage's tasks: ``"serial"`` (the
-        default — tasks run one after another on the driver thread) or
+        default — tasks run one after another on the driver thread),
         ``"threads"`` (a thread pool; numpy-heavy tasks overlap because
-        BLAS kernels release the GIL).  ``None`` defers to the
-        ``REPRO_BACKEND`` environment variable, then ``"serial"``.
-        Both backends produce bit-identical results and metrics.
+        BLAS kernels release the GIL) or ``"process"`` (the thread
+        backend's orchestration plus a spawn-safe pool of worker
+        processes the columnar kernel offloads block arithmetic to via
+        shared memory).  ``None`` defers to the ``REPRO_BACKEND``
+        environment variable, then ``"serial"``.  All three backends
+        produce bit-identical results.
     ``backend_workers``
-        Worker count for pooled backends; ``None`` defers to
-        ``REPRO_BACKEND_WORKERS``, then ``min(8, cpu_count)``.
+        Worker count for pooled backends, resolved per backend:
+        ``serial`` always uses exactly 1 and ignores this setting;
+        ``threads`` and ``process`` use this value, else
+        ``REPRO_BACKEND_WORKERS``, else ``min(8, os.cpu_count() or
+        4)``.  The process backend sizes both its orchestration
+        threads and its worker processes with the resolved count.
     ``kernel``
         Partition-level compute kernel for the CP-ALS drivers:
         ``"vectorized"`` (the default — each partition's records are
@@ -257,7 +264,9 @@ class Context:
         #: engine error types
         from ..kernels import create_kernel
         self.kernel = create_kernel(self.conf.kernel,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    offload=getattr(self.backend,
+                                                    "offload", None))
         self._task_scheduler = TaskScheduler(self, self.backend)
         self._scheduler = DAGScheduler(self)
         #: live per-stage timeline (the cost model's event-bus feed)
@@ -348,6 +357,18 @@ class Context:
         """Distribute key-value pairs pre-partitioned by key hash."""
         n = num_partitions or self.default_parallelism
         return self.parallelize(pairs, n, HashPartitioner(n))
+
+    def parallelize_blocks(self, blocks: list,
+                           partitioner: Partitioner | None = None) -> RDD:
+        """Distribute pre-partitioned columnar blocks, one block per
+        partition — the zero-copy path ``COOTensor.partition_blocks``
+        feeds (no per-record slicing on the driver)."""
+        if self._stopped:
+            raise ContextStoppedError("context has been stopped")
+        if not blocks:
+            raise ValueError("parallelize_blocks needs at least one block")
+        from .rdd import BlockCollectionRDD
+        return BlockCollectionRDD(self, list(blocks), partitioner)
 
     def empty_rdd(self, num_partitions: int = 1) -> RDD:
         """An RDD with no records."""

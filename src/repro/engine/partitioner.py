@@ -53,6 +53,34 @@ def stable_hash(key: Any) -> int:
     raise TypeError(f"unhashable partition key type: {type(key).__name__}")
 
 
+def stable_hash_int_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`stable_hash` for an integer key array —
+    ``key & _MASK`` element-wise, pinned bit-identical to the scalar
+    path by a unit test."""
+    return (np.asarray(keys).astype(np.uint64) & np.uint64(_MASK)
+            ).astype(np.int64)
+
+
+def stable_hash_tuple_columns(columns: Iterable[np.ndarray]) -> np.ndarray:
+    """Vectorized :func:`stable_hash` of integer *tuple* keys given in
+    columnar form: ``columns[m][i]`` is element ``m`` of key ``i``.
+
+    Replays the scalar tuple fold in ``uint64``: the multiply wraps
+    mod 2**64, but the subsequent ``& _MASK`` keeps only the low 63
+    bits, and a 63-bit XOR operand cannot feel the discarded high
+    bits — so wrap-around arithmetic is exact here.
+    """
+    columns = list(columns)
+    mask = np.uint64(_MASK)
+    mul = np.uint64(1000003)
+    n = columns[0].shape[0] if columns else 0
+    h = np.full(n, 0x345678, dtype=np.uint64)
+    for col in columns:
+        v = np.asarray(col).astype(np.uint64) & mask
+        h = ((h * mul) ^ v) & mask
+    return h.astype(np.int64)
+
+
 class Partitioner:
     """Base class; subclasses must implement :meth:`get_partition`."""
 
@@ -61,6 +89,15 @@ class Partitioner:
     def get_partition(self, key: Any) -> int:
         """Partition index in ``[0, num_partitions)`` for ``key``."""
         raise NotImplementedError
+
+    def partition_int_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`get_partition` over an integer key array
+        (the columnar-block fast path).  The generic fallback loops;
+        subclasses override with array arithmetic that is pinned
+        bit-identical to the scalar path."""
+        return np.fromiter(
+            (self.get_partition(int(k)) for k in np.asarray(keys)),
+            dtype=np.int64, count=len(keys))
 
     def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
         return NotImplemented
@@ -81,6 +118,18 @@ class HashPartitioner(Partitioner):
     def get_partition(self, key: Any) -> int:
         """``stable_hash(key) mod num_partitions``."""
         return stable_hash(key) % self.num_partitions
+
+    def partition_int_keys(self, keys: np.ndarray) -> np.ndarray:
+        hashed = stable_hash_int_array(keys).astype(np.uint64)
+        return (hashed % np.uint64(self.num_partitions)).astype(np.int64)
+
+    def partition_tuple_columns(
+            self, columns: Iterable[np.ndarray]) -> np.ndarray:
+        """Vectorized placement of integer-tuple keys given as columns
+        (how a :class:`~repro.engine.blocks.ColumnarBlock` hashes its
+        index rows without building a tuple per nonzero)."""
+        hashed = stable_hash_tuple_columns(columns).astype(np.uint64)
+        return (hashed % np.uint64(self.num_partitions)).astype(np.int64)
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, HashPartitioner)
@@ -127,6 +176,13 @@ class RangePartitioner(Partitioner):
             else:
                 lo = mid + 1
         return lo
+
+    def partition_int_keys(self, keys: np.ndarray) -> np.ndarray:
+        # get_partition computes "number of bounds <= key", which is
+        # exactly searchsorted from the right
+        bounds = np.asarray(self.bounds, dtype=np.int64)
+        return np.searchsorted(bounds, np.asarray(keys), side="right"
+                               ).astype(np.int64)
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, RangePartitioner)

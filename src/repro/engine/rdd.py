@@ -281,6 +281,35 @@ class RDD:
         return MapPartitionsRDD(
             self, lambda _split, it: iter([list(it)])).set_name("glom")
 
+    def materialize_records(self) -> "RDD":
+        """Explicit block→records materialize point.
+
+        Columnar partition blocks are opaque to record-shaped
+        transforms; a consumer that needs plain records inserts this
+        narrow step to expand each block into its rows (in storage
+        order — bit-identical to a pipeline that never used blocks).
+        Non-block records pass through untouched, so the step is a
+        no-op on record partitions and preserves the partitioner.
+        """
+        from .blocks import iter_records
+        return MapPartitionsRDD(
+            self, lambda _split, it: iter_records(it),
+            preserves_partitioning=True,
+        ).set_name("materializeRecords")
+
+    def rebatch_blocks(self, order: int | None = None) -> "RDD":
+        """Explicit records→blocks rebatch point (inverse of
+        :meth:`materialize_records`): coalesce each partition's loose
+        ``(index_tuple, value)`` records and/or existing blocks into a
+        single :class:`~repro.engine.blocks.ColumnarBlock`, preserving
+        record order.  ``order`` pins the mode count for partitions
+        that may be empty."""
+        from .blocks import rebatch_records
+        return MapPartitionsRDD(
+            self, lambda _split, it: iter(rebatch_records(it, order)),
+            preserves_partitioning=True,
+        ).set_name("rebatchBlocks")
+
     def sample(self, fraction: float, seed: int = 0) -> "RDD":
         """Bernoulli sample of the records (deterministic per seed and
         partition, as in Spark)."""
@@ -840,6 +869,27 @@ class ParallelCollectionRDD(RDD):
     def compute(self, split: int, task: "TaskContext") -> Iterable:
         """Return the pre-sliced driver-side data."""
         return self._slices[split]
+
+
+class BlockCollectionRDD(RDD):
+    """An RDD of pre-partitioned columnar blocks, one per partition.
+
+    The zero-copy analogue of :class:`ParallelCollectionRDD`: the
+    driver has already placed every nonzero into its partition's block
+    (``COOTensor.partition_blocks``), so each partition holds exactly
+    one :class:`~repro.engine.blocks.ColumnarBlock` record and no
+    per-record slicing happens at all.
+    """
+
+    def __init__(self, ctx: "Context", blocks: list,
+                 partitioner: Partitioner | None = None):
+        super().__init__(ctx, [], len(blocks), partitioner)
+        self._blocks: list[list] = [[b] for b in blocks]
+        self.set_name("parallelizeBlocks")
+
+    def compute(self, split: int, task: "TaskContext") -> Iterable:
+        """Return the partition's single pre-built block."""
+        return self._blocks[split]
 
 
 class MapPartitionsRDD(RDD):

@@ -28,6 +28,10 @@ from typing import Any
 
 import numpy as np
 
+from .blocks import (BLOCK_OVERHEAD, ColumnarBlock, KeyedRowBlock,
+                     is_block_partition, is_block_payload,
+                     pack_blocks, unpack_blocks)
+
 #: Fixed per-record framing overhead in bytes (length prefix + type tag).
 RECORD_OVERHEAD = 8
 
@@ -84,6 +88,10 @@ _SIZERS: dict[type, Any] = {
     bytes: _size_str_like,
     dict: _size_dict,
     type(None): lambda _o: 1,
+    # ndarray-backed partition blocks: exact payload bytes plus a flat
+    # header constant — no sampling, no pickling, no per-row dispatch
+    ColumnarBlock: lambda o: o.nbytes + BLOCK_OVERHEAD,
+    KeyedRowBlock: lambda o: o.nbytes + BLOCK_OVERHEAD,
 }
 
 
@@ -117,12 +125,24 @@ def estimate_record_size(record: Any) -> int:
 
 
 def serialize_partition(records: list) -> bytes:
-    """Pickle a cached partition (``StorageLevel.MEMORY_SER``)."""
+    """Serialize a cached partition (``StorageLevel.MEMORY_SER``).
+
+    Block-only partitions take the raw-buffer fast path: contiguous
+    array bytes behind small dtype/shape headers
+    (:func:`~repro.engine.blocks.pack_blocks`) — no pickle walk, so
+    MEMORY_SER demotion of a columnar partition is a few memcpys.
+    Everything else pickles as before.  Both framings are plain bytes,
+    so CRC-32 sealing and corruption healing apply unchanged.
+    """
+    if is_block_partition(records):
+        return pack_blocks(records)
     return pickle.dumps(records, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def deserialize_partition(blob: bytes) -> list:
     """Inverse of :func:`serialize_partition`."""
+    if is_block_payload(blob):
+        return unpack_blocks(blob)
     return pickle.loads(blob)
 
 

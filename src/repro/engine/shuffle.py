@@ -41,7 +41,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
+import numpy as np
+
 from . import linthooks
+from .blocks import KeyedRowBlock, record_count
 from .cluster import Cluster
 from .errors import CorruptedBlockError, FetchFailedError
 from .metrics import ShuffleReadMetrics, ShuffleWriteMetrics
@@ -168,6 +171,21 @@ class ShuffleManager:
         n_records = 0
         n_bytes = 0
         for record in records:
+            if type(record) is KeyedRowBlock:
+                # columnar fast path: place all keys in one vectorized
+                # call, split into per-bucket sub-blocks (rows keep
+                # their original order within each bucket — the same
+                # order per-record appends would produce)
+                pids = partitioner.partition_int_keys(record.keys)
+                for bucket in np.unique(pids).tolist():
+                    sub = record.take(np.flatnonzero(pids == bucket))
+                    size = estimate_record_size(sub)
+                    buckets.setdefault(bucket, []).append(sub)
+                    bucket_bytes[bucket] = \
+                        bucket_bytes.get(bucket, 0) + size
+                    n_bytes += size
+                n_records += len(record)
+                continue
             bucket = get_partition(record[0])
             size = estimate_record_size(record)
             buckets.setdefault(bucket, []).append(record)
@@ -245,12 +263,13 @@ class ShuffleManager:
                 block = self._verified_block(shuffle_id, map_partition,
                                              reduce_partition, output)
             nbytes = output.bucket_bytes.get(reduce_partition, 0)
+            n_fetched = record_count(block)
             if output.node == reduce_node:
                 read_metrics.local_bytes += nbytes
-                read_metrics.local_records += len(block)
+                read_metrics.local_records += n_fetched
             else:
                 read_metrics.remote_bytes += nbytes
-                read_metrics.remote_records += len(block)
+                read_metrics.remote_records += n_fetched
             fetched.extend(block)
         return fetched
 
@@ -303,7 +322,7 @@ class ShuffleManager:
                     output = shuffle_outputs.pop(p)
                     outputs_lost += 1
                     records_lost += sum(
-                        len(b) for b in output.buckets.values())
+                        record_count(b) for b in output.buckets.values())
         return outputs_lost, records_lost
 
     def remove_shuffle(self, shuffle_id: int) -> None:

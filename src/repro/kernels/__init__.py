@@ -36,16 +36,18 @@ def resolve_kernel_spec(name: str | None = None) -> str:
 
 
 def create_kernel(name: str | None = None,
-                  metrics=None) -> Kernel:
+                  metrics=None, offload=None) -> Kernel:
     """Instantiate the kernel named by ``name`` (or the environment, or
     the vectorized default).  Unknown names raise :class:`KernelError`.
-    ``metrics`` receives the vectorized kernel's batch counters."""
+    ``metrics`` receives the vectorized kernel's batch counters;
+    ``offload`` is the backend's process-pool offload client, if any
+    (the record oracle ignores it)."""
     resolved = resolve_kernel_spec(name)
     normalized = resolved.strip().lower()
     if normalized in _RECORD_NAMES:
         return RecordKernel()
     if normalized in _VECTORIZED_NAMES:
-        return VectorizedKernel(metrics)
+        return VectorizedKernel(metrics, offload=offload)
     raise KernelError(
         f"unknown kernel {resolved!r}; expected one of "
         f"{', '.join(sorted(_RECORD_NAMES + _VECTORIZED_NAMES))}")

@@ -39,6 +39,25 @@ class Kernel(ABC):
     #: canonical kernel name (what ``Context.kernel.name`` reports)
     name: str = "abstract"
 
+    #: whether this kernel consumes columnar partition blocks
+    #: (:class:`~repro.engine.blocks.ColumnarBlock`); drivers
+    #: distribute the tensor as blocks only when True, so the record
+    #: oracle keeps its original record-list partitions bit for bit
+    wants_blocks: bool = False
+
+    def key_tensor_by_mode(self, tensor_rdd: "RDD", mode: int) -> "RDD":
+        """Key every tensor nonzero by one mode's index:
+        ``(idx, val)`` becomes ``(idx[mode], (idx, val))``.
+
+        This is the join dataflows' STAGE 1 and a *materialize point*:
+        columnar tensor partitions are expanded to records here (the
+        cogroup machinery consumes keyed tuples), so the output is
+        record-shaped for every kernel.  Drops the partitioner, like
+        ``RDD.map``.
+        """
+        return tensor_rdd.materialize_records().map(
+            lambda rec, _m=mode: (rec[0][_m], rec))
+
     @abstractmethod
     def coo_rekey(self, joined: "RDD", next_mode: int,
                   first: bool) -> "RDD":

@@ -93,12 +93,35 @@ def combine_rows_batch(records: Iterable[tuple[Any, np.ndarray]],
     ``merge_value``/``merge_combiners`` coincide, so values and
     combiners can be folded interchangeably.
     """
+    from ..engine.blocks import KeyedRowBlock
     records = list(records)
     if not records:
         return []
-    n = len(records)
-    keys = np.fromiter((kv[0] for kv in records), dtype=np.int64, count=n)
-    rows = np.stack([kv[1] for kv in records])
+    if any(type(r) is KeyedRowBlock for r in records):
+        # keyed row blocks expand in place, preserving record order —
+        # a block's rows sit exactly where its records would
+        key_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        n = 0
+        for rec in records:
+            if type(rec) is KeyedRowBlock:
+                key_parts.append(rec.keys)
+                row_parts.append(rec.rows)
+                n += len(rec)
+            else:
+                key_parts.append(np.asarray([rec[0]], dtype=np.int64))
+                row_parts.append(
+                    np.asarray(rec[1], dtype=np.float64)[None])
+                n += 1
+        keys = np.concatenate(key_parts)
+        rows = np.vstack(row_parts)
+        if n == 0:
+            return []
+    else:
+        n = len(records)
+        keys = np.fromiter(
+            (kv[0] for kv in records), dtype=np.int64, count=n)
+        rows = np.stack([kv[1] for kv in records])
     out_keys, out_rows = segmented_left_fold(keys, rows)
     if metrics is not None:
         metrics.add_kernel_batch(n)

@@ -23,8 +23,9 @@ from typing import Iterable, Iterator, TYPE_CHECKING
 
 import numpy as np
 
+from ..engine.blocks import ColumnarBlock, KeyedRowBlock
 from .base import Kernel
-from .segsum import combine_rows_batch, fold_rows
+from .segsum import combine_rows_batch, fold_rows, segmented_left_fold
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.broadcast import Broadcast
@@ -36,9 +37,14 @@ class VectorizedKernel(Kernel):
     """Batched numpy arithmetic, bit-identical to the record kernel."""
 
     name = "vectorized"
+    wants_blocks = True
 
-    def __init__(self, metrics: "MetricsCollector | None" = None):
+    def __init__(self, metrics: "MetricsCollector | None" = None,
+                 offload=None):
         self._metrics = metrics
+        # optional process-pool offload client (ProcessPoolBackend);
+        # every offloaded op has a bit-identical inline fallback
+        self._offload = offload
 
     def _count(self, records: int) -> None:
         if self._metrics is not None:
@@ -69,10 +75,26 @@ class VectorizedKernel(Kernel):
     def broadcast_contributions(self, tensor_rdd: "RDD",
                                 broadcasts: "dict[int, Broadcast]",
                                 mode: int) -> "RDD":
+        # pre-reducing a partition's contributions is bit-safe only
+        # when the shuffle map-side-combines: the combine of already
+        # distinct per-partition keys is an identity fold, so the
+        # reduce side sees the exact sums the record path builds.
+        # With combining off, raw rows must cross the shuffle so the
+        # reduce-side fold groups them identically.
+        prereduce = tensor_rdd.ctx.conf.map_side_combine
+
         def batch(it: Iterable, _mode=mode, _bc=broadcasts) -> Iterator:
             records = list(it)
             if not records:
                 return iter(())
+            if type(records[0]) is ColumnarBlock:
+                out = []
+                for blk in records:
+                    if len(blk) == 0:
+                        continue
+                    out.append(self._block_contrib(
+                        blk, _bc, _mode, prereduce))
+                return iter(out)
             n = len(records)
             vals = np.fromiter((rec[1] for rec in records),
                                dtype=np.float64, count=n)
@@ -84,6 +106,57 @@ class VectorizedKernel(Kernel):
             self._count(n)
             return iter([(rec[0][_mode], acc[i])
                          for i, rec in enumerate(records)])
+        return tensor_rdd.map_partitions(batch)
+
+    def _block_contrib(self, blk: ColumnarBlock,
+                       broadcasts: "dict[int, Broadcast]", mode: int,
+                       prereduce: bool) -> KeyedRowBlock:
+        """One columnar partition's MTTKRP contributions.
+
+        Requires dense ndarray broadcast factors (row ``i`` at index
+        ``i``) so the gather is a fancy-index; the drivers broadcast
+        dense arrays whenever the kernel ``wants_blocks``.  Offloads
+        the Hadamard fold (and the pre-reduce) to the process pool
+        when one is attached; the inline path computes the exact same
+        product chain, so both are bit-identical.
+        """
+        key_col = blk.column(mode)
+        fixed = [(blk.column(m), bc.value)
+                 for m, bc in broadcasts.items()]
+        if self._offload is not None:
+            res = self._offload.contrib(
+                blk.values, key_col, fixed, prereduce)
+            if res is not None:
+                keys, rows = res
+                self._count(len(blk))
+                if prereduce:
+                    return KeyedRowBlock(keys, rows)
+                return KeyedRowBlock(key_col, rows)
+        acc = None
+        for col, factor in fixed:
+            rows = factor[col]
+            acc = (rows * blk.values[:, None] if acc is None
+                   else acc * rows)
+        self._count(len(blk))
+        if prereduce:
+            out_keys, out_rows = segmented_left_fold(key_col, acc)
+            return KeyedRowBlock(out_keys, out_rows)
+        return KeyedRowBlock(key_col, acc)
+
+    def key_tensor_by_mode(self, tensor_rdd: "RDD", mode: int) -> "RDD":
+        # same output as the base record path; columnar partitions are
+        # expanded with bulk .tolist() conversions instead of per-cell
+        # int()/float() calls (identical python objects either way)
+        def batch(it: Iterable, _m=mode) -> Iterator:
+            for item in it:
+                if type(item) is ColumnarBlock:
+                    cols = [c.tolist() for c in item.columns]
+                    vals = item.values.tolist()
+                    keys = cols[_m]
+                    for i, idx in enumerate(zip(*cols)):
+                        yield (keys[i], (idx, vals[i]))
+                else:
+                    yield (item[0][_m], item)
         return tensor_rdd.map_partitions(batch)
 
     def qcoo_reduce(self, queue_rdd: "RDD") -> "RDD":

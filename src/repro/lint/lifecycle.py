@@ -56,4 +56,19 @@ def audit_context(ctx: Any, *,
                     f"{nbytes:,} B cached; unpersist() it when the "
                     f"result no longer depends on it",
             location=label, pass_name=PASS_NAME))
+
+    # shared-memory segments (process backend) are owned by the backend
+    # and legitimately live until its shutdown, which runs *after* the
+    # context_stopping hook — so only an already-stopped context can
+    # have leaked them
+    backend = getattr(ctx, "backend", None)
+    if getattr(ctx, "_stopped", False) and \
+            hasattr(backend, "live_segments"):
+        for seg in backend.live_segments():
+            report.add(Finding(
+                rule="leaked-shm-segment", severity="error",
+                message=f"shared-memory segment {seg!r} survived "
+                        f"backend shutdown; every segment must be "
+                        f"unlinked when the context stops",
+                location=label, pass_name=PASS_NAME))
     return report

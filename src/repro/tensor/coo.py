@@ -191,6 +191,61 @@ class COOTensor:
         return cls(indices, values, shape)
 
     # ------------------------------------------------------------------
+    def to_block(self) -> "object":
+        """The whole tensor as one columnar partition block
+        (:class:`~repro.engine.blocks.ColumnarBlock`): one contiguous
+        index array per mode plus the values array, rows in storage
+        order."""
+        from ..engine.blocks import ColumnarBlock
+        cols = tuple(self.indices[:, m] for m in range(self.order))
+        return ColumnarBlock(cols, self.values)
+
+    def partition_blocks(self, partitioning: str,
+                         num_partitions: int) -> list:
+        """Split the tensor into one columnar block per partition,
+        mirroring the record-path placement schemes bit for bit:
+
+        * ``"input"`` — contiguous slices in storage order (the
+          ``parallelize`` divmod split);
+        * ``"hash"`` — each nonzero placed by the stable hash of its
+          full index tuple (vectorized, pinned identical to the scalar
+          ``HashPartitioner`` path);
+        * ``"range:<mode>"`` — contiguous ranges of one mode's index
+          (``RangePartitioner.for_key_range``).
+
+        Within every partition, nonzeros keep their original relative
+        order — exactly the order per-record placement produces — so a
+        block pipeline and a record pipeline see identical partitions.
+        """
+        from ..engine.blocks import ColumnarBlock
+        from ..engine.partitioner import HashPartitioner, RangePartitioner
+        n = num_partitions
+        block = self.to_block()
+        if partitioning == "input":
+            step, extra = divmod(self.nnz, n)
+            out = []
+            start = 0
+            for i in range(n):
+                end = start + step + (1 if i < extra else 0)
+                out.append(ColumnarBlock(
+                    tuple(c[start:end] for c in block.columns),
+                    block.values[start:end]))
+                start = end
+            return out
+        if partitioning == "hash":
+            pids = HashPartitioner(n).partition_tuple_columns(
+                block.columns)
+        elif partitioning.startswith("range:"):
+            mode = int(partitioning.split(":", 1)[1])
+            self._check_mode(mode)
+            part = RangePartitioner.for_key_range(self.shape[mode], n)
+            pids = part.partition_int_keys(block.column(mode))
+        else:
+            raise ValueError(
+                f"unknown tensor partitioning {partitioning!r}")
+        return [block.take(np.flatnonzero(pids == p)) for p in range(n)]
+
+    # ------------------------------------------------------------------
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense ndarray — only for small test tensors."""
         total = 1

@@ -1,10 +1,11 @@
 """Cross-backend determinism of full CP-ALS decompositions.
 
 The executor backend must be a pure throughput knob: running the same
-decomposition on the serial backend and on a 4-worker thread pool has
-to produce bit-identical factor matrices, weights and convergence
-traces — including under the fault-seed matrix and node loss, where
-retries and lineage recovery run concurrently.  Seeded via
+decomposition on the serial backend, a 4-worker thread pool, or the
+process backend (thread orchestration plus shared-memory worker
+processes) has to produce bit-identical factor matrices, weights and
+convergence traces — including under the fault-seed matrix and node
+loss, where retries and lineage recovery run concurrently.  Seeded via
 ``REPRO_FAULT_SEED`` so CI sweeps a matrix.
 """
 
@@ -21,7 +22,7 @@ from repro.tensor import random_factors, uniform_sparse
 
 SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
 
-BACKENDS = (("serial", None), ("threads", 4))
+BACKENDS = (("serial", None), ("threads", 4), ("process", 2))
 
 
 @pytest.fixture(scope="module")
@@ -35,16 +36,22 @@ def init(tensor):
 
 
 def run(cls, tensor, init, backend, workers, fault_plan=None,
-        **conf_kwargs):
+        driver_kwargs=None, **conf_kwargs):
     conf = EngineConf(backend=backend, backend_workers=workers,
                       **conf_kwargs)
     with Context(num_nodes=4, default_parallelism=8, conf=conf,
                  fault_plan=fault_plan) as ctx:
         assert ctx.backend.name == backend
-        result = cls(ctx).decompose(tensor, 2, max_iterations=3, tol=0.0,
-                                    initial_factors=init)
+        driver = cls(ctx, **(driver_kwargs or {}))
+        result = driver.decompose(tensor, 2, max_iterations=3, tol=0.0,
+                                  initial_factors=init)
         faults = ctx.metrics.faults
-        return result, faults.task_failures, faults.fetch_failures
+        if hasattr(ctx.backend, "live_segments"):
+            segments = ctx.backend.live_segments()
+    if hasattr(ctx.backend, "live_segments"):
+        assert ctx.backend.live_segments() == [], \
+            f"leaked shm segments (had {len(segments)} live mid-run)"
+    return result, faults.task_failures, faults.fetch_failures
 
 
 def assert_bit_identical(a, b):
@@ -57,16 +64,29 @@ def assert_bit_identical(a, b):
 
 class TestCleanRuns:
     @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
-    def test_thread_pool_matches_serial_bitwise(self, cls, tensor, init):
-        serial, _, _ = run(cls, tensor, init, "serial", None)
-        threads, _, _ = run(cls, tensor, init, "threads", 4)
-        assert_bit_identical(serial, threads)
+    @pytest.mark.parametrize("backend,workers", BACKENDS[1:])
+    def test_pooled_backends_match_serial_bitwise(self, cls, tensor,
+                                                 init, backend, workers):
+        serial, _, _ = run(cls, tensor, init, *BACKENDS[0])
+        pooled, _, _ = run(cls, tensor, init, backend, workers)
+        assert_bit_identical(serial, pooled)
 
     def test_repeated_thread_runs_are_stable(self, tensor, init):
         """Thread scheduling noise must not leak into results."""
         first, _, _ = run(CstfCOO, tensor, init, "threads", 4)
         second, _, _ = run(CstfCOO, tensor, init, "threads", 4)
         assert_bit_identical(first, second)
+
+    def test_process_offload_path_matches_serial(self, tensor, init):
+        """The broadcast strategy routes its Hadamard fold through the
+        worker processes (shared-memory descriptors, segmented
+        pre-reduce) — results must still equal the serial inline run."""
+        kwargs = {"driver_kwargs": {"factor_strategy": "broadcast"}}
+        serial, _, _ = run(CstfCOO, tensor, init, "serial", None,
+                           **kwargs)
+        process, _, _ = run(CstfCOO, tensor, init, "process", 2,
+                            **kwargs)
+        assert_bit_identical(serial, process)
 
 
 class TestUnderFaults:
@@ -82,6 +102,15 @@ class TestUnderFaults:
         # COUNT backend-independent, not just the results
         assert serial_failures == thread_failures
         assert serial_failures > 0
+
+    def test_injected_task_faults_process(self, tensor, init):
+        plan = FaultPlan(seed=SEED, task_failure_prob=0.05)
+        serial, serial_failures, _ = run(CstfCOO, tensor, init,
+                                         "serial", None, plan)
+        process, process_failures, _ = run(CstfCOO, tensor, init,
+                                           "process", 2, plan)
+        assert_bit_identical(serial, process)
+        assert serial_failures == process_failures
 
     def test_injected_fetch_failures(self, tensor, init):
         plan = FaultPlan(seed=SEED, fetch_failure_prob=0.01)

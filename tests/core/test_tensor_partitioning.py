@@ -7,6 +7,7 @@ import pytest
 
 from repro.core import CstfCOO
 from repro.engine import Context
+from repro.engine.blocks import record_count
 from repro.tensor import random_factors, uniform_sparse, zipf_sparse
 
 
@@ -54,8 +55,10 @@ class TestStrategies:
             with Context(num_nodes=4, default_parallelism=8) as ctx:
                 driver = CstfCOO(ctx, tensor_partitioning=strategy)
                 rdd = driver._distribute_tensor(skewed)
+                # partitions may hold columnar blocks; count nonzeros,
+                # not partition items
                 counts = ctx._scheduler.run_job(
-                    rdd, lambda _p, it: sum(1 for _ in it), "count")
+                    rdd, lambda _p, it: record_count(list(it)), "count")
             mean = sum(counts) / len(counts)
             return max(counts) / mean if mean else 1.0
 

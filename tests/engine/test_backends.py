@@ -1,19 +1,23 @@
 """Executor backends: resolution, execution contract, context wiring.
 
-Both backends must run every thunk, return results in submission
+All backends must run every thunk, return results in submission
 (partition) order, and surface the lowest-index failure — that ordering
-contract is what makes the thread pool bit-identical to serial
-execution at the scheduler level.
+contract is what makes the pooled backends bit-identical to serial
+execution at the scheduler level.  The process backend additionally
+owns shared-memory segments, all of which must be unlinked by
+``Context.stop``.
 """
 
 from __future__ import annotations
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.engine import (BackendError, Context, EngineConf,
-                          SerialBackend, ThreadPoolBackend, create_backend)
+                          ProcessPoolBackend, SerialBackend,
+                          ThreadPoolBackend, create_backend)
 from repro.engine.backends import resolve_backend_spec
 
 
@@ -31,6 +35,20 @@ class TestResolution:
     def test_thread_aliases(self, name):
         backend = create_backend(name, 2)
         try:
+            assert isinstance(backend, ThreadPoolBackend)
+            assert backend.num_workers == 2
+        finally:
+            backend.shutdown()
+
+    @pytest.mark.parametrize("name",
+                             ["process", "processes", "procpool",
+                              "multiprocess"])
+    def test_process_aliases(self, name):
+        backend = create_backend(name, 2)
+        try:
+            assert isinstance(backend, ProcessPoolBackend)
+            # ProcessPoolBackend IS a ThreadPoolBackend: orchestration
+            # runs on driver threads, numerics on worker processes
             assert isinstance(backend, ThreadPoolBackend)
             assert backend.num_workers == 2
         finally:
@@ -62,10 +80,10 @@ class TestResolution:
 
 
 class TestExecutionContract:
-    @pytest.fixture(params=["serial", "threads"])
+    @pytest.fixture(params=["serial", "threads", "process"])
     def backend(self, request):
         b = create_backend(request.param,
-                           4 if request.param == "threads" else None)
+                           None if request.param == "serial" else 4)
         yield b
         b.shutdown()
 
@@ -133,3 +151,137 @@ class TestContextWiring:
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
         with Context(num_nodes=2) as ctx:
             assert ctx.backend.name == "serial"
+
+
+class TestProcessBackendSharedMemory:
+    """Segment lifetime: the driver registry owns every segment and
+    ``Context.stop`` must leave none behind."""
+
+    def _decompose(self, ctx):
+        from repro.core import CstfCOO
+        from repro.tensor import uniform_sparse
+        tensor = uniform_sparse((15, 12, 10), 200, rng=4)
+        return CstfCOO(ctx, factor_strategy="broadcast").decompose(
+            tensor, 2, max_iterations=2, tol=0.0, seed=9)
+
+    def test_no_segments_survive_context_stop(self):
+        ctx = Context(num_nodes=2,
+                      conf=EngineConf(backend="process",
+                                      backend_workers=2))
+        self._decompose(ctx)
+        # mid-run the publish cache legitimately holds segments
+        ctx.stop()
+        assert ctx.backend.live_segments() == []
+
+    def test_lifecycle_auditor_reports_survivors(self):
+        from repro.lint import audit_context
+        ctx = Context(num_nodes=2,
+                      conf=EngineConf(backend="process",
+                                      backend_workers=2))
+        ctx.stop()
+        assert not audit_context(ctx)  # clean shutdown: no findings
+        # resurrect a segment on the stopped context's registry: the
+        # auditor must flag it
+        desc, _view = ctx.backend.registry.create((4,))
+        findings = audit_context(ctx)
+        try:
+            assert any(f.rule == "leaked-shm-segment" for f in findings)
+        finally:
+            ctx.backend.registry.release(desc[0])
+
+    def test_offload_matches_inline_bitwise(self):
+        """The worker-computed contribution equals the inline numpy
+        expressions bit for bit."""
+        backend = create_backend("process", 2)
+        try:
+            rng = np.random.default_rng(0)
+            values = rng.uniform(-1, 1, 64)
+            key_col = rng.integers(0, 9, 64)
+            fixed = [(rng.integers(0, 30, 64),
+                      rng.uniform(-1, 1, (30, 5))) for _ in range(2)]
+            for reduce_ in (False, True):
+                res = backend.offload.contrib(values, key_col, fixed,
+                                              reduce_)
+                assert res is not None, "offload unavailable"
+                keys, rows = res
+                acc = None
+                for col, factor in fixed:
+                    gathered = factor[col]
+                    acc = (gathered * values[:, None] if acc is None
+                           else acc * gathered)
+                if reduce_:
+                    from repro.kernels import segmented_left_fold
+                    exp_keys, exp_rows = segmented_left_fold(
+                        np.ascontiguousarray(key_col, dtype=np.int64),
+                        acc)
+                    assert np.array_equal(keys, exp_keys)
+                    assert np.array_equal(rows, exp_rows)
+                else:
+                    assert keys is None
+                    assert np.array_equal(rows, acc)
+        finally:
+            backend.shutdown()
+        assert backend.live_segments() == []
+
+    def test_publish_cache_eviction_skips_pinned(self, monkeypatch):
+        """Eviction must never unlink a segment whose descriptor is
+        still referenced by an in-flight request (it stays pinned
+        until the request's ``unpin``)."""
+        from repro.engine import procpool
+        monkeypatch.setattr(procpool, "_PUBLISH_CACHE_CAP", 1)
+        registry = procpool.SharedBlockRegistry()
+        try:
+            first = registry.publish_cached(np.arange(4))
+            second = registry.publish_cached(np.arange(8))
+            # both pinned: the cache is over cap yet nothing is evicted
+            assert set(registry.live_segments()) == {first[0],
+                                                     second[0]}
+            registry.unpin([first[0]])
+            third = registry.publish_cached(np.arange(6))
+            # the unpinned segment is the one that goes
+            assert first[0] not in registry.live_segments()
+            assert second[0] in registry.live_segments()
+            assert third[0] in registry.live_segments()
+        finally:
+            registry.unlink_all()
+        assert registry.live_segments() == []
+
+    def test_eviction_storm_stays_bit_identical(self, monkeypatch):
+        """Tiny caps on both segment caches force constant eviction:
+        the driver must not unlink in-flight inputs (pinning, with an
+        inline-fallback reply when the race still lands) and the
+        worker must never close an attachment while the request's
+        views are live — the historical failure mode was silent
+        zeroed-out results, not an error."""
+        from repro.engine import procpool
+        monkeypatch.setattr(procpool, "_PUBLISH_CACHE_CAP", 2)
+        monkeypatch.setenv("REPRO_SHM_ATTACH_CAP", "2")
+        with Context(num_nodes=2,
+                     conf=EngineConf(backend="serial")) as ctx:
+            expected = self._decompose(ctx)
+        with Context(num_nodes=2,
+                     conf=EngineConf(backend="process",
+                                     backend_workers=2)) as ctx:
+            starved = self._decompose(ctx)
+            backend = ctx.backend
+        assert backend.live_segments() == []
+        assert np.array_equal(expected.lambdas, starved.lambdas)
+        for a, b in zip(expected.factors, starved.factors):
+            assert np.array_equal(a, b)
+
+    def test_worker_error_surfaces(self):
+        """A worker-side exception raises on the driver instead of
+        silently falling back (silent fallback is only for transport
+        or availability failures)."""
+        backend = create_backend("process", 1)
+        try:
+            values = np.ones(8)
+            key_col = np.zeros(8, dtype=np.int64)
+            # factor too small for the column -> IndexError in worker
+            fixed = [(np.full(8, 99, dtype=np.int64),
+                      np.ones((3, 2)))]
+            with pytest.raises(RuntimeError, match="worker op failed"):
+                backend.offload.contrib(values, key_col, fixed, False)
+        finally:
+            backend.shutdown()
+        assert backend.live_segments() == []
