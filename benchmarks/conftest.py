@@ -41,6 +41,7 @@ EXPERIMENT_INDEX = {
     "extension_weak_scaling": "Extension — weak scaling",
     "extension_rank_sweep": "Extension — rank sensitivity",
     "crosscheck_mapreduce": "Cross-check — BIGtensor formulations",
+    "sampled_mttkrp": "Extension — CP-ARLS-LEV sampled MTTKRP",
 }
 
 

@@ -94,6 +94,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(per-record closures; bit-identical "
                           "results).  Defaults to $REPRO_KERNEL, then "
                           "'vectorized'")
+    dec.add_argument("--sampler", choices=["exact", "lev"],
+                     default=None,
+                     help="MTTKRP estimator: 'exact' (every nonzero, "
+                          "the default) or 'lev' (CP-ARLS-LEV "
+                          "leverage-score sampling — unbiased, "
+                          "sublinear in nnz, bit-identical across "
+                          "backends at a fixed seed; the reported fit "
+                          "is an estimate).  Defaults to "
+                          "$REPRO_SAMPLER, then 'exact'")
+    dec.add_argument("--sample-count", type=int, default=None,
+                     metavar="S",
+                     help="nonzeros drawn per partition per MTTKRP "
+                          "under --sampler lev (default: "
+                          "$REPRO_SAMPLE_COUNT, then 1024)")
     dec.add_argument("--speculation", action="store_true", default=False,
                      help="launch a backup attempt for task attempts "
                           "running past a multiple of their stage's "
@@ -248,6 +262,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             or args.backend is not None
             or args.backend_workers is not None
             or args.kernel is not None
+            or args.sampler is not None
+            or args.sample_count is not None
             or args.speculation
             or args.task_deadline is not None
             or args.retry_backoff is not None
@@ -259,6 +275,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
                           backend=args.backend,
                           backend_workers=args.backend_workers,
                           kernel=args.kernel,
+                          sampler=args.sampler,
+                          sample_count=args.sample_count,
                           speculation=args.speculation or None,
                           task_deadline_s=args.task_deadline,
                           quarantine_threshold=args.quarantine_threshold,
@@ -283,7 +301,8 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         seed=args.seed)
 
     print(f"algorithm : {result.algorithm}")
-    print(f"fit       : {result.final_fit:.6f} "
+    fit_kind = " [sampled estimate]" if result.fit_is_estimate else ""
+    print(f"fit       : {result.final_fit:.6f}{fit_kind} "
           f"({'converged' if result.converged else 'max iterations'} "
           f"after {len(result.iterations)} iterations)")
     read = ctx.metrics.total_shuffle_read()
@@ -294,6 +313,10 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
           f"{mem.storage_peak_bytes:,} B storage; "
           f"spilled {mem.spill_bytes:,} B in {mem.spill_count} spills, "
           f"{mem.demotions} demotions, {mem.oom_kills} OOM kills")
+    if ctx.metrics.sampler_partitions:
+        print(f"sampler   : lev — {ctx.metrics.sampler_draws:,} draws "
+              f"over {ctx.metrics.sampler_partitions:,} partitions "
+              f"({ctx.metrics.sampler_input_records:,} input nonzeros)")
     stragglers = ctx.metrics.stragglers
     if stragglers.any_activity:
         print(f"stragglers: {stragglers.tasks_timed_out} timeouts, "

@@ -51,6 +51,7 @@ deterministically regardless of timing.
 
 from __future__ import annotations
 
+import copy as copy_module
 import io
 import json
 import os
@@ -79,6 +80,12 @@ class CPCheckpoint:
     lambdas: np.ndarray
     factors: list[np.ndarray]
     fit_history: list[float]
+    #: JSON-able RNG/sampler state the run's randomness depends on —
+    #: a ``LeverageSampler.state()`` signature for sampled CP-ALS, a
+    #: numpy ``bit_generator.state`` dict for streaming — so a resumed
+    #: run replays the exact draws of the uninterrupted one.  ``None``
+    #: for fully deterministic (exact) runs and pre-existing snapshots.
+    rng_state: dict | None = None
 
     def copy(self) -> "CPCheckpoint":
         """Deep copy, so stored snapshots are immune to caller mutation."""
@@ -86,7 +93,8 @@ class CPCheckpoint:
             algorithm=self.algorithm, rank=self.rank,
             iteration=self.iteration, lambdas=self.lambdas.copy(),
             factors=[f.copy() for f in self.factors],
-            fit_history=list(self.fit_history))
+            fit_history=list(self.fit_history),
+            rng_state=copy_module.deepcopy(self.rng_state))
 
 
 class CheckpointStore:
@@ -204,6 +212,11 @@ class FileCheckpointStore(CheckpointStore):
             "rank": int(checkpoint.rank),
             "iteration": int(checkpoint.iteration),
             "num_factors": len(checkpoint.factors),
+            # RNG state is metadata, not an array shard: it rides in
+            # the manifest (the commit record) so it is atomic with the
+            # snapshot it describes; JSON carries numpy's arbitrary-
+            # precision generator state ints losslessly
+            "rng_state": checkpoint.rng_state,
             "shards": {},
         }
         for name, array in self._shards(checkpoint).items():
@@ -285,7 +298,8 @@ class FileCheckpointStore(CheckpointStore):
             iteration=int(manifest["iteration"]),
             lambdas=_blob_array(blobs["lambdas"]),
             factors=[_blob_array(blobs[f"factor_{i}"]) for i in range(n)],
-            fit_history=[float(x) for x in _blob_array(blobs["fit_history"])])
+            fit_history=[float(x) for x in _blob_array(blobs["fit_history"])],
+            rng_state=manifest.get("rng_state"))
 
     def load(self, iteration: int | None = None) -> CPCheckpoint:
         stored = self.iterations()

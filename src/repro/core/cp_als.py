@@ -32,6 +32,8 @@ from ..engine.errors import NumericalIntegrityError
 from ..engine.partitioner import HashPartitioner
 from ..engine.rdd import RDD
 from ..engine.storage import StorageLevel
+from ..kernels.sampled import (LeverageSampler, leverage_scores,
+                               resolve_sample_count, resolve_sampler_spec)
 from ..tensor.coo import COOTensor
 from .checkpoint import CheckpointStore, CPCheckpoint
 from .gram import GramCache
@@ -75,6 +77,20 @@ class CPALSDriver:
         ``memory_total_bytes``) cannot hold them: over-budget partitions
         spill to simulated disk instead of being dropped and recomputed.
         Factor RDDs are small and stay ``MEMORY_RAW``.
+    sampler:
+        MTTKRP estimator: ``"exact"`` (every nonzero contributes — the
+        paper's algorithms) or ``"lev"`` (CP-ARLS-LEV leverage-score
+        sampling: each partition contributes ``sample_count`` nonzeros
+        drawn by Khatri-Rao leverage scores with importance weights
+        folded in — an unbiased estimate, sublinear in nnz; see
+        :mod:`repro.kernels.sampled`).  ``None`` defers to
+        ``EngineConf.sampler``, then ``$REPRO_SAMPLER``, then
+        ``"exact"``.  Under ``"lev"`` the reported fit is itself a
+        sampled estimate (``CPDecomposition.fit_is_estimate``).
+    sample_count:
+        Nonzeros drawn per partition per MTTKRP under ``sampler="lev"``.
+        ``None`` defers to ``EngineConf.sample_count``, then
+        ``$REPRO_SAMPLE_COUNT``, then 1024.
     """
 
     #: subclass tag used in results and reports
@@ -85,7 +101,9 @@ class CPALSDriver:
                  regularization: float = 0.0,
                  nonnegative: bool = False,
                  tensor_partitioning: str = "hash",
-                 storage_level: StorageLevel = StorageLevel.MEMORY_RAW):
+                 storage_level: StorageLevel = StorageLevel.MEMORY_RAW,
+                 sampler: str | None = None,
+                 sample_count: int | None = None):
         if regularization < 0:
             raise ValueError(
                 f"regularization must be >= 0, got {regularization}")
@@ -103,6 +121,20 @@ class CPALSDriver:
         self.nonnegative = nonnegative
         self.tensor_partitioning = tensor_partitioning
         self.storage_level = storage_level
+        conf = ctx.conf
+        self.sampler = resolve_sampler_spec(
+            sampler if sampler is not None
+            else getattr(conf, "sampler", None))
+        self.sample_count = resolve_sample_count(
+            sample_count if sample_count is not None
+            else getattr(conf, "sample_count", None))
+        #: the per-run LeverageSampler (seeded in :meth:`decompose`)
+        self._sampler: LeverageSampler | None = None
+        #: broadcasts of the current MTTKRP's replicated factors and
+        #: leverage scores, destroyed lagged by one MTTKRP (see
+        #: CstfCOO._mttkrp_broadcast for the lifecycle contract) and
+        #: finally by :meth:`_teardown`
+        self._live_broadcasts: list = []
 
     # ------------------------------------------------------------------
     # subclass interface
@@ -117,7 +149,11 @@ class CPALSDriver:
         raise NotImplementedError
 
     def _teardown(self) -> None:
-        """Release per-run state."""
+        """Release per-run state: any broadcasts the last (sampled or
+        broadcast-strategy) MTTKRP left alive."""
+        for bc in self._live_broadcasts:
+            bc.destroy()
+        self._live_broadcasts.clear()
 
     def flops_per_iteration(self, tensor: COOTensor, rank: int) -> float:
         """Analytic flop count of one CP-ALS iteration (Table 4 row,
@@ -188,6 +224,18 @@ class CPALSDriver:
                 raise ValueError(
                     f"checkpoint was written by {snapshot.algorithm!r}, "
                     f"resuming with {self.name!r}")
+        self._sampler = None
+        if self.sampler == "lev":
+            self._sampler = LeverageSampler(
+                self.sample_count, seed=seed if seed is not None else 0)
+        if snapshot is not None:
+            expected = self._sampler.state() if self._sampler else None
+            if snapshot.rng_state != expected:
+                raise ValueError(
+                    f"checkpoint sampler state {snapshot.rng_state!r} "
+                    f"does not match the resuming run's {expected!r}; "
+                    "resume with the same --sampler/--sample-count/seed "
+                    "or the replayed draws would diverge")
         order = tensor.order
         norm_x = tensor.norm()
 
@@ -277,11 +325,15 @@ class CPALSDriver:
                 with self.ctx.metrics.phase(f"MTTKRP-{mode + 1}"):
                     if self.recompute_grams:
                         grams.refresh_all(factor_rdds)
-                    m_rdd = self._mttkrp(mode, tensor_rdd, factor_rdds, rank)
-                    v = grams.v_except(mode)
-                    if self.regularization:
-                        v = v + self.regularization * np.eye(rank)
-                    pinv_v = np.linalg.pinv(v, rcond=1e-12)
+                    if self._sampler is not None:
+                        m_rdd = self._mttkrp_sampled(
+                            mode, tensor_rdd, factor_rdds, rank, grams,
+                            it, tensor.shape)
+                    else:
+                        m_rdd = self._mttkrp(mode, tensor_rdd,
+                                             factor_rdds, rank)
+                    pinv_v = grams.pinv_except(
+                        mode, regularization=self.regularization)
                     new_factor, lambdas = self._solve_and_normalize(
                         m_rdd, pinv_v, rank, mode=mode, iteration=it)
                     if not self.ctx.caching_enabled:
@@ -324,7 +376,9 @@ class CPALSDriver:
                                                       mode=m)
                                  for m, (rdd, size) in enumerate(
                                      zip(factor_rdds, tensor.shape))],
-                        fit_history=list(fit_history)))
+                        fit_history=list(fit_history),
+                        rng_state=(self._sampler.state()
+                                   if self._sampler else None)))
 
             if compute_fit and len(fit_history) >= 2 and \
                     abs(fit_history[-1] - fit_history[-2]) < tol:
@@ -336,11 +390,68 @@ class CPALSDriver:
                        zip(factor_rdds, tensor.shape))]
         return CPDecomposition(
             lambdas=lambdas, factors=factors, fit_history=fit_history,
-            iterations=iterations, algorithm=self.name, converged=converged)
+            iterations=iterations, algorithm=self.name,
+            converged=converged,
+            fit_is_estimate=self._sampler is not None)
 
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+    def _mttkrp_sampled(self, mode: int, tensor_rdd: RDD,
+                        factor_rdds: list[RDD], rank: int,
+                        grams: GramCache, iteration: int,
+                        shape: tuple[int, ...]) -> RDD:
+        """CP-ARLS-LEV MTTKRP: per-partition leverage-score sampling.
+
+        Replaces the subclass dataflow entirely — one shuffle round
+        over ``sample_count`` rows per partition instead of nnz:
+
+        1. collect every fixed factor to a dense ``(size, rank)`` array
+           (sized by the *tensor* shape: under sampling an MTTKRP
+           output can miss rows, so the collected factor may be
+           sparse in indices);
+        2. compute its leverage scores from the cached ``pinv(G_m)``
+           and broadcast both;
+        3. draw ``sample_count`` nonzeros per partition by the product
+           of the fixed modes' scores (site-seeded — backend/order/
+           retry independent) with ``1/(s q)`` folded into the values;
+        4. run the kernel's broadcast-contribution fold plus the usual
+           per-key sum over the sampled rows only.
+
+        Broadcast lifecycle matches ``CstfCOO._mttkrp_broadcast``:
+        the previous MTTKRP's broadcasts are destroyed here, lagged by
+        one mode; ``_teardown`` sweeps whatever the last one left.
+        """
+        assert self._sampler is not None
+        for bc in self._live_broadcasts:
+            bc.destroy()
+        self._live_broadcasts.clear()
+        order = len(factor_rdds)
+        broadcasts = {}
+        score_bcs = {}
+        for m in range(order):
+            if m == mode:
+                continue
+            dense = np.zeros((shape[m], rank), dtype=np.float64)
+            for i, row in factor_rdds[m].collect():
+                dense[i] = row
+            scores = leverage_scores(dense, grams.pinv_gram(m))
+            broadcasts[m] = self.ctx.broadcast(dense)
+            score_bcs[m] = self.ctx.broadcast(scores)
+        self._live_broadcasts.extend(broadcasts.values())
+        self._live_broadcasts.extend(score_bcs.values())
+
+        kernel = self.ctx.kernel
+        sampled = self._sampler.sample_rdd(
+            tensor_rdd, score_bcs, mode, iteration,
+            wants_blocks=getattr(kernel, "wants_blocks", False),
+            metrics=self.ctx.metrics)
+        contrib = kernel.broadcast_contributions(sampled, broadcasts,
+                                                 mode)
+        return kernel.sum_rows_by_key(
+            contrib, self.num_partitions
+        ).set_name(f"mttkrp-{mode}-sampled")
+
     def _distribute_tensor(self, tensor: COOTensor) -> RDD:
         """Place the nonzero records per ``tensor_partitioning`` and
         cache the resulting RDD.
@@ -440,8 +551,18 @@ class CPALSDriver:
         """CP fit via the standard MTTKRP trick (used by SPLATT and the
         Tensor Toolbox): ``<X, X̂> = sum_r lambda_r * sum_i M_N(i,r) *
         A_N(i,r)`` — M_N and A_N are co-partitioned, so the join is
-        narrow and the fit costs no extra shuffle."""
+        narrow and the fit costs no extra shuffle.  Under ``sampler=
+        "lev"`` the M fed in is itself the unbiased sampled estimate,
+        so the returned fit is an estimate too (flagged by
+        ``CPDecomposition.fit_is_estimate``); the accuracy gate in
+        ``tests/core/test_sampled.py`` bounds its error against the
+        exact offline fit."""
         rank = lambdas.shape[0]
+        if norm_x == 0.0:
+            # a zero tensor is perfectly fit by the zero model; checking
+            # up front short-circuits the distributed join +
+            # tree_aggregate the answer cannot depend on
+            return 1.0
         prods = m_rdd.join(last_factor, self.num_partitions).map_values(
             lambda pair: pair[0] * pair[1])
         colsum = prods.tree_aggregate(
@@ -453,8 +574,6 @@ class CPALSDriver:
         gram_prod = hadamard(*grams.grams)
         norm_model_sq = float(lambdas @ gram_prod @ lambdas)
         residual_sq = max(norm_x ** 2 + norm_model_sq - 2.0 * inner, 0.0)
-        if norm_x == 0.0:
-            return 1.0
         return 1.0 - float(np.sqrt(residual_sq)) / norm_x
 
     def _collect_factor(self, factor_rdd: RDD, size: int, rank: int,

@@ -51,9 +51,6 @@ class CstfCOO(CPALSDriver):
                 f"got {factor_strategy!r}")
         super().__init__(ctx, num_partitions, **kwargs)
         self.factor_strategy = factor_strategy
-        #: broadcasts created by the broadcast strategy that have not
-        #: been destroyed yet (see :meth:`_mttkrp_broadcast`)
-        self._live_broadcasts: list = []
 
     def join_order(self, order: int, mode: int) -> list[int]:
         """Modes joined for a mode-``mode`` MTTKRP, in order."""
@@ -134,15 +131,6 @@ class CstfCOO(CPALSDriver):
         return kernel.sum_rows_by_key(
             contrib, self.num_partitions
         ).set_name(f"mttkrp-{mode}-broadcast")
-
-    def _teardown(self) -> None:
-        """Release per-decomposition state: any broadcasts the final
-        MTTKRP left alive (previously leaked for the whole context
-        lifetime)."""
-        for bc in self._live_broadcasts:
-            bc.destroy()
-        self._live_broadcasts.clear()
-        super()._teardown()
 
     def shuffles_per_mttkrp(self, order: int) -> int:
         """Table 4: N shuffle rounds per MTTKRP (N-1 joins + 1 reduce);

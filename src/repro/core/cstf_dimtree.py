@@ -101,6 +101,7 @@ class CstfDimTree(CPALSDriver):
             self._invalidate(self._root, keep_root=False)
         self._root = None
         self._leaves = {}
+        super()._teardown()
 
     # ------------------------------------------------------------------
     def _mttkrp(self, mode: int, tensor_rdd: RDD,

@@ -45,6 +45,11 @@ class CstfQCOO(CPALSDriver):
         """Build the queue RDD X_Q (Table 3): joins the factors of modes
         ``0..N-2`` onto every nonzero, leaving the RDD keyed by the
         mode-``N-1`` index with queue ``(row_0, ..., row_{N-2})``."""
+        if self.sampler == "lev":
+            # the sampled MTTKRP (CPALSDriver._mttkrp_sampled) bypasses
+            # the queue dataflow entirely; building X_Q would pay N-1
+            # tensor-sized joins for state nobody reads
+            return
         order = tensor.order
         # materialize point: columnar tensor partitions expand to
         # records before the per-record queue tuples are built
@@ -88,6 +93,7 @@ class CstfQCOO(CPALSDriver):
         self._queue_rdd = None
         self._old_queue = None
         self._expected_key_mode = None
+        super()._teardown()
 
     # ------------------------------------------------------------------
     def _mttkrp(self, mode: int, tensor_rdd: RDD,

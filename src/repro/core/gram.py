@@ -62,10 +62,17 @@ class GramCache:
         self.kernel = kernel
         self.grams: list[np.ndarray] = [
             gram_of_rdd(rdd, rank, kernel) for rdd in factor_rdds]
+        #: per-mode version counter bumped by refresh; the pinv caches
+        #: key on these, so a cached inverse is served only while every
+        #: gram it was computed from is unchanged
+        self._versions: list[int] = [0] * len(self.grams)
+        self._pinv_cache: dict[tuple, np.ndarray] = {}
+        self._pinv_gram_cache: dict[int, tuple[int, np.ndarray]] = {}
 
     def refresh(self, mode: int, factor_rdd: RDD) -> np.ndarray:
         """Recompute mode ``mode``'s gram after its factor update."""
         self.grams[mode] = gram_of_rdd(factor_rdd, self.rank, self.kernel)
+        self._versions[mode] += 1
         return self.grams[mode]
 
     def refresh_all(self, factor_rdds: list[RDD]) -> None:
@@ -78,8 +85,41 @@ class GramCache:
         others = [g for m, g in enumerate(self.grams) if m != mode]
         return hadamard(*others)
 
-    def pinv_except(self, mode: int, rcond: float = 1e-12) -> np.ndarray:
+    def pinv_except(self, mode: int, rcond: float = 1e-12,
+                    regularization: float = 0.0) -> np.ndarray:
         """Moore-Penrose pseudo-inverse of :meth:`v_except` (the paper's
         ``dagger``); ``pinv`` rather than ``inv`` because V can be
-        rank-deficient when factors correlate."""
-        return np.linalg.pinv(self.v_except(mode), rcond=rcond)
+        rank-deficient when factors correlate.  With ``regularization``
+        the inverse is of ``V + reg * I`` (ridge ALS).
+
+        Memoized on the contributing grams' version counters: repeated
+        calls between refreshes (one ALS update asks for the same
+        inverse from the solve and, under sampling, the score paths)
+        reuse the cached array instead of redoing the Hadamard product
+        and the SVD-backed pinv every time.
+        """
+        key = (mode, rcond, regularization) + tuple(
+            v for m, v in enumerate(self._versions) if m != mode)
+        cached = self._pinv_cache.get(key)
+        if cached is not None:
+            return cached
+        v = self.v_except(mode)
+        if regularization:
+            v = v + regularization * np.eye(self.rank)
+        pinv = np.linalg.pinv(v, rcond=rcond)
+        # one live entry per mode is enough: evict this mode's stale key
+        self._pinv_cache = {k: a for k, a in self._pinv_cache.items()
+                            if k[0] != mode}
+        self._pinv_cache[key] = pinv
+        return pinv
+
+    def pinv_gram(self, mode: int, rcond: float = 1e-12) -> np.ndarray:
+        """``pinv(G_mode)`` — what the leverage-score computation needs
+        (``lev_m = diag(A_m pinv(G_m) A_m^T)``).  Memoized on mode
+        ``mode``'s own version counter."""
+        cached = self._pinv_gram_cache.get(mode)
+        if cached is not None and cached[0] == self._versions[mode]:
+            return cached[1]
+        pinv = np.linalg.pinv(self.grams[mode], rcond=rcond)
+        self._pinv_gram_cache[mode] = (self._versions[mode], pinv)
+        return pinv

@@ -39,6 +39,10 @@ class CPDecomposition:
     iterations: list[IterationStats] = field(default_factory=list)
     algorithm: str = ""
     converged: bool = False
+    #: True when ``fit_history`` was computed from a sampled MTTKRP
+    #: (``sampler="lev"``) and is an unbiased *estimate* of the fit;
+    #: call :meth:`fit` for the exact value of the returned model
+    fit_is_estimate: bool = False
 
     @property
     def rank(self) -> int:

@@ -80,6 +80,26 @@ class StreamingCP:
         self.refresh_history: list[int] = []
 
     # ------------------------------------------------------------------
+    @property
+    def rng_state(self) -> dict:
+        """Serializable state of the stream's RNG (numpy
+        ``bit_generator.state``, a JSON-able dict of plain ints).
+
+        Snapshots that omit it and rebuild ``_rng`` from the seed on
+        resume *replay past draws*: the restored stream would hand new
+        factor rows the random values the original stream already
+        consumed, silently diverging from the uninterrupted run.  Store
+        this next to the tensor/model (e.g. in
+        :class:`~repro.core.checkpoint.CPCheckpoint.rng_state`) and
+        assign it back after reconstructing the stream.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     def observe(self, batch: COOTensor) -> CPDecomposition:
         """Ingest a batch of nonzeros and refresh the model.
 

@@ -146,6 +146,20 @@ class EngineConf:
         bit-comparison oracle).  ``None`` defers to the
         ``REPRO_KERNEL`` environment variable, then ``"vectorized"``.
         Both kernels produce bit-identical decompositions.
+    ``sampler``
+        MTTKRP estimator for the CP-ALS drivers: ``"exact"`` (every
+        nonzero contributes) or ``"lev"`` (CP-ARLS-LEV leverage-score
+        sampling — each partition contributes ``sample_count`` drawn
+        nonzeros with importance weights folded in; unbiased, sublinear
+        in nnz, see :mod:`repro.kernels.sampled`).  ``None`` defers to
+        the ``REPRO_SAMPLER`` environment variable, then ``"exact"``.
+        Sampled results are bit-identical across backends, execution
+        orders and retries (site-seeded draws), but are estimates —
+        not bit-equal to the exact kernel's output.
+    ``sample_count``
+        Nonzeros drawn per partition per MTTKRP when the sampler is
+        ``"lev"``.  ``None`` defers to ``REPRO_SAMPLE_COUNT``, then
+        1024.
     ``integrity``
         End-to-end data-integrity mode: every shuffle block, broadcast
         payload, serialized cache entry and spilled run is CRC-sealed
@@ -182,6 +196,8 @@ class EngineConf:
     backend: str | None = None
     backend_workers: int | None = None
     kernel: str | None = None
+    sampler: str | None = None
+    sample_count: int | None = None
     integrity: bool | None = None
 
 

@@ -122,6 +122,11 @@ class RunStats:
     #: zero when ``EngineConf.integrity`` is off, so the model prices
     #: the verification tax only when it was actually paid
     checksummed_bytes: int = 0
+    #: rows drawn by the leverage-score sampler (sampler="lev");
+    #: reported, not separately priced — the sampled rows already flow
+    #: through records_processed/shuffle bytes, which is exactly how
+    #: sampling pays off in the model (a sublinear dataflow)
+    sampled_records: int = 0
     #: max-node records / mean-node records (load imbalance), >= 1
     node_skew: float = 1.0
 
@@ -158,6 +163,7 @@ class RunStats:
             spill_bytes=metrics.memory.spill_bytes,
             straggler_wasted_s=metrics.stragglers.wasted_attempt_s,
             checksummed_bytes=metrics.integrity.checksum_bytes,
+            sampled_records=metrics.sampler_draws,
             node_skew=skew,
         )
 
@@ -179,6 +185,7 @@ class RunStats:
             + other.straggler_wasted_s,
             checksummed_bytes=self.checksummed_bytes
             + other.checksummed_bytes,
+            sampled_records=self.sampled_records + other.sampled_records,
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -200,6 +207,8 @@ class RunStats:
                 0.0, self.straggler_wasted_s - other.straggler_wasted_s),
             checksummed_bytes=max(
                 0, self.checksummed_bytes - other.checksummed_bytes),
+            sampled_records=max(
+                0, self.sampled_records - other.sampled_records),
             node_skew=max(self.node_skew, other.node_skew),
         )
 
@@ -219,6 +228,7 @@ class RunStats:
             spill_bytes=int(self.spill_bytes * k),
             straggler_wasted_s=self.straggler_wasted_s * k,
             checksummed_bytes=int(self.checksummed_bytes * k),
+            sampled_records=int(self.sampled_records * k),
             node_skew=self.node_skew,
         )
 
@@ -240,6 +250,7 @@ class RunStats:
             spill_bytes=int(self.spill_bytes * factor),
             straggler_wasted_s=self.straggler_wasted_s * factor,
             checksummed_bytes=int(self.checksummed_bytes * factor),
+            sampled_records=int(self.sampled_records * factor),
         )
 
 

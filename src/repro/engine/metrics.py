@@ -17,6 +17,7 @@ attributed to that label.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -392,6 +393,9 @@ class MetricsCollector:
         self.stragglers = StragglerMetrics()
         self.integrity = IntegrityMetrics()
         self._phase_stack: list[str] = ["Other"]
+        #: driver wall-clock seconds spent inside each phase() scope
+        #: (outermost attribution: nested phases bill their parent too)
+        self.phase_seconds: dict[str, float] = {}
         #: bytes deserialized out of MEMORY_SER cache (ablation metric)
         self.cache_deserialized_bytes: int = 0
         #: *live* memory footprint of cached partitions, by storage level
@@ -415,6 +419,14 @@ class MetricsCollector:
         self.kernel_batches: int = 0
         self.kernel_batch_records: int = 0
         self._kernel_lock = linthooks.make_lock("MetricsCollector.kernel")
+        #: leverage-score sampling activity (sampler="lev"): partitions
+        #: sampled, rows drawn, and the input nonzeros those draws
+        #: replaced; fed concurrently by backend workers, hence the lock
+        self.sampler_partitions: int = 0
+        self.sampler_draws: int = 0
+        self.sampler_input_records: int = 0
+        self._sampler_lock = linthooks.make_lock(
+            "MetricsCollector.sampler")
 
     def add_kernel_batch(self, records: int) -> None:
         """Count one vectorized-kernel partition batch of ``records``."""
@@ -422,6 +434,15 @@ class MetricsCollector:
             linthooks.access(self, "kernel_batches", write=True)
             self.kernel_batches += 1
             self.kernel_batch_records += records
+
+    def add_sampler_draw(self, draws: int, input_records: int) -> None:
+        """Count one partition's leverage-score sample: ``draws`` rows
+        drawn out of ``input_records`` nonzeros."""
+        with self._sampler_lock:
+            linthooks.access(self, "sampler_draws", write=True)
+            self.sampler_partitions += 1
+            self.sampler_draws += draws
+            self.sampler_input_records += input_records
 
     # ------------------------------------------------------------------
     # phases
@@ -432,12 +453,23 @@ class MetricsCollector:
 
     @contextmanager
     def phase(self, label: str) -> Iterator[None]:
-        """Attribute all jobs run inside the scope to ``label``."""
+        """Attribute all jobs run inside the scope to ``label``, and
+        bill the scope's wall-clock time to :attr:`phase_seconds`."""
         self._phase_stack.append(label)
+        start = time.perf_counter()
         try:
             yield
         finally:
+            elapsed = time.perf_counter() - start
             self._phase_stack.pop()
+            self.phase_seconds[label] = (
+                self.phase_seconds.get(label, 0.0) + elapsed)
+
+    def seconds_in_phases(self, prefix: str) -> float:
+        """Total wall-clock seconds of every phase whose label starts
+        with ``prefix`` (e.g. ``"MTTKRP-"`` for all mode updates)."""
+        return sum(s for label, s in self.phase_seconds.items()
+                   if label.startswith(prefix))
 
     # ------------------------------------------------------------------
     # recording (called by the scheduler)
@@ -546,6 +578,11 @@ class MetricsCollector:
             lines.append(
                 f"kernel batches      : {self.kernel_batches:,} "
                 f"({self.kernel_batch_records:,} records)")
+        if self.sampler_partitions:
+            lines.append(
+                f"sampled MTTKRP      : {self.sampler_draws:,} draws "
+                f"over {self.sampler_partitions:,} partitions "
+                f"({self.sampler_input_records:,} input nonzeros)")
         if self.faults.any_activity:
             f = self.faults
             lines.append(
@@ -604,3 +641,7 @@ class MetricsCollector:
         self.checkpoint_records_written = 0
         self.kernel_batches = 0
         self.kernel_batch_records = 0
+        self.sampler_partitions = 0
+        self.sampler_draws = 0
+        self.sampler_input_records = 0
+        self.phase_seconds.clear()

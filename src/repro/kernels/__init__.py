@@ -19,6 +19,10 @@ import os
 from ..engine.errors import KernelError
 from .base import Kernel
 from .record import RecordKernel
+from .sampled import (DEFAULT_SAMPLE_COUNT, POOL_FACTOR, LeverageSampler,
+                      leverage_scores, resolve_sample_count,
+                      resolve_sampler_spec, sample_block,
+                      sample_probabilities, uniform_pool)
 from .segsum import combine_rows_batch, fold_rows, segmented_left_fold
 from .vectorized import VectorizedKernel
 
@@ -54,13 +58,22 @@ def create_kernel(name: str | None = None,
 
 
 __all__ = [
+    "DEFAULT_SAMPLE_COUNT",
     "Kernel",
     "KernelError",
+    "LeverageSampler",
+    "POOL_FACTOR",
     "RecordKernel",
     "VectorizedKernel",
     "combine_rows_batch",
     "create_kernel",
     "fold_rows",
+    "leverage_scores",
     "resolve_kernel_spec",
+    "resolve_sample_count",
+    "resolve_sampler_spec",
+    "sample_block",
+    "sample_probabilities",
     "segmented_left_fold",
+    "uniform_pool",
 ]

@@ -13,6 +13,13 @@ to a :class:`Kernel`.  Two implementations ship:
 
 Both must produce bit-identical results; the contract every method pair
 honours is spelled out in ``docs/architecture.md`` (Kernels section).
+
+Orthogonal to the kernel choice, :mod:`repro.kernels.sampled` provides
+the CP-ARLS-LEV *estimator*: it rewrites the tensor RDD into a sampled
+one (importance weights folded into the values) that then flows through
+the same :meth:`Kernel.broadcast_contributions` /
+:meth:`Kernel.sum_rows_by_key` methods — unbiased rather than exact,
+but still bit-identical across kernels and backends at a fixed seed.
 """
 
 from __future__ import annotations

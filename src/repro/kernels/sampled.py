@@ -1,0 +1,258 @@
+"""Randomized leverage-score MTTKRP sampling (CP-ARLS-LEV).
+
+Bharadwaj et al. (arXiv 2210.05105) observe that the MTTKRP's
+contribution of nonzero ``x`` at index ``(i_1, ..., i_N)`` to a
+mode-``n`` update is weighted by the product of the *leverage scores*
+of the fixed factor rows it touches, so drawing nonzeros with
+probability proportional to that product concentrates the samples
+where the Khatri-Rao least-squares problem actually has mass.  The
+mode-``m`` leverage score of row ``i`` is
+
+    lev_m[i] = [A_m pinv(A_m^T A_m) A_m^T]_{ii}
+
+computed driver-side from the cached Gram matrices
+(:meth:`repro.core.gram.GramCache.pinv_gram`) in one ``einsum`` per
+mode; a nonzero's sampling weight is the product of its fixed modes'
+scores.
+
+Estimator contract (unbiasedness)
+---------------------------------
+Sampling is *per partition* with replacement: partition ``p`` holding
+nonzero contributions ``c_1 .. c_n`` with probabilities ``q_1 .. q_n``
+(``sum q_j = 1``) draws ``s`` indices and emits each drawn nonzero with
+its value scaled by ``1 / (s * q_j)``.  The partition's sampled MTTKRP
+contribution is then
+
+    S_p = (1/s) * sum_{draws d} c_d / q_d,      E[S_p] = sum_j c_j,
+
+so every partition's estimate — and their sum, the full MTTKRP — is
+unbiased for any strictly positive ``q``.  Strict positivity is
+guaranteed by mixing a uniform floor into the leverage weights
+(``q = (1 - floor) * w / sum(w) + floor / n``), which also bounds the
+worst-case importance ratio.  ``tests/core/test_sampled.py`` property-
+tests this contract directly.
+
+Partitions much larger than the draw budget first pass through a
+*uniform pre-sample* of ``POOL_FACTOR * s`` rows with values scaled by
+``n / pool`` (:func:`uniform_pool`, itself unbiased for the partition
+sum); leverage weighting and the importance draw then run on the pool
+only.  By the tower property the two-stage estimator stays unbiased,
+and the per-iteration cost becomes ``O(POOL_FACTOR * s)`` per
+partition — independent of nnz — instead of an ``O(nnz)`` weight scan.
+
+Seeding discipline
+------------------
+Every draw comes from a *site-seeded* RNG —
+``default_rng(stable_hash((seed, "lev-sample", iteration, mode,
+partition)))`` — the same discipline :class:`~repro.engine.faults
+.FaultPlan` uses for fault injection.  A sample therefore depends only
+on *where* it is drawn (iteration, mode, partition), never on the
+executor backend, task scheduling order, retries or speculation; and a
+run resumed from a checkpoint re-derives the exact draws of the
+uninterrupted run because the iteration number is part of the site.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..engine.blocks import ColumnarBlock
+from ..engine.errors import KernelError
+from ..engine.partitioner import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.broadcast import Broadcast
+    from ..engine.metrics import MetricsCollector
+    from ..engine.rdd import RDD
+
+#: accepted spellings per sampler
+_EXACT_NAMES = ("exact", "none", "off")
+_LEV_NAMES = ("lev", "leverage", "arls-lev")
+
+#: default per-partition draw count when neither the driver, the conf
+#: nor ``$REPRO_SAMPLE_COUNT`` names one
+DEFAULT_SAMPLE_COUNT = 1024
+
+#: uniform mass mixed into the leverage probabilities so every nonzero
+#: keeps a strictly positive draw probability (unbiasedness) and the
+#: importance ratio ``c/q`` stays bounded
+UNIFORM_FLOOR = 1e-3
+
+#: stage-1 uniform pool size as a multiple of the draw count ``s``:
+#: partitions holding more than ``POOL_FACTOR * s`` nonzeros are first
+#: uniformly pre-sampled down to that size, bounding the per-iteration
+#: scan regardless of partition nnz (see the module docstring)
+POOL_FACTOR = 4
+
+
+def resolve_sampler_spec(name: str | None = None) -> str:
+    """Canonical sampler name: explicit value, else ``$REPRO_SAMPLER``,
+    else ``"exact"``.  Unknown names raise :class:`KernelError`."""
+    if name is None:
+        name = os.environ.get("REPRO_SAMPLER") or None
+    resolved = (name or "exact").strip().lower()
+    if resolved in _EXACT_NAMES:
+        return "exact"
+    if resolved in _LEV_NAMES:
+        return "lev"
+    raise KernelError(
+        f"unknown sampler {name!r}; expected one of "
+        f"{', '.join(sorted(_EXACT_NAMES + _LEV_NAMES))}")
+
+
+def resolve_sample_count(count: int | None = None) -> int:
+    """Per-partition draw count: explicit value, else
+    ``$REPRO_SAMPLE_COUNT``, else :data:`DEFAULT_SAMPLE_COUNT`."""
+    if count is None:
+        env = os.environ.get("REPRO_SAMPLE_COUNT")
+        count = int(env) if env else DEFAULT_SAMPLE_COUNT
+    if count < 1:
+        raise KernelError(f"sample count must be >= 1, got {count}")
+    return int(count)
+
+
+def leverage_scores(factor: np.ndarray,
+                    pinv_gram: np.ndarray) -> np.ndarray:
+    """Per-row leverage scores ``diag(A pinv(A^T A) A^T)`` of a dense
+    factor, without materializing the ``I x I`` hat matrix."""
+    scores = np.einsum("ij,jk,ik->i", factor, pinv_gram, factor)
+    # the diagonal of a projection is in [0, 1]; clip the float noise
+    return np.clip(scores, 0.0, None)
+
+
+def sample_probabilities(weights: np.ndarray,
+                         floor: float = UNIFORM_FLOOR) -> np.ndarray:
+    """Floor-mixed draw probabilities from raw leverage weights.
+
+    ``q = (1 - floor) * w / sum(w) + floor / n``; degenerates to the
+    uniform distribution when every weight is zero.  Renormalized so
+    ``sum(q) == 1`` exactly (``Generator.choice`` requires it).
+    """
+    n = weights.shape[0]
+    total = float(weights.sum())
+    if total > 0.0:
+        q = (1.0 - floor) * (weights / total) + floor / n
+    else:
+        q = np.full(n, 1.0 / n)
+    return q / q.sum()
+
+
+def uniform_pool(block: ColumnarBlock, target: int,
+                 site: tuple) -> ColumnarBlock:
+    """Stage-1 uniform pre-sample: ``target`` rows drawn uniformly with
+    replacement, values scaled by ``n / target`` so the pooled block's
+    exact contribution sum is an unbiased estimator of the input
+    block's.  Blocks already within the target pass through unchanged
+    (and bit-identical), so small partitions never pay for pooling."""
+    n = len(block)
+    if n <= target:
+        return block
+    rng = np.random.default_rng(stable_hash(site))
+    pool = rng.integers(0, n, size=target)
+    picked = block.take(pool)
+    return ColumnarBlock(picked.columns, picked.values * (n / target))
+
+
+def sample_block(block: ColumnarBlock, weights: np.ndarray, s: int,
+                 site: tuple, floor: float = UNIFORM_FLOOR
+                 ) -> ColumnarBlock:
+    """Draw ``s`` nonzeros from one coalesced partition block.
+
+    ``site`` is the stable-hash seed tuple identifying *where* the draw
+    happens (seed, tag, iteration, mode, partition); the same site
+    always yields the same draws.  Returned values carry the unbiasing
+    ``1/(s q)`` scale, so summing the output block's contributions
+    estimates the input block's exact sum (see the estimator contract
+    in the module docstring).
+    """
+    q = sample_probabilities(weights, floor)
+    rng = np.random.default_rng(stable_hash(site))
+    draws = rng.choice(len(block), size=s, replace=True, p=q)
+    picked = block.take(draws)
+    return ColumnarBlock(picked.columns, picked.values / (s * q[draws]))
+
+
+class LeverageSampler:
+    """Draws ``sample_count`` nonzeros per partition by leverage score.
+
+    Stateless between draws: every sample comes from the site-seeded
+    RNG described in the module docstring, so the sampler itself needs
+    no mutable RNG — its checkpointable state is just the signature
+    returned by :meth:`state`, which the driver stores in snapshots and
+    validates on resume.
+    """
+
+    def __init__(self, sample_count: int | None = None, seed: int = 0,
+                 floor: float = UNIFORM_FLOOR):
+        self.sample_count = resolve_sample_count(sample_count)
+        self.seed = int(seed)
+        self.floor = float(floor)
+
+    def state(self) -> dict:
+        """Checkpointable signature of the sampling configuration; a
+        resumed run must match it to replay the same draws."""
+        return {"sampler": "lev", "sample_count": self.sample_count,
+                "seed": self.seed}
+
+    # ------------------------------------------------------------------
+    def sample_rdd(self, tensor_rdd: "RDD",
+                   score_broadcasts: "dict[int, Broadcast]", mode: int,
+                   iteration: int, wants_blocks: bool,
+                   metrics: "MetricsCollector | None" = None) -> "RDD":
+        """Sampled replacement of the tensor RDD for one MTTKRP.
+
+        ``score_broadcasts`` maps every fixed mode to a broadcast 1-D
+        leverage-score vector.  Output partitions hold one
+        :class:`ColumnarBlock` when ``wants_blocks`` (values carry the
+        folded ``1/(s q)`` weights), else plain ``(idx, val)`` records.
+        """
+        s = self.sample_count
+        seed = self.seed
+        floor = self.floor
+
+        def sample(pid: int, it) -> list:
+            block = _partition_block(it)
+            if block is None or len(block) == 0:
+                return []
+            n_input = len(block)
+            block = uniform_pool(
+                block, POOL_FACTOR * s,
+                (seed, "lev-pool", iteration, mode, pid))
+            weights = np.ones(len(block), dtype=np.float64)
+            for m, bc in score_broadcasts.items():
+                weights = weights * bc.value[block.column(m)]
+            scaled = sample_block(
+                block, weights, s,
+                (seed, "lev-sample", iteration, mode, pid), floor)
+            if metrics is not None:
+                metrics.add_sampler_draw(s, n_input)
+            if wants_blocks:
+                return [scaled]
+            return scaled.to_records()
+
+        return tensor_rdd.map_partitions_with_index(sample).set_name(
+            f"tensor-sampled-m{mode}")
+
+
+def _partition_block(partition) -> ColumnarBlock | None:
+    """Coalesce one tensor partition (columnar blocks or ``(idx, val)``
+    records) into a single :class:`ColumnarBlock`; ``None`` if empty."""
+    blocks: list[ColumnarBlock] = []
+    records: list[tuple] = []
+    for item in partition:
+        if type(item) is ColumnarBlock:
+            blocks.append(item)
+        else:
+            records.append(item)
+    if records:
+        order = len(records[0][0])
+        blocks.append(ColumnarBlock.from_records(records, order))
+    blocks = [b for b in blocks if len(b)]
+    if not blocks:
+        return None
+    if len(blocks) == 1:
+        return blocks[0]
+    return ColumnarBlock.concat(blocks)

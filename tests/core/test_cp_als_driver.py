@@ -37,6 +37,20 @@ class TestValidation:
             CstfCOO(ctx).decompose(small_tensor, 2, initial_factors=init)
 
 
+class TestZeroTensor:
+    def test_fit_is_one_and_skips_the_distributed_fit(self, ctx, rng):
+        """norm(X) == 0 means fit == 1.0 by definition; the guard must
+        short-circuit BEFORE the fit join + tree_aggregate, so the fit
+        phase runs no jobs at all."""
+        idx = np.column_stack([rng.integers(0, 6, 40)
+                               for _ in range(3)])
+        t = COOTensor(idx, np.zeros(40), (6, 6, 6)).deduplicate()
+        res = CstfCOO(ctx).decompose(t, 2, max_iterations=2, tol=0.0,
+                                     seed=0)
+        assert res.fit_history == [1.0, 1.0]
+        assert ctx.metrics.jobs_in_phase("fit") == []
+
+
 class TestConvergence:
     def test_converges_on_exact_low_rank(self, ctx):
         from repro.tensor import COOTensor, cp_reconstruct

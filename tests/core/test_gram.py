@@ -70,3 +70,85 @@ class TestGramCache:
         cache = GramCache([factor_rdd(ctx, m) for _ in range(3)], 2)
         pinv = cache.pinv_except(0)
         assert np.all(np.isfinite(pinv))
+
+
+class TestPinvMemoization:
+    """``pinv_except``/``pinv_gram`` are memoized on the per-mode gram
+    version counters: repeated calls between ``refresh``es must not
+    recompute the pseudo-inverse (it used to run once per call)."""
+
+    @staticmethod
+    def counting_pinv(monkeypatch):
+        real = np.linalg.pinv
+        calls = []
+
+        def counted(*args, **kwargs):
+            calls.append(args[0].shape)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(np.linalg, "pinv", counted)
+        return calls
+
+    def cache(self, ctx, rng):
+        mats = [rng.random((6, 2)) + 0.5 for _ in range(3)]
+        return GramCache([factor_rdd(ctx, m) for m in mats], 2)
+
+    def test_repeated_pinv_except_cached(self, ctx, rng, monkeypatch):
+        cache = self.cache(ctx, rng)
+        calls = self.counting_pinv(monkeypatch)
+        first = cache.pinv_except(0)
+        second = cache.pinv_except(0)
+        assert len(calls) == 1
+        assert np.array_equal(first, second)
+
+    def test_refresh_of_other_mode_invalidates(self, ctx, rng,
+                                               monkeypatch):
+        cache = self.cache(ctx, rng)
+        calls = self.counting_pinv(monkeypatch)
+        cache.pinv_except(0)
+        cache.refresh(1, factor_rdd(ctx, rng.random((7, 2))))
+        cache.pinv_except(0)
+        assert len(calls) == 2
+
+    def test_refresh_of_own_mode_keeps_cache(self, ctx, rng,
+                                             monkeypatch):
+        # pinv_except(m) depends only on the OTHER modes' grams, so
+        # refreshing mode m itself must not evict it
+        cache = self.cache(ctx, rng)
+        calls = self.counting_pinv(monkeypatch)
+        cache.pinv_except(0)
+        cache.refresh(0, factor_rdd(ctx, rng.random((6, 2))))
+        cache.pinv_except(0)
+        assert len(calls) == 1
+
+    def test_distinct_rcond_or_regularization_not_conflated(
+            self, ctx, rng, monkeypatch):
+        cache = self.cache(ctx, rng)
+        calls = self.counting_pinv(monkeypatch)
+        plain = cache.pinv_except(0)
+        regularized = cache.pinv_except(0, regularization=1e-3)
+        assert len(calls) == 2
+        assert not np.array_equal(plain, regularized)
+
+    def test_pinv_gram_cached_until_own_refresh(self, ctx, rng,
+                                                monkeypatch):
+        cache = self.cache(ctx, rng)
+        calls = self.counting_pinv(monkeypatch)
+        cache.pinv_gram(1)
+        cache.pinv_gram(1)
+        assert len(calls) == 1
+        cache.refresh(1, factor_rdd(ctx, rng.random((7, 2))))
+        cache.pinv_gram(1)
+        assert len(calls) == 2
+
+    def test_one_pinv_per_mode_per_iteration(self, ctx, small_tensor,
+                                             monkeypatch):
+        """The regression the memoization fixes end-to-end: an exact
+        CP-ALS run computes exactly order x iterations pinvs."""
+        from repro.core import CstfCOO
+        calls = self.counting_pinv(monkeypatch)
+        iterations = 3
+        CstfCOO(ctx).decompose(small_tensor, 2,
+                               max_iterations=iterations, tol=0.0,
+                               seed=0)
+        assert len(calls) == small_tensor.order * iterations

@@ -1,0 +1,432 @@
+"""CP-ARLS-LEV sampled MTTKRP: estimator contract, determinism, resume.
+
+Covers the randomized sampler at three levels: the pure sampling math
+(leverage scores, floor-mixed probabilities, the per-partition unbiased
+estimator of ``sample_block``), the driver integration (``sampler="lev"``
+decompositions are bit-identical across backends, kernels and drivers at
+a fixed seed, and resume from a checkpoint replays the exact draws), and
+the end-to-end accuracy gate (sampled final fit within 0.02 of exact on
+a planted low-rank tensor).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CstfCOO, CstfQCOO, InMemoryCheckpointStore
+from repro.core.checkpoint import FileCheckpointStore
+from repro.engine import Context, EngineConf, KernelError
+from repro.engine.blocks import ColumnarBlock
+from repro.kernels import (DEFAULT_SAMPLE_COUNT, POOL_FACTOR,
+                           LeverageSampler, leverage_scores,
+                           resolve_sample_count, resolve_sampler_spec,
+                           sample_block, sample_probabilities,
+                           uniform_pool)
+from repro.tensor import low_rank_sparse, random_factors, uniform_sparse
+
+RANK = 2
+SAMPLES = 64
+#: base sampler seed; the CI sampler job sweeps a seed x backend matrix
+SEED = int(os.environ.get("REPRO_SAMPLER_SEED", "0"))
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return uniform_sparse((12, 10, 14), 220, rng=6)
+
+
+@pytest.fixture(scope="module")
+def init(tensor):
+    return random_factors(tensor.shape, RANK, 17)
+
+
+def run(cls, tensor, init, backend="serial", workers=None, seed=SEED,
+        iterations=3, driver_kwargs=None, **conf_kwargs):
+    """One lev-sampled decomposition; returns (result, setup job count,
+    total sampler draws)."""
+    conf_kwargs.setdefault("sampler", "lev")
+    conf_kwargs.setdefault("sample_count", SAMPLES)
+    conf = EngineConf(backend=backend, backend_workers=workers,
+                      **conf_kwargs)
+    with Context(num_nodes=4, default_parallelism=8, conf=conf) as ctx:
+        result = cls(ctx, **(driver_kwargs or {})).decompose(
+            tensor, RANK, max_iterations=iterations, tol=0.0, seed=seed,
+            initial_factors=init)
+        setup_jobs = len(ctx.metrics.jobs_in_phase("setup"))
+        draws = ctx.metrics.sampler_draws
+    return result, setup_jobs, draws
+
+
+def assert_bit_identical(a, b):
+    assert np.array_equal(a.lambdas, b.lambdas)
+    assert len(a.factors) == len(b.factors)
+    for fa, fb in zip(a.factors, b.factors):
+        assert np.array_equal(fa, fb)
+    assert a.fit_history == b.fit_history
+
+
+# ---------------------------------------------------------------------
+# spec resolution and EngineConf wiring
+# ---------------------------------------------------------------------
+class TestSpecResolution:
+    @pytest.mark.parametrize("name", ["exact", "none", "off", "EXACT"])
+    def test_exact_spellings(self, name):
+        assert resolve_sampler_spec(name) == "exact"
+
+    @pytest.mark.parametrize("name", ["lev", "leverage", "arls-lev",
+                                      "LEV"])
+    def test_lev_spellings(self, name):
+        assert resolve_sampler_spec(name) == "lev"
+
+    def test_defaults_to_exact(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLER", raising=False)
+        assert resolve_sampler_spec(None) == "exact"
+
+    def test_environment_fills_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAMPLER", "lev")
+        assert resolve_sampler_spec(None) == "lev"
+        # an explicit name always beats the environment
+        assert resolve_sampler_spec("exact") == "exact"
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(KernelError, match="unknown sampler"):
+            resolve_sampler_spec("bogus")
+
+    def test_sample_count_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAMPLE_COUNT", raising=False)
+        assert resolve_sample_count(None) == DEFAULT_SAMPLE_COUNT
+        assert resolve_sample_count(7) == 7
+        monkeypatch.setenv("REPRO_SAMPLE_COUNT", "33")
+        assert resolve_sample_count(None) == 33
+        with pytest.raises(KernelError, match="sample count"):
+            resolve_sample_count(0)
+
+    def test_conf_wires_driver(self, tensor):
+        conf = EngineConf(sampler="leverage", sample_count=9)
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=conf) as ctx:
+            driver = CstfCOO(ctx)
+            assert driver.sampler == "lev"
+            assert driver.sample_count == 9
+            # the driver kwarg overrides the conf
+            explicit = CstfCOO(ctx, sampler="exact", sample_count=5)
+            assert explicit.sampler == "exact"
+            assert explicit.sample_count == 5
+
+
+# ---------------------------------------------------------------------
+# sampling math
+# ---------------------------------------------------------------------
+class TestLeverageScores:
+    def test_matches_hat_matrix_diagonal(self, rng):
+        a = rng.standard_normal((40, 4))
+        pinv_gram = np.linalg.pinv(a.T @ a)
+        direct = np.diag(a @ pinv_gram @ a.T)
+        assert np.allclose(leverage_scores(a, pinv_gram), direct)
+
+    def test_nonnegative_even_with_noise(self, rng):
+        # a rank-deficient factor puts tiny negative float noise on the
+        # hat diagonal; the scores must be clipped to >= 0
+        col = rng.standard_normal((30, 1))
+        a = np.hstack([col, col, col])
+        scores = leverage_scores(a, np.linalg.pinv(a.T @ a))
+        assert (scores >= 0.0).all()
+
+
+class TestSampleProbabilities:
+    def test_sums_to_one_and_strictly_positive(self, rng):
+        w = rng.uniform(0.0, 5.0, size=100)
+        w[::7] = 0.0  # zero-leverage rows keep the uniform floor
+        q = sample_probabilities(w)
+        assert q.sum() == 1.0
+        assert (q > 0.0).all()
+
+    def test_all_zero_weights_degenerate_to_uniform(self):
+        q = sample_probabilities(np.zeros(8))
+        assert np.allclose(q, 1.0 / 8)
+
+    def test_floor_bounds_minimum_mass(self):
+        w = np.array([0.0, 1.0, 1.0, 1.0])
+        q = sample_probabilities(w, floor=0.1)
+        assert q[0] == pytest.approx(0.1 / 4, rel=1e-9)
+
+
+class TestUnbiasedEstimator:
+    """The documented contract: per partition, the sum of the scaled
+    sampled values is an unbiased estimator of the exact sum — per
+    source nonzero, not just in aggregate."""
+
+    @staticmethod
+    def _block(n, rng):
+        # column 0 identifies the source nonzero so the test can
+        # attribute every draw's scaled mass back to it
+        columns = [np.arange(n), rng.integers(0, 5, n),
+                   rng.integers(0, 5, n)]
+        values = rng.standard_normal(n)
+        return ColumnarBlock(columns, values)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_mean_estimate_converges_to_exact(self, data_seed):
+        rng = np.random.default_rng(data_seed)
+        n, s, sites = 30, 32, 400
+        block = self._block(n, rng)
+        weights = rng.uniform(0.0, 3.0, size=n)
+        per_site = np.empty((sites, n))
+        for k in range(sites):
+            out = sample_block(block, weights, s, (k, "unbiased-test"))
+            mass = np.zeros(n)
+            np.add.at(mass, out.column(0), out.values)
+            per_site[k] = mass
+        mean = per_site.mean(axis=0)
+        stderr = per_site.std(axis=0) / np.sqrt(sites)
+        # 6-sigma CLT band per source nonzero
+        assert (np.abs(mean - block.values)
+                <= 6.0 * stderr + 1e-12).all()
+
+    def test_scaled_values_invert_draw_probability(self, rng):
+        block = self._block(20, rng)
+        weights = rng.uniform(0.1, 1.0, size=20)
+        s = 16
+        out = sample_block(block, weights, s, (0, "scale-test"))
+        q = sample_probabilities(weights)
+        assert len(out) == s
+        drawn = out.column(0)
+        assert np.array_equal(out.values,
+                              block.values[drawn] / (s * q[drawn]))
+
+    def test_site_determinism(self, rng):
+        block = self._block(25, rng)
+        weights = rng.uniform(0.0, 1.0, size=25)
+        a = sample_block(block, weights, 32, (3, "site", 1, 0, 4))
+        b = sample_block(block, weights, 32, (3, "site", 1, 0, 4))
+        other = sample_block(block, weights, 32, (3, "site", 2, 0, 4))
+        assert np.array_equal(a.columns, b.columns)
+        assert np.array_equal(a.values, b.values)
+        assert not np.array_equal(a.columns, other.columns)
+
+
+class TestUniformPool:
+    """Stage-1 pooling: unbiased in its own right, a no-op for blocks
+    already within the target, and site-deterministic."""
+
+    def test_small_blocks_pass_through_unchanged(self, rng):
+        block = ColumnarBlock([np.arange(10)], rng.standard_normal(10))
+        pooled = uniform_pool(block, 10, (0, "pool"))
+        assert pooled is block
+
+    def test_pool_sum_is_unbiased(self, rng):
+        n, target, sites = 500, 64, 600
+        block = ColumnarBlock([np.arange(n)], rng.standard_normal(n))
+        sums = np.array([
+            uniform_pool(block, target, (k, "pool")).values.sum()
+            for k in range(sites)])
+        stderr = sums.std() / np.sqrt(sites)
+        assert abs(sums.mean() - block.values.sum()) <= 6.0 * stderr
+
+    def test_pool_values_carry_inverse_scale(self, rng):
+        n, target = 100, 16
+        block = ColumnarBlock([np.arange(n)], rng.standard_normal(n))
+        pooled = uniform_pool(block, target, (1, "pool"))
+        assert len(pooled) == target
+        drawn = pooled.column(0)
+        assert np.array_equal(pooled.values,
+                              block.values[drawn] * (n / target))
+
+    def test_site_determinism(self, rng):
+        block = ColumnarBlock([np.arange(300)],
+                              rng.standard_normal(300))
+        a = uniform_pool(block, 32, (5, "pool", 0))
+        b = uniform_pool(block, 32, (5, "pool", 0))
+        other = uniform_pool(block, 32, (5, "pool", 1))
+        assert np.array_equal(a.columns, b.columns)
+        assert np.array_equal(a.values, b.values)
+        assert not np.array_equal(a.columns, other.columns)
+
+    def test_two_stage_estimator_is_unbiased(self, rng):
+        """Pool then importance-sample — the composed estimator must
+        still average to the exact sum (tower property)."""
+        n, s, sites = 800, 32, 600
+        block = ColumnarBlock([np.arange(n)], rng.standard_normal(n))
+        weights_full = rng.uniform(0.0, 3.0, size=n)
+        sums = np.empty(sites)
+        for k in range(sites):
+            pooled = uniform_pool(block, POOL_FACTOR * s, (k, "p"))
+            out = sample_block(pooled, weights_full[pooled.column(0)],
+                               s, (k, "s"))
+            sums[k] = out.values.sum()
+        stderr = sums.std() / np.sqrt(sites)
+        assert abs(sums.mean() - block.values.sum()) <= 6.0 * stderr
+
+
+# ---------------------------------------------------------------------
+# driver integration
+# ---------------------------------------------------------------------
+class TestSampledDecompose:
+    def test_flags_fit_as_estimate(self, tensor, init):
+        sampled, _, draws = run(CstfCOO, tensor, init)
+        exact, _, exact_draws = run(CstfCOO, tensor, init,
+                                    sampler="exact")
+        assert sampled.fit_is_estimate
+        assert not exact.fit_is_estimate
+        assert draws > 0 and draws % SAMPLES == 0
+        assert exact_draws == 0
+
+    def test_same_seed_is_reproducible(self, tensor, init):
+        a, _, _ = run(CstfCOO, tensor, init, seed=SEED + 5)
+        b, _, _ = run(CstfCOO, tensor, init, seed=SEED + 5)
+        assert_bit_identical(a, b)
+
+    def test_seed_changes_draws(self, tensor, init):
+        a, _, _ = run(CstfCOO, tensor, init, seed=SEED)
+        b, _, _ = run(CstfCOO, tensor, init, seed=SEED + 1)
+        assert not np.array_equal(a.factors[0], b.factors[0])
+
+    @pytest.mark.parametrize("cls", [CstfCOO, CstfQCOO])
+    @pytest.mark.parametrize("backend,workers",
+                             [("threads", 4), ("process", 2)])
+    def test_backends_bit_identical(self, cls, tensor, init, backend,
+                                    workers):
+        serial, _, _ = run(cls, tensor, init)
+        pooled, _, _ = run(cls, tensor, init, backend, workers)
+        assert_bit_identical(serial, pooled)
+
+    def test_kernels_bit_identical(self, tensor, init):
+        vec, _, _ = run(CstfCOO, tensor, init, kernel="vectorized")
+        rec, _, _ = run(CstfCOO, tensor, init, kernel="record")
+        assert_bit_identical(vec, rec)
+
+    def test_drivers_bit_identical(self, tensor, init):
+        """Sampled MTTKRP replaces each driver's exact dataflow with the
+        same broadcast estimator, so COO and QCOO must agree exactly."""
+        coo, _, _ = run(CstfCOO, tensor, init)
+        qcoo, _, _ = run(CstfQCOO, tensor, init)
+        assert_bit_identical(coo, qcoo)
+
+    def test_qcoo_skips_queue_construction(self, tensor, init):
+        """Under lev the QCOO queue (N-1 tensor-sized joins) is never
+        read, so ``_setup`` must not build it: the setup phase runs the
+        same jobs as plain COO."""
+        coo, coo_setup, _ = run(CstfCOO, tensor, init)
+        qcoo, qcoo_setup, _ = run(CstfQCOO, tensor, init)
+        assert qcoo_setup == coo_setup
+
+
+# ---------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------
+class TestSampledResume:
+    @staticmethod
+    def lev_context():
+        return Context(num_nodes=2, default_parallelism=4,
+                       conf=EngineConf(sampler="lev",
+                                       sample_count=SAMPLES))
+
+    def decompose(self, ctx, tensor, init, **kwargs):
+        return CstfCOO(ctx).decompose(
+            tensor, RANK, max_iterations=4, tol=0.0, seed=0,
+            **kwargs)
+
+    def test_resume_is_bit_identical(self, tensor, init):
+        """A lev run resumed from iteration 1 must replay the exact
+        draws of the uninterrupted run — the site-seeded RNG keys on
+        the iteration number, not on how many draws happened before."""
+        store = InMemoryCheckpointStore()
+        with self.lev_context() as ctx:
+            full = self.decompose(ctx, tensor, init,
+                                  initial_factors=init,
+                                  checkpoint_every=1,
+                                  checkpoint_store=store)
+            resumed = self.decompose(ctx, tensor, init, resume_from=1,
+                                     checkpoint_store=store)
+        assert full.fit_is_estimate and resumed.fit_is_estimate
+        assert_bit_identical(full, resumed)
+
+    def test_snapshot_records_sampler_state(self, tensor, init):
+        store = InMemoryCheckpointStore()
+        with self.lev_context() as ctx:
+            self.decompose(ctx, tensor, init, initial_factors=init,
+                           checkpoint_every=2, checkpoint_store=store)
+        ck = store.load()
+        assert ck.rng_state == {"sampler": "lev",
+                                "sample_count": SAMPLES, "seed": 0}
+
+    def test_file_store_round_trips_sampler_state(self, tensor, init,
+                                                  tmp_path):
+        store = FileCheckpointStore(tmp_path / "ckpts")
+        with self.lev_context() as ctx:
+            self.decompose(ctx, tensor, init, initial_factors=init,
+                           checkpoint_every=2, checkpoint_store=store)
+        loaded = store.load()
+        assert loaded.rng_state == {"sampler": "lev",
+                                    "sample_count": SAMPLES, "seed": 0}
+
+    def test_exact_snapshots_have_no_sampler_state(self, tensor, init,
+                                                   tmp_path):
+        store = FileCheckpointStore(tmp_path / "ckpts")
+        with Context(num_nodes=2, default_parallelism=4) as ctx:
+            self.decompose(ctx, tensor, init, initial_factors=init,
+                           checkpoint_every=2, checkpoint_store=store)
+            assert store.load().rng_state is None
+            # and an exact resume of an exact checkpoint still works
+            resumed = self.decompose(ctx, tensor, init, resume_from=1,
+                                     checkpoint_store=store)
+            full = self.decompose(ctx, tensor, init,
+                                  initial_factors=init)
+        assert_bit_identical(full, resumed)
+
+    @pytest.mark.parametrize("mismatch", [
+        {"sampler": None},
+        {"sample_count": SAMPLES * 2},
+        {"seed": 1},
+    ])
+    def test_mismatched_resume_rejected(self, tensor, init, mismatch):
+        """Resuming with a different sampler configuration would replay
+        different draws — the driver must refuse, not silently
+        diverge."""
+        store = InMemoryCheckpointStore()
+        conf = EngineConf(sampler="lev", sample_count=SAMPLES)
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=conf) as ctx:
+            self.decompose(ctx, tensor, init, initial_factors=init,
+                           checkpoint_every=1, checkpoint_store=store)
+        resume_conf = EngineConf(
+            sampler=mismatch.get("sampler", "lev"),
+            sample_count=mismatch.get("sample_count", SAMPLES))
+        with Context(num_nodes=2, default_parallelism=4,
+                     conf=resume_conf) as ctx:
+            with pytest.raises(ValueError, match="sampler state"):
+                CstfCOO(ctx).decompose(
+                    tensor, RANK, max_iterations=4, tol=0.0,
+                    seed=mismatch.get("seed", 0), resume_from=1,
+                    checkpoint_store=store)
+
+
+# ---------------------------------------------------------------------
+# accuracy gate (the CI sampler job runs this class on a seed matrix)
+# ---------------------------------------------------------------------
+class TestAccuracyGate:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_sampled_fit_within_002_of_exact(self, seed):
+        tensor, _ = low_rank_sparse((30, 30, 30), 3000, 3, noise=0.05,
+                                    rng=11)
+        init = random_factors(tensor.shape, 3, 13)
+        conf = EngineConf(sampler="lev", sample_count=512)
+        with Context(num_nodes=4, default_parallelism=8,
+                     conf=conf) as ctx:
+            sampled = CstfCOO(ctx).decompose(
+                tensor, 3, max_iterations=5, tol=0.0, seed=seed,
+                initial_factors=init)
+        with Context(num_nodes=4, default_parallelism=8) as ctx:
+            exact = CstfCOO(ctx).decompose(
+                tensor, 3, max_iterations=5, tol=0.0,
+                initial_factors=init)
+        # score the *sampled model* with the exact offline fit — its
+        # own fit_history is itself an estimate
+        assert abs(sampled.fit(tensor)
+                   - exact.fit_history[-1]) <= 0.02

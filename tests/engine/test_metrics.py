@@ -94,6 +94,28 @@ class TestPhases:
             ctx.parallelize([2]).count()
         assert len(ctx.metrics.jobs_in_phase("a")) == 2
 
+    def test_phase_seconds_accumulate(self, ctx):
+        import time
+        with ctx.metrics.phase("timed"):
+            time.sleep(0.01)
+        with ctx.metrics.phase("timed"):
+            time.sleep(0.01)
+        assert ctx.metrics.phase_seconds["timed"] >= 0.02
+
+    def test_seconds_in_phases_prefix_sum(self, ctx):
+        with ctx.metrics.phase("MTTKRP-1"):
+            ctx.parallelize([1]).count()
+        with ctx.metrics.phase("MTTKRP-2"):
+            ctx.parallelize([1]).count()
+        with ctx.metrics.phase("fit"):
+            ctx.parallelize([1]).count()
+        total = ctx.metrics.seconds_in_phases("MTTKRP-")
+        assert total > 0.0
+        assert total == (ctx.metrics.phase_seconds["MTTKRP-1"]
+                         + ctx.metrics.phase_seconds["MTTKRP-2"])
+        ctx.metrics.reset()
+        assert ctx.metrics.phase_seconds == {}
+
 
 class TestStageMetrics:
     def test_records_per_node_distribution(self, ctx):

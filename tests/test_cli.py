@@ -40,6 +40,23 @@ class TestDecompose:
                      "--iterations", "1", "--nonnegative",
                      "--nodes", "2"]) == 0
 
+    def test_sampler_flag(self, capsys):
+        assert main(["decompose", "--dataset", "synt3d", "--nnz", "800",
+                     "--iterations", "2", "--algorithm", "cstf-coo",
+                     "--nodes", "2", "--sampler", "lev",
+                     "--sample-count", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "[sampled estimate]" in out
+        assert "sampler" in out
+        assert "draws" in out
+
+    def test_exact_prints_no_sampler_line(self, capsys):
+        assert main(["decompose", "--dataset", "synt3d", "--nnz", "500",
+                     "--iterations", "1", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[sampled estimate]" not in out
+        assert "draws" not in out
+
     def test_tns_file(self, tmp_path, capsys):
         from repro.tensor import uniform_sparse, write_tns
         path = tmp_path / "t.tns"
