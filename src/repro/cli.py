@@ -228,11 +228,29 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="arguments passed through to PROG")
     lint.add_argument("--racecheck", action="store_true",
                       help="with --run: install the lockset race "
-                           "detector for the program's lifetime")
+                           "detector (and lock-order auditor) for "
+                           "the program's lifetime")
+    lint.add_argument("--plan", action="store_true", dest="plan",
+                      help="with --run: audit every job's plan graph "
+                           "before it executes (schema mismatches, "
+                           "block churn, uncached reuse, redundant "
+                           "shuffles); PATHs also get the "
+                           "determinism scan")
     lint.add_argument("--strict", action="store_true",
                       help="exit non-zero on warnings too")
     lint.add_argument("--json", action="store_true", dest="as_json",
                       help="emit findings as JSON")
+
+    plan = sub.add_parser(
+        "plan", help="export and audit job plan graphs (no tasks run "
+                     "beyond the program's own)")
+    plan.add_argument("prog", metavar="PROG",
+                      help="program to execute under the plan auditor")
+    plan.add_argument("--args", nargs=argparse.REMAINDER, default=[],
+                      help="arguments passed through to PROG")
+    plan.add_argument("--explain", action="store_true",
+                      help="print each job's full plan graph (schema, "
+                           "partitioner, storage level per RDD)")
     return parser
 
 
@@ -448,7 +466,8 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import LintReport, LintSession, run_program, scan_paths
+    from .lint import (LintReport, LintSession, run_program,
+                       scan_determinism_paths, scan_paths)
     report = LintReport()
     if not args.paths and not args.run:
         print("repro lint: nothing to do (give PATHs to scan and/or "
@@ -456,13 +475,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     if args.paths:
         scan_paths(args.paths, report)
+        if args.plan:
+            scan_determinism_paths(args.paths, report)
     if args.run:
-        session = LintSession(lockset=args.racecheck)
+        if args.plan:
+            # the executed program's own source gets the
+            # determinism scan too
+            scan_determinism_paths([args.run], report)
+        session = LintSession(lockset=args.racecheck, plan=args.plan)
         with session:
             run_program(args.run, list(args.args), session=session)
         report.merge(session.report)
         if session.monitor is not None:
             print(f"racecheck: {session.monitor.summary()}",
+                  file=sys.stderr)
+        if session.plan_auditor is not None:
+            print(f"plan: {session.plan_auditor.summary()}",
                   file=sys.stderr)
     if args.as_json:
         print(report.render_json())
@@ -473,6 +501,25 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.strict and report.warnings():
         return 1
     return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .lint import LintSession, run_program
+    session = LintSession(plan=True, keep_plans=True)
+    with session:
+        run_program(args.prog, list(args.args), session=session)
+    auditor = session.plan_auditor
+    assert auditor is not None
+    for index, (description, graph) in enumerate(session.plans, 1):
+        print(f"== job {index}: {description} "
+              f"(root rdd {graph.root}, {len(graph.nodes)} RDDs) ==")
+        print(graph.render(explain=args.explain))
+        print()
+    findings = auditor.report
+    print(f"plan audit: {auditor.summary()}")
+    if findings:
+        print(findings.render_text())
+    return 1 if findings.errors() else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -494,6 +541,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_advise(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "report":
         from .analysis.report import generate_report
         text = generate_report(MeasurementConfig(target_nnz=args.nnz))

@@ -135,6 +135,9 @@ class CPALSDriver:
         #: CstfCOO._mttkrp_broadcast for the lifecycle contract) and
         #: finally by :meth:`_teardown`
         self._live_broadcasts: list = []
+        #: persisted MTTKRP output RDDs not yet superseded; swept by
+        #: :meth:`_teardown` when an iteration dies mid-flight
+        self._live_m_rdds: list[RDD] = []
 
     # ------------------------------------------------------------------
     # subclass interface
@@ -150,10 +153,14 @@ class CPALSDriver:
 
     def _teardown(self) -> None:
         """Release per-run state: any broadcasts the last (sampled or
-        broadcast-strategy) MTTKRP left alive."""
+        broadcast-strategy) MTTKRP left alive, and any persisted
+        MTTKRP outputs a mid-flight failure left behind."""
         for bc in self._live_broadcasts:
             bc.destroy()
         self._live_broadcasts.clear()
+        for rdd in self._live_m_rdds:
+            rdd.unpersist()
+        self._live_m_rdds.clear()
 
     def flops_per_iteration(self, tensor: COOTensor, rank: int) -> float:
         """Analytic flop count of one CP-ALS iteration (Table 4 row,
@@ -332,6 +339,13 @@ class CPALSDriver:
                     else:
                         m_rdd = self._mttkrp(mode, tensor_rdd,
                                              factor_rdds, rank)
+                    # M feeds two jobs (the column-norm aggregate and
+                    # the factor materialization) and, for the last
+                    # mode, the fit join as well; uncached it would be
+                    # re-merged from shuffle outputs by each
+                    # (plan-uncached-reuse)
+                    m_rdd.persist(self.storage_level)
+                    self._live_m_rdds.append(m_rdd)
                     pinv_v = grams.pinv_except(
                         mode, regularization=self.regularization)
                     new_factor, lambdas = self._solve_and_normalize(
@@ -344,6 +358,11 @@ class CPALSDriver:
                     grams.refresh(mode, new_factor)  # materializes it too
                     factor_rdds[mode].unpersist()
                     factor_rdds[mode] = new_factor
+                    if last_m_rdd is not None:
+                        # the previous mode's M is superseded; only the
+                        # final mode's survives to the fit computation
+                        last_m_rdd.unpersist()
+                        self._live_m_rdds.remove(last_m_rdd)
                     last_m_rdd = m_rdd
 
             fit: float | None = None
@@ -355,6 +374,10 @@ class CPALSDriver:
                     self._integrity_guard(np.asarray(fit), "fit",
                                           iteration=it)
                     fit_history.append(fit)
+
+            if last_m_rdd is not None:
+                last_m_rdd.unpersist()
+                self._live_m_rdds.remove(last_m_rdd)
 
             if gc_shuffles:
                 self.ctx.drop_shuffle_outputs()

@@ -51,11 +51,14 @@ class CstfQCOO(CPALSDriver):
             # tensor-sized joins for state nobody reads
             return
         order = tensor.order
-        # materialize point: columnar tensor partitions expand to
-        # records before the per-record queue tuples are built
-        current = tensor_rdd.materialize_records().map(
-            lambda rec: (rec[0][0], (rec, ()))
-        ).set_name("qcoo-init-key0")
+        # materialize point: the kernel's block-aware keying expands
+        # columnar tensor partitions with bulk conversions (a generic
+        # materialize_records().map() would be flagged as
+        # plan-block-churn: blocks degraded to records record-by-record
+        # and then shuffled); the records produced are identical
+        current = self.ctx.kernel.key_tensor_by_mode(
+            tensor_rdd, 0).map_values(
+            lambda rec: (rec, ())).set_name("qcoo-init-key0")
         for m in range(order - 1):
             joined = current.join(factor_rdds[m], self.num_partitions)
             next_mode = m + 1

@@ -43,9 +43,15 @@ from __future__ import annotations
 
 import struct
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
+import numpy.typing as npt
+
+#: contiguous ``int64`` index vector (one tensor mode's coordinates)
+IndexArray = npt.NDArray[np.int64]
+#: contiguous ``float64`` payload (nonzero values or dense factor rows)
+ValueArray = npt.NDArray[np.float64]
 
 #: flat per-block accounting overhead (slots, shape/dtype headers) used
 #: by :func:`repro.engine.serialization.estimate_size`'s exact fast path
@@ -63,7 +69,7 @@ _KIND_COLUMNAR = b"C"
 _KIND_KEYED = b"K"
 
 
-def _contiguous(arr: object, dtype: np.dtype) -> np.ndarray:
+def _contiguous(arr: Any, dtype: np.dtype[Any]) -> npt.NDArray[Any]:
     return np.ascontiguousarray(arr, dtype=dtype)
 
 
@@ -72,8 +78,11 @@ class ColumnarBlock:
 
     __slots__ = ("columns", "values")
 
-    def __init__(self, columns: Sequence[np.ndarray],
-                 values: np.ndarray):
+    columns: tuple[IndexArray, ...]
+    values: ValueArray
+
+    def __init__(self, columns: Sequence[npt.ArrayLike],
+                 values: npt.ArrayLike) -> None:
         columns = tuple(_contiguous(c, INDEX_DTYPE) for c in columns)
         values = _contiguous(values, VALUE_DTYPE)
         if values.ndim != 1:
@@ -101,13 +110,13 @@ class ColumnarBlock:
         return (sum(c.nbytes for c in self.columns)
                 + self.values.nbytes)
 
-    def column(self, mode: int) -> np.ndarray:
+    def column(self, mode: int) -> IndexArray:
         """The contiguous index array of one mode."""
         return self.columns[mode]
 
     # -- records <-> blocks -------------------------------------------
     @classmethod
-    def from_records(cls, records: Iterable[tuple],
+    def from_records(cls, records: Iterable[tuple[Any, ...]],
                      order: int | None = None) -> "ColumnarBlock":
         """Build a block from ``((i, ..., k), value)`` records,
         preserving record order row for row."""
@@ -123,7 +132,7 @@ class ColumnarBlock:
             vals[i] = val
         return cls(tuple(cols), vals)
 
-    def to_records(self) -> list[tuple]:
+    def to_records(self) -> list[tuple[tuple[int, ...], float]]:
         """Materialize back to ``(tuple[int, ...], float)`` records in
         storage order — bit-identical to the records the block was
         built from."""
@@ -151,7 +160,7 @@ class ColumnarBlock:
         vals = np.concatenate([b.values for b in blocks])
         return cls(cols, vals)
 
-    def take(self, indices: object) -> "ColumnarBlock":
+    def take(self, indices: npt.ArrayLike) -> "ColumnarBlock":
         """Sub-block of the given rows, in the given index order."""
         idx = np.asarray(indices, dtype=np.int64)
         return ColumnarBlock(
@@ -161,7 +170,9 @@ class ColumnarBlock:
         return (f"ColumnarBlock(order={self.order}, "
                 f"nnz={len(self)}, nbytes={self.nbytes})")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[
+            type["ColumnarBlock"],
+            tuple[tuple[IndexArray, ...], ValueArray]]:
         return (ColumnarBlock, (self.columns, self.values))
 
 
@@ -170,7 +181,10 @@ class KeyedRowBlock:
 
     __slots__ = ("keys", "rows")
 
-    def __init__(self, keys: np.ndarray, rows: np.ndarray):
+    keys: IndexArray
+    rows: ValueArray
+
+    def __init__(self, keys: npt.ArrayLike, rows: npt.ArrayLike) -> None:
         keys = _contiguous(keys, INDEX_DTYPE)
         rows = _contiguous(rows, VALUE_DTYPE)
         if keys.ndim != 1 or rows.ndim != 2:
@@ -192,7 +206,7 @@ class KeyedRowBlock:
         return self.keys.nbytes + self.rows.nbytes
 
     @classmethod
-    def from_records(cls, records: Iterable[tuple],
+    def from_records(cls, records: Iterable[tuple[int, npt.ArrayLike]],
                      rank: int | None = None) -> "KeyedRowBlock":
         records = list(records)
         if not records:
@@ -205,7 +219,7 @@ class KeyedRowBlock:
         rows = np.stack([row for _, row in records])
         return cls(keys, rows)
 
-    def to_records(self) -> list[tuple]:
+    def to_records(self) -> list[tuple[int, ValueArray]]:
         """``(int, ndarray row)`` pairs in storage order — the exact
         record shape the per-record kernel path emits."""
         return [(int(k), row) for k, row in zip(self.keys, self.rows)]
@@ -219,7 +233,7 @@ class KeyedRowBlock:
         return cls(np.concatenate([b.keys for b in blocks]),
                    np.vstack([b.rows for b in blocks]))
 
-    def take(self, indices: object) -> "KeyedRowBlock":
+    def take(self, indices: npt.ArrayLike) -> "KeyedRowBlock":
         """Sub-block of the given rows, in the given index order."""
         idx = np.asarray(indices, dtype=np.int64)
         return KeyedRowBlock(self.keys[idx], self.rows[idx])
@@ -228,7 +242,8 @@ class KeyedRowBlock:
         return (f"KeyedRowBlock(n={len(self)}, rank={self.rank}, "
                 f"nbytes={self.nbytes})")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[
+            type["KeyedRowBlock"], tuple[IndexArray, ValueArray]]:
         return (KeyedRowBlock, (self.keys, self.rows))
 
 
@@ -240,7 +255,7 @@ def is_block(obj: object) -> bool:
     return type(obj) is ColumnarBlock or type(obj) is KeyedRowBlock
 
 
-def iter_records(partition: Iterable) -> Iterator:
+def iter_records(partition: Iterable[Any]) -> Iterator[Any]:
     """Iterate a partition as plain records, expanding any block into
     its rows in storage order (non-block items pass through)."""
     for item in partition:
@@ -250,25 +265,25 @@ def iter_records(partition: Iterable) -> Iterator:
             yield item
 
 
-def materialize_partition(partition: Iterable) -> list:
+def materialize_partition(partition: Iterable[Any]) -> list[Any]:
     """``list(iter_records(partition))`` — the explicit block→records
     materialize point used by record-shaped consumers."""
     return list(iter_records(partition))
 
 
-def record_count(partition: Iterable) -> int:
+def record_count(partition: Iterable[Any]) -> int:
     """Logical record count of a partition: blocks count their rows."""
     return sum(len(item) if is_block(item) else 1
                for item in partition)
 
 
-def rebatch_records(partition: Iterable,
-                    order: int | None = None) -> list:
+def rebatch_records(partition: Iterable[Any],
+                    order: int | None = None) -> list[ColumnarBlock]:
     """Coalesce a partition of loose ``(idx, value)`` records (and/or
     columnar blocks) back into a single :class:`ColumnarBlock` — the
     inverse of :func:`materialize_partition`.  Row order is preserved,
     so rebatch∘materialize is the identity on block content."""
-    loose: list = []
+    loose: list[tuple[Any, ...]] = []
     blocks: list[ColumnarBlock] = []
     for item in partition:
         if type(item) is ColumnarBlock:
@@ -288,7 +303,7 @@ def rebatch_records(partition: Iterable,
 # ----------------------------------------------------------------------
 # raw-buffer framing (serialize_partition fast path)
 # ----------------------------------------------------------------------
-def _pack_array(out: list[bytes], arr: np.ndarray) -> None:
+def _pack_array(out: list[bytes], arr: npt.NDArray[Any]) -> None:
     arr = np.ascontiguousarray(arr)
     dt = arr.dtype.str.encode("ascii")
     out.append(struct.pack("<B", len(dt)))
@@ -298,7 +313,8 @@ def _pack_array(out: list[bytes], arr: np.ndarray) -> None:
     out.append(arr.tobytes())
 
 
-def _unpack_array(buf: memoryview, pos: int) -> tuple[np.ndarray, int]:
+def _unpack_array(buf: memoryview,
+                  pos: int) -> tuple[npt.NDArray[Any], int]:
     (dt_len,) = struct.unpack_from("<B", buf, pos)
     pos += 1
     dtype = np.dtype(bytes(buf[pos:pos + dt_len]).decode("ascii"))
@@ -324,7 +340,8 @@ def is_block_partition(records: object) -> bool:
             and all(is_block(r) for r in records))
 
 
-def pack_blocks(blocks: Sequence) -> bytes:
+def pack_blocks(
+        blocks: Sequence[ColumnarBlock | KeyedRowBlock]) -> bytes:
     """Frame a block-only partition as raw buffers with dtype/shape
     headers — no pickle."""
     out: list[bytes] = [BLOCK_MAGIC, struct.pack("<I", len(blocks))]
@@ -349,7 +366,7 @@ def is_block_payload(blob: bytes) -> bool:
     return blob[:len(BLOCK_MAGIC)] == BLOCK_MAGIC
 
 
-def unpack_blocks(blob: bytes) -> list:
+def unpack_blocks(blob: bytes) -> list[ColumnarBlock | KeyedRowBlock]:
     """Inverse of :func:`pack_blocks`."""
     if not is_block_payload(blob):
         raise ValueError("not a block frame")
@@ -357,7 +374,7 @@ def unpack_blocks(blob: bytes) -> list:
     pos = len(BLOCK_MAGIC)
     (count,) = struct.unpack_from("<I", buf, pos)
     pos += 4
-    blocks: list = []
+    blocks: list[ColumnarBlock | KeyedRowBlock] = []
     for _ in range(count):
         kind = bytes(buf[pos:pos + 1])
         pos += 1

@@ -27,7 +27,14 @@ Hook points
     Lock constructors for the shared structures.  The returned
     :class:`HookLock` notifies the installed lockset monitor on
     acquire/release so the monitor knows the candidate lockset of every
-    access.
+    access.  Every constructed lock name is also recorded in a process
+    inventory (:func:`lock_inventory`) so the lock-order auditor can
+    report coverage: which engine locks exist vs. which were ever seen
+    acquired under the monitor.
+``job_submitted``
+    The DAG scheduler is about to run a job over an RDD.  A
+    plan-auditing session exports the lineage as a typed plan graph
+    *here*, before execution — normal runs pay one ``is None`` test.
 
 Only one session may be installed at a time (lint sessions are
 process-global by nature); nesting raises.
@@ -53,6 +60,10 @@ class LintSessionHooks(Protocol):  # pragma: no cover - structural type
 
     def closure_created(self, fn: Callable, operation: str) -> None:
         """A user callable was handed to RDD ``operation``."""
+        ...
+
+    def job_submitted(self, rdd: Any, description: str) -> None:
+        """The scheduler is about to run a job over ``rdd``."""
         ...
 
 
@@ -158,6 +169,17 @@ def closure_created(fn: Callable, operation: str) -> None:
         s.closure_created(fn, operation)
 
 
+def job_submitted(rdd: Any, description: str) -> None:
+    """Notify the installed session that a job is about to run over
+    ``rdd``.  Called by ``DAGScheduler.run_job`` before building stages;
+    older sessions without the hook are skipped."""
+    s = _session
+    if s is not None:
+        hook = getattr(s, "job_submitted", None)
+        if hook is not None:
+            hook(rdd, description)
+
+
 def access(owner: Any, field: str, write: bool) -> None:
     """Record one shared-state access.  MUST be called from inside the
     locked region protecting the state, so the monitor sees the lock in
@@ -223,11 +245,31 @@ class HookLock:
         return f"HookLock({self.name})"
 
 
+#: every HookLock name ever constructed in this process, with a count
+#: of live constructions — the engine's lock inventory.  The lock-order
+#: auditor reports coverage against this registry so "no cycles found"
+#: can be distinguished from "most locks never monitored".
+_lock_inventory: dict[str, int] = {}
+
+
+def _register_lock(name: str) -> None:
+    with _install_lock:
+        _lock_inventory[name] = _lock_inventory.get(name, 0) + 1
+
+
+def lock_inventory() -> dict[str, int]:
+    """Snapshot of lock name -> construction count for this process."""
+    with _install_lock:
+        return dict(_lock_inventory)
+
+
 def make_lock(name: str) -> HookLock:
     """A monitored non-reentrant lock for a shared engine structure."""
+    _register_lock(name)
     return HookLock(threading.Lock(), name)
 
 
 def make_rlock(name: str) -> HookLock:
     """A monitored reentrant lock for a shared engine structure."""
+    _register_lock(name)
     return HookLock(threading.RLock(), name)

@@ -119,6 +119,11 @@ class RDD:
         self.partitioner = partitioner
         self.storage_level: StorageLevel | None = None
         self.name = type(self).__name__
+        #: semantic operation kind ("map", "rebatchBlocks", ...): pinned
+        #: by the *first* set_name call (always the factory method), so
+        #: user renames keep the display name and plan analysis apart
+        self.op = type(self).__name__
+        self._op_pinned = False
 
     # -- subclass interface -------------------------------------------
     def compute(self, split: int, task: "TaskContext") -> Iterable:
@@ -173,7 +178,35 @@ class RDD:
     def set_name(self, name: str) -> "RDD":
         """Label the RDD for lineage rendering and stage names."""
         self.name = name
+        if not self._op_pinned:
+            self.op = name
+            self._op_pinned = True
         return self
+
+    def lineage_rdds(self) -> list["RDD"]:
+        """Every RDD reachable from this one through lineage, parents
+        before children, deduplicated by ``rdd_id``.
+
+        This is the raw material of the plan auditor
+        (:mod:`repro.lint.plan`): a cheap driver-side walk over
+        already-built objects — nothing is computed and no state is
+        recorded, so exporting a plan costs nothing unless a lint
+        session asks for it."""
+        order: list[RDD] = []
+        seen: set[int] = set()
+        stack: list[tuple[RDD, bool]] = [(self, False)]
+        while stack:
+            rdd, expanded = stack.pop()
+            if expanded:
+                order.append(rdd)
+                continue
+            if rdd.rdd_id in seen:
+                continue
+            seen.add(rdd.rdd_id)
+            stack.append((rdd, True))
+            for dep in rdd.dependencies:
+                stack.append((dep.rdd, False))
+        return order
 
     def to_debug_string(self) -> str:
         """Render the lineage tree (Spark's ``toDebugString``): one line

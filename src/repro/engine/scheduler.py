@@ -55,6 +55,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
+from . import linthooks
 from .errors import (CorruptedBlockError, FetchFailedError,
                      JobExecutionError, OutOfMemoryError, TaskFailedError)
 from .events import (BlockCorrupted, FetchFailed, JobEnd, JobShuffleRounds,
@@ -214,6 +215,9 @@ class DAGScheduler:
         bus = self.ctx.event_bus
         job_id = self._next_job_id
         self._next_job_id += 1
+        # pre-execution plan export: a no-op `is None` test unless a
+        # plan-auditing lint session is installed
+        linthooks.job_submitted(rdd, description)
         phase = self.ctx.metrics.current_phase
         bus.post(JobStart(job_id, description))
         succeeded = False

@@ -1,6 +1,6 @@
 """Static + dynamic analysis for engine programs (``repro lint``).
 
-Three passes behind one report model:
+Passes behind one report model:
 
 - :mod:`~repro.lint.closures` — closure capture analyzer (runtime
   function objects; nondeterminism, engine-handle capture, large
@@ -9,32 +9,51 @@ Three passes behind one report model:
   context teardown.
 - :mod:`~repro.lint.lockset` — Eraser-style race detector over the
   engine's annotated shared structures.
+- :mod:`~repro.lint.lockorder` — lock-acquisition-order graph over the
+  same monitored locks; cycles are potential deadlocks.
+- :mod:`~repro.lint.plan` — plan-time dataflow auditor: exports each
+  job's lineage as a typed plan graph (schemas, partitioners, storage
+  levels) and flags schema mismatches, block churn, uncached reuse and
+  redundant shuffles before any task runs.
 - :mod:`~repro.lint.static` — file-level scan applying the closure
   checks to RDD-operation call sites without executing anything.
+- :mod:`~repro.lint.determinism` — file-level reproducibility scan
+  (global/unseeded/unstably-seeded RNGs, unordered set iteration).
 
 Dynamic passes hang off :mod:`repro.engine.linthooks`;
 :class:`~repro.lint.runner.LintSession` installs them and
 :func:`~repro.lint.runner.run_program` executes a target script under
-the session.  ``python -m repro lint`` is the CLI front end.
+the session.  ``python -m repro lint`` is the CLI front end;
+``python -m repro plan --explain`` renders the exported plan graphs.
 """
 
 from .closures import LARGE_CAPTURE_BYTES, analyze_callable
+from .determinism import scan_determinism_paths, scan_determinism_source
 from .lifecycle import audit_context
+from .lockorder import LockOrderGraph
 from .lockset import LocksetMonitor
 from .model import Finding, LintError, LintReport
+from .plan import BlockSchema, PlanAuditor, PlanGraph, audit_graph
 from .runner import LintSession, run_program
 from .static import scan_paths, scan_source
 
 __all__ = [
     "LARGE_CAPTURE_BYTES",
+    "BlockSchema",
     "Finding",
     "LintError",
     "LintReport",
     "LintSession",
+    "LockOrderGraph",
     "LocksetMonitor",
+    "PlanAuditor",
+    "PlanGraph",
     "analyze_callable",
     "audit_context",
+    "audit_graph",
     "run_program",
+    "scan_determinism_paths",
+    "scan_determinism_source",
     "scan_paths",
     "scan_source",
 ]

@@ -185,7 +185,7 @@ class ClosureIssueVisitor(ast.NodeVisitor):
     def __init__(self, captured_names: set[str], report: LintReport, *,
                  file: str = "", line_offset: int = 0,
                  operation: str = "", pass_name: str = PASS_NAME,
-                 known_values: dict[str, Any] | None = None):
+                 known_values: dict[str, Any] | None = None) -> None:
         self.captured = captured_names
         self.report = report
         self.file = file

@@ -1,0 +1,181 @@
+"""Lock-order deadlock detection over monitored HookLock acquisitions.
+
+The lockset race detector (:mod:`repro.lint.lockset`) already sees
+every acquisition of every :class:`~repro.engine.linthooks.HookLock`.
+This module adds the classic complementary analysis: record, for each
+*new* acquisition, which locks the acquiring thread already held, and
+fold those observations into a lock-acquisition-order graph.  An edge
+``A -> B`` means "some thread acquired B while holding A".  A cycle in
+that graph — ``A -> B`` on one code path and ``B -> A`` on another —
+is a potential deadlock even if the unlucky interleaving never fired
+during the monitored run, which is exactly why testing alone does not
+find these.
+
+Edges are aggregated by lock *name* rather than lock instance: the
+engine constructs one short-lived lock per structure (block manager,
+cache, event bus, ...) and a deadlock between two *kinds* of locks is
+the actionable finding.  Name aggregation can in principle conflate
+two instances of the same structure (e.g. two contexts), so the
+finding is phrased as *potential* deadlock and carries the witness
+stacks' thread names.
+
+Coverage matters for a "no findings" result: the engine registers
+every constructed lock name in :func:`repro.engine.linthooks.
+lock_inventory`, so :meth:`LockOrderGraph.coverage` can say which lock
+names exist but were never observed acquired while the monitor ran —
+"no cycles" over three of fourteen locks is a much weaker statement
+than over all of them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine import linthooks
+
+from .model import Finding, LintReport
+
+PASS_NAME = "lockorder"
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """One observed ``held -> acquired`` ordering, with a witness."""
+
+    held: str
+    acquired: str
+    thread: str
+    count: int = 1
+
+
+class LockOrderGraph:
+    """The lock-acquisition-order graph of one monitored run.
+
+    Thread-safe: :meth:`record` is called from whichever thread takes
+    a lock (under the lockset monitor's mutex in practice, but the
+    graph guards itself so it can also be fed directly in tests).
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        #: (held, acquired) -> (witness thread, observation count)
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+        #: every lock name ever observed acquired
+        self._observed: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def record(self, held: Iterable[str], acquired: str,
+               thread_name: str | None = None) -> None:
+        """One new acquisition of ``acquired`` while holding ``held``.
+
+        Reentrant re-acquisitions must NOT be recorded (holding A and
+        re-entering A is not an ordering constraint); the caller — the
+        lockset monitor — only forwards first acquisitions."""
+        if thread_name is None:
+            thread_name = threading.current_thread().name
+        with self._mu:
+            self._observed.add(acquired)
+            for name in held:
+                self._observed.add(name)
+                if name == acquired:
+                    continue  # reentrant pair, not an ordering
+                key = (name, acquired)
+                witness, count = self._edges.get(key, (thread_name, 0))
+                self._edges[key] = (witness, count + 1)
+
+    # ------------------------------------------------------------------
+    def edges(self) -> list[OrderEdge]:
+        """Every aggregated ordering edge, deterministically sorted."""
+        with self._mu:
+            items = sorted(self._edges.items())
+        return [OrderEdge(held=a, acquired=b, thread=w, count=n)
+                for (a, b), (w, n) in items]
+
+    def observed_names(self) -> set[str]:
+        """Lock names seen acquired at least once."""
+        with self._mu:
+            return set(self._observed)
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Elementary cycles of the order graph, deduplicated.
+
+        Each cycle is returned rotated so its lexicographically
+        smallest name comes first, and the list is sorted — the output
+        is a pure function of the edge *set*, independent of insertion
+        order."""
+        with self._mu:
+            adj: dict[str, list[str]] = {}
+            for (a, b) in self._edges:
+                adj.setdefault(a, []).append(b)
+        for succ in adj.values():
+            succ.sort()
+
+        found: set[tuple[str, ...]] = set()
+
+        def canonical(path: list[str]) -> tuple[str, ...]:
+            pivot = min(range(len(path)), key=lambda i: path[i])
+            return tuple(path[pivot:] + path[:pivot])
+
+        def dfs(start: str, node: str, path: list[str],
+                on_path: set[str]) -> None:
+            for succ in adj.get(node, ()):
+                if succ == start:
+                    found.add(canonical(path))
+                elif succ not in on_path and succ >= start:
+                    # only explore names >= start: every cycle is
+                    # discovered from its smallest member exactly once
+                    path.append(succ)
+                    on_path.add(succ)
+                    dfs(start, succ, path, on_path)
+                    on_path.discard(succ)
+                    path.pop()
+
+        for start in sorted(adj):
+            dfs(start, start, [start], {start})
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def coverage(self) -> tuple[set[str], set[str]]:
+        """``(observed, never_observed)`` against the engine inventory."""
+        inventory = set(linthooks.lock_inventory())
+        observed = self.observed_names()
+        return (observed, inventory - observed)
+
+    # ------------------------------------------------------------------
+    def report_into(self, report: LintReport) -> None:
+        """Add one ``lock-order-cycle`` finding per distinct cycle."""
+        with self._mu:
+            edge_info = dict(self._edges)
+        for cycle in self.cycles():
+            ring = list(cycle) + [cycle[0]]
+            hops = []
+            for a, b in zip(ring, ring[1:]):
+                witness, _count = edge_info.get((a, b), ("?", 0))
+                hops.append(f"{a} -> {b} (thread {witness})")
+            report.add(Finding(
+                rule="lock-order-cycle", severity="error",
+                message=f"locks are acquired in conflicting orders: "
+                        f"{'; '.join(hops)}; two threads interleaving "
+                        f"these paths deadlock — impose a single "
+                        f"global acquisition order",
+                location=" -> ".join(ring),
+                pass_name=PASS_NAME))
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI footer."""
+        observed, unobserved = self.coverage()
+        n_edges = len(self.edges())
+        n_cycles = len(self.cycles())
+        text = (f"{len(observed)} lock name"
+                f"{'s' if len(observed) != 1 else ''} observed, "
+                f"{n_edges} ordering edge"
+                f"{'s' if n_edges != 1 else ''}, "
+                f"{n_cycles} cycle{'s' if n_cycles != 1 else ''}")
+        if unobserved:
+            text += (f"; never observed: "
+                     f"{', '.join(sorted(unobserved))}")
+        return text

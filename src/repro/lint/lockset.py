@@ -38,6 +38,7 @@ from typing import Any
 
 from repro.engine import linthooks
 
+from .lockorder import LockOrderGraph
 from .model import Finding, LintReport
 
 PASS_NAME = "lockset"
@@ -84,6 +85,8 @@ class LocksetMonitor:
         self._locations: dict[tuple[int, str], _Location] = {}
         self._races = LintReport()
         self._reported: set[tuple[str, str]] = set()
+        #: lock-acquisition-order graph fed from first acquisitions
+        self.lock_order = LockOrderGraph()
         self.pooled_runs = 0
         self.max_pool_workers = 0
 
@@ -120,6 +123,12 @@ class LocksetMonitor:
         held = self._held()
         entry = held.get(id(lock))
         if entry is None:
+            # a first (non-reentrant) acquisition is an ordering
+            # observation: every already-held lock precedes this one
+            self.lock_order.record(
+                [getattr(item[0], "name", repr(item[0]))
+                 for item in held.values()],
+                getattr(lock, "name", repr(lock)))
             held[id(lock)] = [lock, 1]
         else:  # reentrant re-acquisition
             entry[1] += 1
@@ -215,20 +224,22 @@ class LocksetMonitor:
             return list(self._races)
 
     def report_into(self, report: LintReport) -> None:
-        """Merge this monitor's race findings into ``report``."""
+        """Merge race and lock-order-cycle findings into ``report``."""
         with self._mu:
             report.extend(self._races)
+        self.lock_order.report_into(report)
 
     def summary(self) -> str:
         """One-line human summary of monitored state and races."""
         with self._mu:
             shared = sum(1 for loc in self._locations.values()
                          if loc.state >= _SHARED)
-            return (f"{len(self._locations)} monitored locations "
+            head = (f"{len(self._locations)} monitored locations "
                     f"({shared} cross-thread), "
                     f"{len(self._races)} race"
                     f"{'s' if len(self._races) != 1 else ''}, "
                     f"{self.pooled_runs} pooled task batches")
+        return f"{head}; lock order: {self.lock_order.summary()}"
 
     def location_states(self) -> dict[tuple[str, str], str]:
         """(owner type, field) -> most-advanced state name seen across

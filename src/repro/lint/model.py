@@ -21,9 +21,28 @@ from __future__ import annotations
 import json
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 #: severity ranks for sorting (most severe first)
-_SEVERITY_RANK = {"error": 0, "warning": 1}
+_SEVERITY_RANK: dict[str, int] = {"error": 0, "warning": 1}
+
+
+def _location_key(location: str) -> tuple[str, int, str]:
+    """``(file, line, rest)`` parsed from a ``path:line`` location.
+
+    Locations that are not ``path:line`` shaped (engine object labels,
+    function names) sort by their text with line 0, so the order is
+    still total and deterministic."""
+    head, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return (head, int(tail), "")
+    return (location, 0, "")
+
+
+def _sort_key(finding: "Finding") -> tuple[int, str, int, str, str, str]:
+    file, line, rest = _location_key(finding.location)
+    return (_SEVERITY_RANK[finding.severity], file, line, rest,
+            finding.rule, finding.message)
 
 
 @dataclass(frozen=True)
@@ -52,7 +71,7 @@ class Finding:
         loc = f"{self.location}: " if self.location else ""
         return f"{loc}{self.severity}: {self.message} [{self.rule}]"
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, str]:
         """JSON-serializable mapping of this finding."""
         return {"rule": self.rule, "severity": self.severity,
                 "message": self.message, "location": self.location,
@@ -74,7 +93,7 @@ class LintReport:
         self.findings.append(finding)
         return True
 
-    def extend(self, findings) -> None:
+    def extend(self, findings: Iterable[Finding]) -> None:
         """Add each finding in ``findings`` (deduplicating)."""
         for finding in findings:
             self.add(finding)
@@ -87,7 +106,7 @@ class LintReport:
     def __len__(self) -> int:
         return len(self.findings)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Finding]:
         return iter(self.findings)
 
     def __bool__(self) -> bool:
@@ -107,9 +126,14 @@ class LintReport:
 
     # ------------------------------------------------------------------
     def sorted_findings(self) -> list[Finding]:
-        """Errors before warnings, stable within a severity."""
-        return sorted(self.findings,
-                      key=lambda f: _SEVERITY_RANK[f.severity])
+        """Errors before warnings, then by file/line/rule/message.
+
+        The full key makes the ordering a pure function of the finding
+        *set*: two runs that diagnose the same problems render the same
+        bytes regardless of hook firing order (thread scheduling,
+        dict iteration), so ``repro lint --json`` output can be diffed
+        as a CI artifact."""
+        return sorted(self.findings, key=_sort_key)
 
     def render_text(self) -> str:
         """The human-facing report body."""
@@ -136,7 +160,7 @@ class LintError(Exception):
     fixture, CI) can show the full report, not just the first line.
     """
 
-    def __init__(self, findings: list[Finding]):
+    def __init__(self, findings: list[Finding]) -> None:
         self.findings = list(findings)
         body = "; ".join(f.render() for f in self.findings[:5])
         more = len(self.findings) - 5

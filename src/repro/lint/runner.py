@@ -33,6 +33,7 @@ from .closures import LARGE_CAPTURE_BYTES, analyze_callable
 from .lifecycle import audit_context
 from .lockset import LocksetMonitor
 from .model import LintError, LintReport
+from .plan import PlanAuditor
 
 
 class LintSession:
@@ -47,18 +48,33 @@ class LintSession:
         Also install a :class:`~repro.lint.lockset.LocksetMonitor` for
         the session's lifetime (race findings merge into the report at
         exit).
+    plan:
+        Also install a :class:`~repro.lint.plan.PlanAuditor`: every
+        job the scheduler runs has its lineage exported as a typed
+        plan graph and audited *before* execution (plan findings merge
+        into the report at exit).  Without this flag the scheduler's
+        ``job_submitted`` hook is routed nowhere and no graphs are
+        built.
+    keep_plans:
+        Retain the exported plan graphs on ``session.plans`` (implies
+        memory proportional to jobs run; used by ``repro plan
+        --explain``).
     large_capture_bytes:
         Threshold for the closure analyzer's large-ndarray-capture
         warning.
     """
 
     def __init__(self, *, strict: bool = False, lockset: bool = False,
-                 large_capture_bytes: int = LARGE_CAPTURE_BYTES):
+                 plan: bool = False, keep_plans: bool = False,
+                 large_capture_bytes: int = LARGE_CAPTURE_BYTES) -> None:
         self.report = LintReport()
         self.strict = strict
         self.large_capture_bytes = large_capture_bytes
         self.monitor: LocksetMonitor | None = (
             LocksetMonitor() if lockset else None)
+        self.plan_auditor: PlanAuditor | None = (
+            PlanAuditor(keep_graphs=keep_plans)
+            if plan or keep_plans else None)
         self._contexts: list[Any] = []
         self._audited: set[int] = set()
         #: code objects already analyzed (one user fn reaches the hook
@@ -86,6 +102,18 @@ class LintSession:
         analyze_callable(fn, operation, report=self.report,
                          large_capture_bytes=self.large_capture_bytes)
 
+    def job_submitted(self, rdd: Any, description: str) -> None:
+        """Engine hook: audit a job's plan graph before it runs."""
+        if self.plan_auditor is not None:
+            self.plan_auditor.job_submitted(rdd, description)
+
+    @property
+    def plans(self) -> list[tuple[str, Any]]:
+        """Retained ``(description, PlanGraph)`` pairs (``keep_plans``)."""
+        if self.plan_auditor is None:
+            return []
+        return self.plan_auditor.graphs
+
     # ------------------------------------------------------------------
     def _audit(self, ctx: Any) -> None:
         if id(ctx) in self._audited:
@@ -107,6 +135,8 @@ class LintSession:
             self._audit(ctx)
         if self.monitor is not None:
             self.monitor.report_into(self.report)
+        if self.plan_auditor is not None:
+            self.plan_auditor.report_into(self.report)
         return self.report
 
     # ------------------------------------------------------------------

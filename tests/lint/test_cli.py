@@ -84,3 +84,43 @@ def test_examples_lint_clean_static(capsys):
     root = Path(__file__).resolve().parents[2]
     assert main(["lint", str(root / "examples"),
                  str(root / "src" / "repro" / "core")]) == 0
+
+
+# ----------------------------------------------------------------------
+# plan auditing: repro lint --plan / repro plan
+# ----------------------------------------------------------------------
+DEFECTS = str(FIXTURES / "plan_defects.py")
+
+
+def test_plan_defects_fixture_reports_every_rule_family(capsys):
+    """The plan-audit acceptance fixture: one finding per family,
+    non-zero exit (schema mismatch and lock-order cycle are errors)."""
+    assert main(["lint", "--plan", "--racecheck", "--strict",
+                 "--run", DEFECTS]) == 1
+    out = capsys.readouterr().out
+    assert "plan-schema-mismatch" in out
+    assert "plan-redundant-shuffle" in out
+    assert "plan-uncached-reuse" in out
+    assert "lock-order-cycle" in out
+    assert "determinism-global-rng" in out
+
+
+def test_plan_clean_fixture_zero_findings(capsys):
+    assert main(["lint", "--plan", "--run", CLEAN]) == 0
+    captured = capsys.readouterr()
+    assert "no findings" in captured.out
+    assert "plan:" in captured.err
+
+
+def test_plan_command_explains_graphs(capsys):
+    assert main(["plan", "--explain", CLEAN]) == 0
+    out = capsys.readouterr().out
+    assert "== job" in out
+    assert "schema=" in out
+    assert "plan audit:" in out
+
+
+def test_plan_command_fails_on_defects(capsys):
+    assert main(["plan", DEFECTS]) == 1
+    out = capsys.readouterr().out
+    assert "plan-schema-mismatch" in out

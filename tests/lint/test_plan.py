@@ -1,0 +1,295 @@
+"""Plan-time dataflow auditor tests: schema inference over lineage,
+the four plan rule families, and the cross-job/cross-context tracking
+of :class:`PlanAuditor`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Context, EngineConf
+from repro.engine.blocks import ColumnarBlock
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.rdd import ShuffledRDD
+from repro.lint import LintReport, PlanAuditor, PlanGraph, audit_graph
+from repro.lint.plan import computed_edges
+
+
+def make_ctx() -> Context:
+    conf = EngineConf(backend="serial")
+    return Context(num_nodes=2, default_parallelism=4, conf=conf)
+
+
+def rules(report: LintReport) -> list[str]:
+    return [f.rule for f in report.sorted_findings()]
+
+
+def block_rdd(ctx: Context, order: int = 3, n: int = 24):
+    blocks = [
+        ColumnarBlock.from_records(
+            [(tuple((i + m) % 5 for m in range(order)), float(i))
+             for i in range(p, n, 4)], order)
+        for p in range(4)
+    ]
+    return ctx.parallelize_blocks(blocks).set_name("tensor-blocks")
+
+
+# ----------------------------------------------------------------------
+# graph export + schema inference
+# ----------------------------------------------------------------------
+def test_graph_exports_nodes_edges_and_schemas():
+    with make_ctx() as ctx:
+        base = block_rdd(ctx)
+        keyed = base.materialize_records() \
+            .map(lambda rec: (rec[0][0], rec)).set_name("keyed")
+        summed = keyed.reduce_by_key(lambda a, b: a, 4)
+        graph = PlanGraph.from_rdd(summed)
+
+        root_node = graph.node(base.rdd_id)
+        assert root_node.schema.form == "blocks"
+        assert root_node.schema.order == 3
+        assert root_node.schema.index_dtype == "int64"
+        records_node = graph.node(base.rdd_id + 1)
+        assert records_node.op == "materializeRecords"
+        assert records_node.schema.form == "records"
+        shuffle_node = graph.node(summed.rdd_id)
+        assert any(e.kind == "shuffle" for e in shuffle_node.parents)
+
+        text = graph.render(explain=True)
+        assert "tensor-blocks" in text
+        assert "blocks[order=3" in text
+
+
+def test_parallelize_peek_infers_key_schema():
+    with make_ctx() as ctx:
+        by_int = ctx.parallelize([(1, 2.0), (2, 3.0)], 2)
+        by_pair = ctx.parallelize([((1, 2), 3.0)], 2)
+        assert PlanGraph.from_rdd(by_int).node(
+            by_int.rdd_id).schema.key == "int64"
+        assert PlanGraph.from_rdd(by_pair).node(
+            by_pair.rdd_id).schema.key == "index[2]"
+
+
+# ----------------------------------------------------------------------
+# rule: plan-schema-mismatch
+# ----------------------------------------------------------------------
+def test_join_key_mismatch_is_an_error():
+    with make_ctx() as ctx:
+        by_int = ctx.parallelize([(i, float(i)) for i in range(8)], 2)
+        by_pair = ctx.parallelize(
+            [((i, i), float(i)) for i in range(8)], 2)
+        joined = by_int.join(by_pair, 2)
+        report = audit_graph(PlanGraph.from_rdd(joined))
+        mismatches = [f for f in report
+                      if f.rule == "plan-schema-mismatch"]
+        assert len(mismatches) == 1
+        assert mismatches[0].severity == "error"
+        assert "int64" in mismatches[0].message
+        assert "index[2]" in mismatches[0].message
+
+
+def test_matching_join_keys_are_silent():
+    with make_ctx() as ctx:
+        left = ctx.parallelize([(i, float(i)) for i in range(8)], 2)
+        right = ctx.parallelize([(i, -float(i)) for i in range(8)], 2)
+        report = audit_graph(PlanGraph.from_rdd(left.join(right, 2)))
+        assert "plan-schema-mismatch" not in rules(report)
+
+
+# ----------------------------------------------------------------------
+# rule: plan-block-churn
+# ----------------------------------------------------------------------
+def test_record_block_round_trip_is_churn():
+    with make_ctx() as ctx:
+        base = block_rdd(ctx)
+        round_trip = base.materialize_records() \
+            .filter(lambda rec: rec[1] > 0).rebatch_blocks(3)
+        report = audit_graph(PlanGraph.from_rdd(round_trip))
+        assert "plan-block-churn" in rules(report)
+
+
+def test_shuffling_degraded_records_is_churn():
+    with make_ctx() as ctx:
+        base = block_rdd(ctx)
+        shuffled = base.materialize_records() \
+            .map(lambda rec: (rec[0][0], rec)) \
+            .reduce_by_key(lambda a, b: a, 4)
+        report = audit_graph(PlanGraph.from_rdd(shuffled))
+        assert "plan-block-churn" in rules(report)
+
+
+def test_block_pipeline_without_degrade_is_silent():
+    with make_ctx() as ctx:
+        base = block_rdd(ctx)
+        report = audit_graph(PlanGraph.from_rdd(
+            base.map_partitions(lambda it: it)))
+        assert "plan-block-churn" not in rules(report)
+
+
+# ----------------------------------------------------------------------
+# rule: plan-uncached-reuse (intra-graph fan-out)
+# ----------------------------------------------------------------------
+def test_fanout_over_uncached_rdd_is_flagged():
+    with make_ctx() as ctx:
+        shared = ctx.parallelize([(i, float(i)) for i in range(8)], 2) \
+            .map_values(lambda v: v + 1).set_name("shared")
+        left = shared.map_values(lambda v: v * 2)
+        right = shared.filter(lambda kv: kv[0] % 2 == 0)
+        joined = left.join(right, 2)
+        report = audit_graph(PlanGraph.from_rdd(joined))
+        reuse = [f for f in report if f.rule == "plan-uncached-reuse"]
+        assert any("shared" in f.location for f in reuse)
+
+
+def test_fanout_over_persisted_rdd_is_silent():
+    with make_ctx() as ctx:
+        shared = ctx.parallelize([(i, float(i)) for i in range(8)], 2) \
+            .map_values(lambda v: v + 1).set_name("shared").persist()
+        joined = shared.map_values(lambda v: v * 2) \
+            .join(shared.filter(lambda kv: kv[0] % 2 == 0), 2)
+        report = audit_graph(PlanGraph.from_rdd(joined))
+        assert "plan-uncached-reuse" not in rules(report)
+        shared.unpersist()
+
+
+def test_computed_edges_prunes_below_materialized_persisted_root():
+    with make_ctx() as ctx:
+        base = ctx.parallelize([1, 2, 3], 2)
+        shared = base.map(lambda x: x).set_name("shared").persist()
+        graph = PlanGraph.from_rdd(shared)
+        # first materialization: the persisted root's chain is computed
+        assert base.rdd_id in computed_edges(graph)
+        # already materialized by an earlier job: served from cache,
+        # nothing above the boundary is traversed
+        edges = computed_edges(graph,
+                               materialized=frozenset({shared.rdd_id}))
+        assert base.rdd_id not in edges
+        assert edges == {shared.rdd_id: set()}
+        # a persisted *interior* node is never expanded either way
+        downstream = shared.map(lambda x: x + 1)
+        edges = computed_edges(PlanGraph.from_rdd(downstream))
+        assert base.rdd_id not in edges
+        assert shared.rdd_id in edges
+        shared.unpersist()
+
+
+# ----------------------------------------------------------------------
+# rule: plan-redundant-shuffle
+# ----------------------------------------------------------------------
+def test_shuffle_over_copartitioned_parent_is_flagged():
+    with make_ctx() as ctx:
+        pre = ctx.parallelize([(i % 4, 1) for i in range(16)], 4) \
+            .reduce_by_key(lambda a, b: a + b, 4)
+        # the engine's own operators elide this; a hand-built shuffle
+        # over the same partitioner is the defect the rule catches
+        redundant = ShuffledRDD(pre, HashPartitioner(4))
+        report = audit_graph(PlanGraph.from_rdd(redundant))
+        assert "plan-redundant-shuffle" in rules(report)
+
+
+def test_union_of_copartitioned_parents_is_flagged():
+    with make_ctx() as ctx:
+        left = ctx.parallelize([(i % 4, 1) for i in range(16)], 4) \
+            .reduce_by_key(lambda a, b: a + b, 4)
+        right = ctx.parallelize([(i % 4, 2) for i in range(16)], 4) \
+            .reduce_by_key(lambda a, b: a + b, 4)
+        merged = left.union(right).reduce_by_key(lambda a, b: a + b, 4)
+        report = audit_graph(PlanGraph.from_rdd(merged))
+        assert "plan-redundant-shuffle" in rules(report)
+
+
+def test_shuffle_onto_different_partitioner_is_silent():
+    with make_ctx() as ctx:
+        pre = ctx.parallelize([(i % 4, 1) for i in range(16)], 4) \
+            .reduce_by_key(lambda a, b: a + b, 4)
+        report = audit_graph(PlanGraph.from_rdd(
+            ShuffledRDD(pre, HashPartitioner(8))))
+        assert "plan-redundant-shuffle" not in rules(report)
+
+
+# ----------------------------------------------------------------------
+# PlanAuditor: cross-job + cross-context tracking
+# ----------------------------------------------------------------------
+def test_auditor_flags_rdd_computed_by_two_jobs():
+    auditor = PlanAuditor()
+    with make_ctx() as ctx:
+        reused = ctx.parallelize(list(range(8)), 2) \
+            .map(lambda x: x * 2).set_name("reused")
+        auditor.job_submitted(reused, "first count")
+        assert not [f for f in auditor.report
+                    if f.rule == "plan-uncached-reuse"]
+        auditor.job_submitted(reused, "second count")
+        reuse = [f for f in auditor.report
+                 if f.rule == "plan-uncached-reuse"]
+        assert len(reuse) == 1
+        assert "first count" in reuse[0].message
+        assert "second count" in reuse[0].message
+
+
+def test_auditor_trusts_persisted_rdd_across_jobs():
+    auditor = PlanAuditor()
+    with make_ctx() as ctx:
+        reused = ctx.parallelize(list(range(8)), 2) \
+            .map(lambda x: x * 2).set_name("reused").persist()
+        auditor.job_submitted(reused, "first")
+        auditor.job_submitted(reused, "second")
+        assert "plan-uncached-reuse" not in [
+            f.rule for f in auditor.report]
+        reused.unpersist()
+
+
+def test_auditor_does_not_conflate_rdd_ids_across_contexts():
+    """Two Contexts restart their rdd-id counters; the same program
+    run twice must not read as one RDD computed by two jobs."""
+    auditor = PlanAuditor()
+    for round_no in range(2):
+        with make_ctx() as ctx:
+            rdd = ctx.parallelize(list(range(8)), 2) \
+                .map(lambda x: x + 1).set_name("per-context")
+            auditor.job_submitted(rdd, f"round {round_no}")
+    assert "plan-uncached-reuse" not in [f.rule for f in auditor.report]
+    assert auditor.jobs_seen == 2
+
+
+def test_auditor_keeps_graphs_when_asked():
+    auditor = PlanAuditor(keep_graphs=True)
+    with make_ctx() as ctx:
+        rdd = ctx.parallelize([1, 2, 3], 2).map(lambda x: x)
+        auditor.job_submitted(rdd, "kept")
+    assert len(auditor.graphs) == 1
+    description, graph = auditor.graphs[0]
+    assert description == "kept"
+    assert graph.root == rdd.rdd_id
+    assert "audited" in auditor.summary()
+
+
+# ----------------------------------------------------------------------
+# laziness: nothing plan-shaped happens in a plain run
+# ----------------------------------------------------------------------
+def test_plan_export_is_lazy():
+    """Without an auditing session the engine never builds plan
+    graphs — a plain job runs with no plan hook installed."""
+    from repro.engine import linthooks
+    assert linthooks.session_active() is False
+    with make_ctx() as ctx:
+        assert ctx.parallelize(list(range(10)), 2).sum() == 45
+
+
+def test_findings_round_trip_through_report():
+    auditor = PlanAuditor()
+    with make_ctx() as ctx:
+        reused = ctx.parallelize(list(range(8)), 2).map(lambda x: x)
+        auditor.job_submitted(reused, "a")
+        auditor.job_submitted(reused, "b")
+    merged = LintReport()
+    auditor.report_into(merged)
+    assert "plan-uncached-reuse" in rules(merged)
+    # deterministic ordering survives the merge
+    assert rules(merged) == rules(merged)
+
+
+def test_describe_value_shapes():
+    from repro.lint.plan import _describe_value
+    assert _describe_value(3) == "int64"
+    assert _describe_value(2.5) == "float64"
+    assert _describe_value((1, 2, 3)) == "index[3]"
+    assert _describe_value(np.zeros(4)) == "ndarray[float64]"
